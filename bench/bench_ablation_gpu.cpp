@@ -1,0 +1,106 @@
+// Ablation: Slalom-style GPU offloading vs enclave-only inference (§7.4).
+//
+// The paper discusses offering GPU support by splitting the computation:
+// linear layers on an untrusted GPU, verification and non-linear layers in
+// the enclave (Slalom). This bench measures the latency of a batched
+// inference in three configurations: enclave-only (the paper's shipping
+// design), GPU-offloaded *without* verification (the weakened threat model
+// the paper mentions), and GPU-offloaded with in-enclave Freivalds checks.
+#include "bench_common.h"
+#include "core/workloads.h"
+#include "ml/dataset.h"
+#include "ml/serialize.h"
+#include "ml/session.h"
+#include "ml/slalom.h"
+#include "tee/platform.h"
+
+namespace {
+
+using namespace stf;
+
+constexpr double kEnclaveFlops = 2.66e9;
+constexpr std::int64_t kBatch = 64;
+
+void run() {
+  bench::print_header(
+      "Ablation — GPU offloading (§7.4): enclave-only vs Slalom split",
+      "linear layers on an untrusted GPU + O(n^2) in-enclave verification "
+      "beats in-enclave compute");
+
+  const auto spec = core::ModelSpec{"offload_net", 32ull << 20, 0, 0.25};
+  ml::Graph g = spec.build_graph();
+  ml::Session s(g);
+  const ml::Graph frozen = ml::freeze(g, s);
+  const ml::Dataset data = ml::synthetic_cifar10(kBatch, 3);
+  const auto batch = data.batch_feeds(0, kBatch);
+  const ml::Tensor& input = batch.at("input");
+
+  // Enclave-only: the Session executes everything inside the enclave.
+  tee::CostModel model;
+  model.flops_per_second = kEnclaveFlops;
+  tee::Platform enclave_platform("enclave-only", tee::TeeMode::Hardware,
+                                 model);
+  auto enclave = enclave_platform.launch_enclave(
+      {.name = "clf", .binary_bytes = core::kLiteBinaryBytes});
+  enclave->set_runtime_overhead(1.05);
+  tee::EnclaveEnv env(*enclave);
+  {
+    ml::Session runner(frozen, &env);
+    (void)runner.run1("probs", batch);  // warm the EPC
+    const auto t0 = enclave_platform.clock().now_ns();
+    (void)runner.run1("probs", batch);
+    bench::print_row(
+        "enclave-only (batch 64)",
+        static_cast<double>(enclave_platform.clock().now_ns() - t0) / 1e9,
+        "s", "(the paper's shipping design)");
+  }
+
+  // Slalom split with verification.
+  crypto::HmacDrbg rng(crypto::to_bytes("gpu-bench"));
+  {
+    tee::Platform p("slalom", tee::TeeMode::Hardware, model);
+    auto e = p.launch_enclave(
+        {.name = "clf", .binary_bytes = core::kLiteBinaryBytes});
+    e->set_runtime_overhead(1.05);
+    tee::EnclaveEnv slalom_env(*e);
+    ml::SlalomExecutor slalom(frozen, {}, &slalom_env, p.base_clock(), rng);
+    (void)slalom.run(input);
+    const auto t0 = p.base_clock().now_ns();
+    (void)slalom.run(input);
+    bench::print_row(
+        "GPU offload + Freivalds verify",
+        static_cast<double>(p.base_clock().now_ns() - t0) / 1e9, "s",
+        "(integrity kept, confidentiality of activations given up)");
+  }
+
+  // Slalom split, no verification (fully weakened threat model).
+  {
+    tee::Platform p("gpu-trusting", tee::TeeMode::Hardware, model);
+    auto e = p.launch_enclave(
+        {.name = "clf", .binary_bytes = core::kLiteBinaryBytes});
+    e->set_runtime_overhead(1.05);
+    tee::EnclaveEnv trusting_env(*e);
+    ml::SlalomConfig cfg;
+    cfg.conv_samples = 0;
+    cfg.tolerance = 1e30f;  // verification effectively disabled
+    ml::SlalomExecutor trusting(frozen, cfg, &trusting_env, p.base_clock(),
+                                rng);
+    (void)trusting.run(input);
+    const auto t0 = p.base_clock().now_ns();
+    (void)trusting.run(input);
+    bench::print_row(
+        "GPU offload, GPU trusted",
+        static_cast<double>(p.base_clock().now_ns() - t0) / 1e9, "s",
+        "(the weakened threat model of §7.4)");
+  }
+  bench::print_note(
+      "verification adds little on top of offloading; the big step is "
+      "trusting data to leave the enclave at all");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: input data normalization (§7.1, avenue 1).
+//
+// "We can further improve the training performance by normalizing input
+// data, e.g. all input images can be normalized to the size of 32x32."
+// This bench trains the same classifier in HW mode on 64x64 inputs vs the
+// same images normalized to 32x32 and to 16x16: the per-batch footprint
+// shrinks quadratically, EPC pressure falls, and accuracy on the synthetic
+// task survives the downsampling.
+#include "bench_common.h"
+#include "distributed/training.h"
+#include "ml/dataset.h"
+#include "ml/models.h"
+
+namespace {
+
+using namespace stf;
+
+struct Result {
+  double seconds = 0;
+  std::uint64_t faults = 0;
+  double accuracy = 0;
+};
+
+Result train_at_resolution(const ml::Dataset& data, std::int64_t side) {
+  ml::Graph graph;
+  ml::GraphBuilder b(graph);
+  const auto input = b.placeholder("input");
+  const auto labels = b.placeholder("labels");
+  const auto h1 = b.dense("fc1", input, side * side, 256, true, 3);
+  const auto logits = b.dense("fc2", h1, 256, 10, false, 4);
+  const auto named = b.scale("logits", logits, 1.0f);
+  b.argmax("pred", named);
+  b.softmax_cross_entropy("loss", named, labels);
+
+  distributed::ClusterConfig cfg;
+  cfg.mode = tee::TeeMode::Hardware;
+  cfg.num_workers = 1;
+  cfg.batch_size = 100;
+  cfg.learning_rate = 0.1f;
+  cfg.model.flops_per_second = 1.5e9;
+  cfg.framework_scratch_bytes = 4ull << 20;
+  distributed::TrainingCluster cluster(graph, cfg);
+  const auto stats = cluster.train(data, 1200);
+
+  // Held-out accuracy of the trained master model.
+  ml::Session probe(graph);
+  probe.restore_variables(cluster.master_session().variable_snapshot());
+  int correct = 0;
+  const std::int64_t test_count = 100;
+  const auto feeds = data.batch_feeds(data.size() / 100 - 1, 100);
+  const ml::Tensor pred = probe.run1("pred", feeds);
+  for (std::int64_t i = 0; i < test_count; ++i) {
+    std::int64_t label = -1;
+    for (std::int64_t c = 0; c < 10; ++c) {
+      if (feeds.at("labels").at2(i, c) > 0.5f) label = c;
+    }
+    if (static_cast<std::int64_t>(pred.at(i)) == label) ++correct;
+  }
+  return {stats.total_seconds, stats.epc_faults,
+          static_cast<double>(correct) / static_cast<double>(test_count)};
+}
+
+void run() {
+  bench::print_header(
+      "Ablation — input normalization (§7.1): training cost vs input "
+      "resolution",
+      "normalizing inputs shrinks the in-enclave working set quadratically");
+
+  const ml::Dataset full = ml::synthetic_images(1300, 64, 64, 1, 5);
+  const ml::Dataset at32 = ml::normalize_resolution(full, 64, 64, 1, 32, 32);
+  const ml::Dataset at16 = ml::normalize_resolution(full, 64, 64, 1, 16, 16);
+
+  std::printf("\n  %-18s %14s %14s %12s\n", "input resolution",
+              "train time s", "EPC faults", "accuracy");
+  for (const auto& [label, data, side] :
+       {std::tuple{"64x64 (raw)", &full, 64l},
+        std::tuple{"32x32 (normalized)", &at32, 32l},
+        std::tuple{"16x16 (normalized)", &at16, 16l}}) {
+    const Result r = train_at_resolution(*data, side);
+    std::printf("  %-18s %14.3f %14llu %11.0f%%\n", label, r.seconds,
+                static_cast<unsigned long long>(r.faults), r.accuracy * 100);
+  }
+  bench::print_note(
+      "the synthetic classes stay separable after box-downsampling, so "
+      "normalization trades negligible accuracy for EPC headroom");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

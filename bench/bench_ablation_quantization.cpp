@@ -1,0 +1,113 @@
+// Ablation: model optimization for enclaves (§7.2) — pruning + int8 weight
+// quantization.
+//
+// The paper's ongoing work: shrink models so they behave well in the EPC.
+// Quantizing inception-v4-class weights 4x (163 MB -> ~41 MB) moves the
+// model from "thrashes SGXv1's EPC every pass" to "fits the EPC", and the
+// pruned graph drops dead heads. Output distributions stay within
+// quantization error.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/securetf.h"
+#include "ml/dataset.h"
+#include "ml/optimize.h"
+
+namespace {
+
+using namespace stf;
+
+constexpr double kInterpreterFlops = 2.66e9;
+
+double hw_latency(const ml::lite::FlatModel& model,
+                  const core::ModelSpec& spec, const ml::Tensor& image) {
+  core::SecureTfConfig cfg;
+  cfg.mode = tee::TeeMode::Hardware;
+  cfg.model.flops_per_second = kInterpreterFlops;
+  core::SecureTfContext ctx(cfg);
+  core::InferenceOptions opts;
+  opts.container_name = spec.name;
+  opts.bytes_per_flop = spec.bytes_per_flop;
+  opts.extra_gflops_per_inference = spec.gflops_per_inference;
+  auto service = ctx.create_lite_service(model, opts);
+  double latency = 0;
+  for (int i = 0; i < 4; ++i) {
+    (void)service->classify(image);
+    latency = service->last_latency_ms() / 1000.0;
+  }
+  return latency;
+}
+
+void run() {
+  bench::print_header(
+      "Ablation — model optimization for enclaves (§7.2): pruning + int8 "
+      "quantization",
+      "4x smaller weights move large models back inside the EPC");
+
+  const auto spec = core::inception_v4_spec();
+  ml::Graph g = spec.build_graph();
+  ml::Session session(g);
+  const ml::Graph frozen = ml::freeze(g, session);
+
+  // Graph-level optimization (prune dead heads, fold identities).
+  ml::OptimizeReport report;
+  const ml::Graph optimized = ml::optimize(frozen, {"probs"}, &report);
+  std::printf("\n  graph: %zu -> %zu nodes after prune+fold\n",
+              report.nodes_before, report.nodes_after);
+
+  const auto float_model =
+      ml::lite::FlatModel::from_frozen(optimized, "input", "probs");
+  const auto int8_model = float_model.quantized();
+  std::printf("  weights: %llu MB float32 -> %llu MB int8\n",
+              static_cast<unsigned long long>(float_model.weight_bytes() >> 20),
+              static_cast<unsigned long long>(int8_model.weight_bytes() >> 20));
+
+  const ml::Tensor image = ml::synthetic_cifar10(1, 3).sample(0);
+
+  // Accuracy effect: compare output distributions.
+  ml::lite::LiteInterpreter float_interp(float_model);
+  ml::lite::LiteInterpreter int8_interp(int8_model);
+  const ml::Tensor p_float = float_interp.invoke(image);
+  const ml::Tensor p_int8 = int8_interp.invoke(image);
+  double max_delta = 0;
+  for (std::int64_t i = 0; i < p_float.size(); ++i) {
+    max_delta = std::max(
+        max_delta, std::abs(static_cast<double>(p_float.at(i) - p_int8.at(i))));
+  }
+
+  const double float_s = hw_latency(float_model, spec, image);
+  const double int8_s = hw_latency(int8_model, spec, image);
+
+  std::printf("\n");
+  bench::print_row("float32 model, HW latency", float_s, "s",
+                   "(163 MB > 94 MB EPC: paging)");
+  bench::print_row("int8 model, HW latency", int8_s, "s",
+                   "(~41 MB fits the EPC)");
+  bench::print_row("speedup from quantization", float_s / int8_s, "x");
+  bench::print_row("max class-probability delta", max_delta, "",
+                   "(quantization error)");
+  bench::print_note(
+      "inception-v4 is compute-bound, so removing the paging buys ~10%;"
+      " memory-bound models gain much more:");
+
+  // A memory-bound large model (densenet-style traffic, little compute).
+  const core::ModelSpec memory_bound{"membound_dense", 163ull << 20, 2.0,
+                                     1.2};
+  ml::Graph mg = memory_bound.build_graph();
+  ml::Session ms(mg);
+  const auto m_float =
+      ml::lite::FlatModel::from_frozen(ml::freeze(mg, ms), "input", "probs");
+  const auto m_int8 = m_float.quantized();
+  const double mb_float_s = hw_latency(m_float, memory_bound, image);
+  const double mb_int8_s = hw_latency(m_int8, memory_bound, image);
+  bench::print_row("memory-bound 163 MB model, float32", mb_float_s, "s");
+  bench::print_row("memory-bound 163 MB model, int8", mb_int8_s, "s");
+  bench::print_row("speedup from quantization", mb_float_s / mb_int8_s, "x");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

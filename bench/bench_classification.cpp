@@ -1,0 +1,126 @@
+// Figure 5: single-image classification latency vs model size, across
+// systems: native (glibc), native (musl), secureTF SIM, secureTF HW, and a
+// Graphene-style libOS baseline.
+//
+// Paper shape: SIM within ~5% of native; HW/SIM = 1.39x / 1.14x / 1.12x for
+// the 42 / 91 / 163 MB models; HW beats Graphene by 1.03x at 42 MB growing
+// to ~1.4x at 163 MB (once the model outgrows the ~94 MB EPC).
+#include <memory>
+
+#include "bench_common.h"
+#include "core/securetf.h"
+#include "ml/dataset.h"
+
+namespace {
+
+using namespace stf;
+
+// Single-core sustained rate of the paper's desktop CPU running the
+// TF-Lite interpreter (label_image, 1 thread).
+constexpr double kInterpreterFlops = 2.66e9;
+
+core::InferenceOptions options_for(const core::ModelSpec& spec,
+                                   bool graphene) {
+  core::InferenceOptions opts;
+  opts.container_name = spec.name;
+  opts.bytes_per_flop = spec.bytes_per_flop;
+  opts.extra_gflops_per_inference = spec.gflops_per_inference;
+  if (graphene) {
+    // Graphene runs a whole library OS in the enclave: big image, exit-based
+    // syscalls, costlier fault path (handled via a scaled cost model below).
+    opts.container_name = spec.name + "-graphene";
+    opts.binary_bytes = core::kGrapheneBinaryBytes;
+    opts.runtime_overhead = 1.08;
+    opts.sync_syscalls = true;
+    // The libOS image is huge but its per-inference hot code is a small
+    // slice (syscall emulation + loader); what hurts Graphene is the cost
+    // of each EPC fault, not extra resident code.
+    opts.hot_binary_fraction = 0.04;
+  } else {
+    opts.binary_bytes = core::kLiteBinaryBytes;
+  }
+  return opts;
+}
+
+double measure_latency(tee::TeeMode mode, const core::ModelSpec& spec,
+                       const ml::lite::FlatModel& model,
+                       const ml::Tensor& image, bool graphene,
+                       double native_penalty = 1.0) {
+  core::SecureTfConfig cfg;
+  cfg.mode = mode;
+  cfg.model.flops_per_second = kInterpreterFlops / native_penalty;
+  if (graphene) {
+    // The libOS page-fault path (AEX -> host -> libOS handler -> resume) is
+    // several times costlier than SCONE's in-runtime handling.
+    cfg.model.page_fault_ns *= 5;
+    cfg.model.page_load_ns *= 5;
+    cfg.model.page_evict_ns *= 5;
+  }
+  core::SecureTfContext ctx(cfg);
+  auto service = ctx.create_lite_service(model, options_for(spec, graphene));
+  // Warm up until the EPC reaches steady state (LRU settles within a few
+  // passes), then report the steady per-image latency.
+  double prev = -1, current = 0;
+  for (int i = 0; i < 6; ++i) {
+    (void)service->classify(image);
+    current = service->last_latency_ms();
+    if (i > 0 && current == prev) break;
+    prev = current;
+  }
+  return current / 1000.0;
+}
+
+void run() {
+  bench::print_header(
+      "Figure 5 — classification latency vs model size, per system",
+      "SIM ~= native+5%; HW/SIM 1.39x/1.14x/1.12x; HW/Graphene 1.03x->1.4x");
+
+  const ml::Dataset cifar = ml::synthetic_cifar10(1, 3);
+  const ml::Tensor image = cifar.sample(0);
+
+  for (const auto& spec : {core::densenet_spec(), core::inception_v3_spec(),
+                           core::inception_v4_spec()}) {
+    std::printf("\n[%s, %llu MB]\n", spec.name.c_str(),
+                static_cast<unsigned long long>(spec.weight_bytes >> 20));
+    ml::Graph g = spec.build_graph();
+    ml::Session session(g);
+    const auto model =
+        ml::lite::FlatModel::from_frozen(ml::freeze(g, session), "input",
+                                         "probs");
+
+    const double native_glibc =
+        measure_latency(tee::TeeMode::Native, spec, model, image, false);
+    // musl trades size for speed; the paper sees it slightly behind glibc.
+    const double native_musl = measure_latency(tee::TeeMode::Native, spec,
+                                               model, image, false, 1.03);
+    const double sim =
+        measure_latency(tee::TeeMode::Simulation, spec, model, image, false);
+    const double hw =
+        measure_latency(tee::TeeMode::Hardware, spec, model, image, false);
+    const double graphene =
+        measure_latency(tee::TeeMode::Hardware, spec, model, image, true);
+
+    bench::print_row("native (glibc)", native_glibc, "s");
+    bench::print_row("native (musl)", native_musl, "s");
+    bench::print_row("secureTF SIM", sim, "s");
+    bench::print_row("secureTF HW", hw, "s");
+    bench::print_row("Graphene HW", graphene, "s");
+    bench::print_row("SIM / native", sim / native_glibc, "x",
+                     "(paper: ~1.05x)");
+    bench::print_row("HW / SIM", hw / sim, "x",
+                     spec.name == "densenet"       ? "(paper: 1.39x)"
+                     : spec.name == "inception_v3" ? "(paper: 1.14x)"
+                                                   : "(paper: 1.12x)");
+    bench::print_row("Graphene / secureTF HW", graphene / hw, "x",
+                     spec.name == "densenet"       ? "(paper: ~1.03x)"
+                     : spec.name == "inception_v3" ? "(paper: ~1.2x)"
+                                                   : "(paper: ~1.4x)");
+  }
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one table/figure of the paper's evaluation
+// (§5) and prints the same series the paper plots, plus the paper's reported
+// shape for side-by-side comparison. All latencies are *virtual time* from
+// the TEE/network cost simulation (see DESIGN.md §1) — deterministic and
+// machine-independent.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace stf::bench {
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper shape: %s\n", paper.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void print_row(const std::string& label, double value,
+                      const char* unit, const std::string& note = "") {
+  std::printf("  %-42s %12.3f %-6s %s\n", label.c_str(), value, unit,
+              note.c_str());
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  -- %s\n", note.c_str());
+}
+
+}  // namespace stf::bench

@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks of the real primitives (wall time).
+//
+// Everything else in bench/ measures *virtual* time from the cost model;
+// this binary measures the actual host-side implementations: the from-
+// scratch crypto that the shields run for real, the EPC manager's
+// bookkeeping overhead, and the ML kernels.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+#include "ml/ops.h"
+#include "tee/epc.h"
+
+namespace {
+
+using namespace stf;
+
+void BM_Sha256(benchmark::State& state) {
+  const crypto::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const auto key = crypto::to_bytes("benchmark-key");
+  const crypto::Bytes data(4096, 0x7f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  const auto key = crypto::HmacDrbg(crypto::to_bytes("k")).generate(16);
+  crypto::AesGcm gcm(key);
+  const crypto::Bytes nonce(12, 0x01);
+  const crypto::Bytes data(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.seal(nonce, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_AesGcmOpen(benchmark::State& state) {
+  const auto key = crypto::HmacDrbg(crypto::to_bytes("k")).generate(16);
+  crypto::AesGcm gcm(key);
+  const crypto::Bytes nonce(12, 0x01);
+  const crypto::Bytes data(4096, 0x42);
+  const auto sealed = gcm.seal(nonce, {}, data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.open(nonce, {}, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AesGcmOpen);
+
+void BM_X25519Handshake(benchmark::State& state) {
+  crypto::HmacDrbg rng(crypto::to_bytes("x"));
+  crypto::X25519::Key a{}, b{};
+  rng.fill(a.data(), a.size());
+  rng.fill(b.data(), b.size());
+  const auto pub_b = crypto::X25519::public_from_secret(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::X25519::scalarmult(a, pub_b));
+  }
+}
+BENCHMARK(BM_X25519Handshake);
+
+void BM_DrbgGenerate(benchmark::State& state) {
+  crypto::HmacDrbg drbg(crypto::to_bytes("seed"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drbg.generate(1024));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DrbgGenerate);
+
+void BM_EpcResidentAccess(benchmark::State& state) {
+  tee::CostModel model;
+  tee::EpcManager epc(model, /*limited=*/true);
+  tee::SimClock clock;
+  const auto region = epc.map_region("r", 64ull << 20);
+  epc.access_all(region, false, clock);  // warm
+  for (auto _ : state) {
+    epc.access(region, 0, 64ull << 20, false, clock);
+  }
+  state.SetBytesProcessed(state.iterations() * (64ll << 20));
+}
+BENCHMARK(BM_EpcResidentAccess);
+
+void BM_EpcThrash(benchmark::State& state) {
+  tee::CostModel model;
+  model.epc_bytes = 8ull << 20;
+  tee::EpcManager epc(model, true);
+  tee::SimClock clock;
+  const auto region = epc.map_region("r", 32ull << 20);
+  for (auto _ : state) {
+    epc.access_all(region, false, clock);  // 100%-ish miss sweep
+  }
+  state.counters["faults/sweep"] = benchmark::Counter(
+      static_cast<double>(epc.stats().faults) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_EpcThrash);
+
+void BM_MatMulKernel(benchmark::State& state) {
+  const auto n = state.range(0);
+  ml::Tensor a({n, n}), b({n, n});
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    a.at(i) = static_cast<float>(i % 7) * 0.1f;
+    b.at(i) = static_cast<float>(i % 5) * 0.2f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::ops::matmul(a, b));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatMulKernel)->Arg(64)->Arg(256);
+
+void BM_Conv2DKernel(benchmark::State& state) {
+  ml::Tensor input({1, 28, 28, 8});
+  ml::Tensor filter({3, 3, 8, 16});
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    input.at(i) = static_cast<float>(i % 11) * 0.05f;
+  }
+  for (std::int64_t i = 0; i < filter.size(); ++i) {
+    filter.at(i) = static_cast<float>(i % 3) * 0.1f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::ops::conv2d(input, filter, 1));
+  }
+}
+BENCHMARK(BM_Conv2DKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Elastic, attested inference fleet (design challenge 4, §3.2).
+//
+// A public-cloud autoscaler reacts to load by spawning more secure
+// classification containers. Every new container must attest against the CAS
+// before it can decrypt the model — a single policy covers the whole fleet
+// because all containers run the same measured image. A container built from
+// a tampered image is refused automatically.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/securetf.h"
+#include "ml/dataset.h"
+#include "ml/models.h"
+
+using namespace stf;
+
+int main() {
+  std::printf("== elastic attested inference fleet ==\n\n");
+
+  // Model preparation (offline).
+  ml::Graph graph = ml::mnist_mlp(32, 5);
+  ml::Session trainer(graph);
+  const ml::Dataset data = ml::synthetic_mnist(400, 51);
+  for (int e = 0; e < 6; ++e) {
+    for (std::int64_t b = 0; b < data.size() / 100; ++b) {
+      trainer.train_step("loss", data.batch_feeds(b, 100), 0.15f);
+    }
+  }
+  const auto model =
+      ml::lite::FlatModel::from_frozen(ml::freeze(graph, trainer), "input",
+                                       "probs");
+
+  tee::ProvisioningAuthority intel;
+  tee::CostModel cost_model;
+  tee::Platform cas_host("cas", tee::TeeMode::Hardware, cost_model, intel);
+  cas::CasServer cas(cas_host, intel, crypto::to_bytes("fleet-cas"));
+
+  const auto fs_key =
+      crypto::HmacDrbg(crypto::to_bytes("fleet-key")).generate(32);
+
+  // One policy for the entire fleet.
+  bool policy_registered = false;
+
+  std::vector<std::unique_ptr<core::SecureTfContext>> fleet;
+  std::vector<std::unique_ptr<core::InferenceService>> services;
+
+  auto scale_out = [&](int how_many) {
+    for (int i = 0; i < how_many; ++i) {
+      core::SecureTfConfig cfg;
+      cfg.node_name = "container-" + std::to_string(fleet.size());
+      cfg.mode = tee::TeeMode::Hardware;
+      auto ctx = std::make_unique<core::SecureTfContext>(cfg, &intel);
+      if (!policy_registered) {
+        cas::EnclavePolicy policy;
+        policy.expected_mrenclave = ctx->service_measurement();
+        policy.secrets = {{"fs-key", fs_key}};
+        cas.register_policy("fleet", policy);
+        policy_registered = true;
+      }
+      const auto outcome = ctx->attach_cas(cas, "fleet");
+      if (!outcome.ok) {
+        std::printf("  container refused: %s\n", outcome.error.c_str());
+        continue;
+      }
+      ctx->save_lite_model("/secure/model.stflite", model);
+      services.push_back(ctx->create_lite_service(
+          ctx->load_lite_model("/secure/model.stflite")));
+      std::printf("  %s attested in %.1f ms and joined the fleet\n",
+                  ctx->config().node_name.c_str(),
+                  outcome.breakdown.total_ms);
+      fleet.push_back(std::move(ctx));
+    }
+  };
+
+  std::printf("baseline load: 1 container\n");
+  scale_out(1);
+  std::printf("\ntraffic spike: scaling out to 4 containers\n");
+  scale_out(3);
+
+  // Load-balance requests across the fleet.
+  const ml::Dataset requests = ml::synthetic_mnist(12, 60);
+  int answered = 0;
+  for (std::int64_t i = 0; i < requests.size(); ++i) {
+    auto& service = services[static_cast<std::size_t>(i) % services.size()];
+    (void)service->classify_label(requests.sample(i));
+    ++answered;
+  }
+  std::printf("\nfleet of %zu containers answered %d requests "
+              "(%llu attestations served by CAS)\n",
+              services.size(), answered,
+              static_cast<unsigned long long>(cas.requests_served()));
+  return answered == requests.size() ? 0 : 1;
+}

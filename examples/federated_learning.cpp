@@ -1,0 +1,163 @@
+// Deployment #2 (§6.2): secure federated learning across hospitals.
+//
+// Three hospitals jointly train a diagnosis model. Patient data never leaves
+// a hospital; only model parameters travel — and because local models leak
+// information about training data, even those are (a) only shared with a
+// *globally attested* aggregation enclave and (b) encrypted in transit by
+// the network shield.
+//
+// The global aggregator runs FedAvg inside an SGX enclave; each round every
+// hospital trains locally, ships parameters over its shielded channel, and
+// receives the averaged model back.
+#include <cstdio>
+#include <vector>
+
+#include "cas/attest_client.h"
+#include "runtime/shielded_link.h"
+#include "core/securetf.h"
+#include "ml/dataset.h"
+#include "ml/models.h"
+#include "ml/serialize.h"
+
+using namespace stf;
+
+namespace {
+
+struct Hospital {
+  std::string name;
+  ml::Dataset data;
+  std::unique_ptr<ml::Session> session;
+  tee::SimClock clock;
+  runtime::SecureChannel to_global;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== secure federated learning, medical use-case (paper §6.2) ==\n\n");
+
+  const ml::Graph graph = ml::mnist_mlp(48, 13);
+  tee::CostModel model;
+  tee::ProvisioningAuthority intel;
+
+  // --- the attested global aggregation enclave ------------------------------
+  tee::Platform global_host("aggregator-host", tee::TeeMode::Hardware, model,
+                            intel);
+  auto aggregator = global_host.launch_enclave(
+      {.name = "fedavg-aggregator",
+       .content = crypto::to_bytes("stf-fedavg-v1"),
+       .binary_bytes = 4 << 20});
+  ml::Session global_session(graph);
+
+  // Hospitals verify the aggregator's quote before sharing anything.
+  tee::Platform verifier_host("hospital-consortium-cas", tee::TeeMode::Hardware,
+                              model, intel);
+  cas::CasServer consortium_cas(verifier_host, intel,
+                                crypto::to_bytes("consortium"));
+  cas::EnclavePolicy policy;
+  policy.expected_mrenclave = aggregator->mrenclave();
+  policy.secrets = {{"aggregation-cert",
+                     crypto::HmacDrbg(crypto::to_bytes("agg")).generate(64)}};
+  consortium_cas.register_policy("fedavg", policy);
+
+  net::SimNetwork net;
+  const auto global_node = net.add_node("aggregator",
+                                        global_host.base_clock());
+  const auto cas_node =
+      net.add_node("consortium-cas", verifier_host.base_clock());
+  crypto::HmacDrbg rng(crypto::to_bytes("fl-example"));
+
+  const auto attested = cas::attest_with_cas(
+      consortium_cas, global_host, *aggregator, net, global_node, cas_node,
+      rng, "fedavg");
+  if (!attested.ok) {
+    std::printf("aggregator failed attestation: %s\n", attested.error.c_str());
+    return 1;
+  }
+  std::printf("aggregator enclave attested by the consortium (%.1f ms)\n\n",
+              attested.breakdown.total_ms);
+
+  // --- hospitals with disjoint private datasets ------------------------------
+  std::vector<Hospital> hospitals;
+  // The network and channels hold pointers to each hospital's clock:
+  // reserve up front so the vector never reallocates.
+  hospitals.reserve(3);
+  std::vector<runtime::SecureChannel> global_sides;
+  for (int h = 0; h < 3; ++h) {
+    Hospital hospital;
+    hospital.name = "hospital-" + std::to_string(h);
+    hospital.data = ml::synthetic_mnist(300, 41 + static_cast<unsigned>(h));
+    hospital.session = std::make_unique<ml::Session>(graph);
+    hospitals.push_back(std::move(hospital));
+
+    Hospital& ref = hospitals.back();
+    const auto node = net.add_node(ref.name, ref.clock);
+    auto link = runtime::ShieldedLink::establish(
+        net, node, global_node, model, ref.clock, global_host.base_clock(),
+        rng);
+    ref.to_global = std::move(link.a_to_b);
+    global_sides.push_back(std::move(link.b_to_a));
+  }
+
+  // --- federated rounds -------------------------------------------------------
+  const ml::Dataset held_out = ml::synthetic_mnist(200, 77);
+  auto global_accuracy = [&] {
+    const auto feeds = held_out.batch_feeds(0, held_out.size());
+    const ml::Tensor pred = global_session.run1("pred", feeds);
+    int correct = 0;
+    for (std::int64_t i = 0; i < held_out.size(); ++i) {
+      if (static_cast<std::int64_t>(pred.at(i)) == held_out.label_of(i)) {
+        ++correct;
+      }
+    }
+    return 100.0 * correct / static_cast<double>(held_out.size());
+  };
+
+  std::printf("round  0: global accuracy %.1f%% (untrained)\n",
+              global_accuracy());
+  for (int round = 1; round <= 8; ++round) {
+    const auto global_params = ml::serialize_tensor_map(
+        global_session.variable_snapshot());
+    // Hospitals train locally on private data, then share parameters only.
+    for (std::size_t h = 0; h < hospitals.size(); ++h) {
+      global_sides[h].send(global_params);
+      const auto params = hospitals[h].to_global.recv();
+      hospitals[h].session->restore_variables(
+          ml::deserialize_tensor_map(*params));
+      for (std::int64_t b = 0; b < hospitals[h].data.size() / 100; ++b) {
+        hospitals[h].session->train_step(
+            "loss", hospitals[h].data.batch_feeds(b, 100), 0.08f);
+      }
+      hospitals[h].to_global.send(ml::serialize_tensor_map(
+          hospitals[h].session->variable_snapshot()));
+    }
+    // FedAvg inside the attested enclave.
+    std::map<std::string, ml::Tensor> average;
+    for (std::size_t h = 0; h < hospitals.size(); ++h) {
+      auto params = ml::deserialize_tensor_map(*global_sides[h].recv());
+      aggregator->compute(1e6);  // averaging work, charged to the enclave
+      for (auto& [name, value] : params) {
+        auto it = average.find(name);
+        if (it == average.end()) {
+          average.emplace(name, std::move(value));
+        } else {
+          for (std::int64_t i = 0; i < value.size(); ++i) {
+            it->second.at(i) += value.at(i);
+          }
+        }
+      }
+    }
+    const float inv = 1.0f / static_cast<float>(hospitals.size());
+    for (auto& [name, value] : average) {
+      for (std::int64_t i = 0; i < value.size(); ++i) value.at(i) *= inv;
+    }
+    global_session.restore_variables(average);
+    std::printf("round %2d: global accuracy %.1f%%\n", round,
+                global_accuracy());
+  }
+
+  std::printf("\npatient records shared across hospitals: 0 bytes\n");
+  std::printf("model parameters travelled only on attested, shielded "
+              "channels\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include <cmath>
+// stf model_tool — command-line model lifecycle utility.
+//
+// Works on real files on the local disk (the one place in this repo where
+// artifacts leave the simulation), covering the §4.1 export/import workflow:
+//
+//   model_tool create <out.stfg> [--size-mb N]   build + train a demo model
+//   model_tool inspect <model.stfg|.stflite>     print nodes / sizes
+//   model_tool freeze <in.stfg> <out.stfg>       fold variables into consts
+//   model_tool lite <frozen.stfg> <out.stflite>  lower to the Lite format
+//   model_tool quantize <in.stflite> <out.stflite>  int8 weights (§7.2)
+//   model_tool classify <model.stflite>          run a sample inference
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "ml/dataset.h"
+#include "ml/lite/flat_model.h"
+#include "ml/models.h"
+#include "ml/optimize.h"
+#include "ml/serialize.h"
+
+using namespace stf;
+
+namespace {
+
+crypto::Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return crypto::Bytes(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, crypto::BytesView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+int cmd_create(const std::string& out, std::uint64_t size_mb) {
+  ml::Graph g;
+  if (size_mb > 0) {
+    g = ml::sized_classifier("model", size_mb << 20);
+  } else {
+    g = ml::mnist_mlp(64, 7);
+    ml::Session trainer(g);
+    const ml::Dataset data = ml::synthetic_mnist(400, 21);
+    for (int e = 0; e < 6; ++e) {
+      for (std::int64_t b = 0; b < data.size() / 100; ++b) {
+        trainer.train_step("loss", data.batch_feeds(b, 100), 0.15f);
+      }
+    }
+    // Bake the trained weights in as initial values.
+    g = ml::freeze(g, trainer);
+  }
+  write_file(out, ml::serialize_graph(g));
+  std::printf("wrote %s (%zu nodes, %llu KB parameters)\n", out.c_str(),
+              g.node_count(),
+              static_cast<unsigned long long>(g.parameter_bytes() >> 10));
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  const auto blob = read_file(path);
+  if (path.size() > 8 && path.ends_with(".stflite")) {
+    const auto model = ml::lite::FlatModel::deserialize(blob);
+    std::printf("Lite model: %zu ops, %zu tensors, %llu KB weights%s\n",
+                model.ops().size(), model.tensors().size(),
+                static_cast<unsigned long long>(model.weight_bytes() >> 10),
+                model.is_quantized() ? " (int8)" : " (float32)");
+    return 0;
+  }
+  const ml::Graph g = ml::deserialize_graph(blob);
+  std::printf("Graph: %zu nodes, %llu KB parameters, %zu variables\n",
+              g.node_count(),
+              static_cast<unsigned long long>(g.parameter_bytes() >> 10),
+              g.variables().size());
+  for (const auto& n : g.nodes()) {
+    std::printf("  %-22s %-20s inputs:%zu%s\n", n.name.c_str(),
+                ml::op_name(n.type), n.inputs.size(),
+                n.value.has_value()
+                    ? (" value:" + ml::shape_to_string(n.value->shape()))
+                          .c_str()
+                    : "");
+  }
+  return 0;
+}
+
+int cmd_freeze(const std::string& in, const std::string& out) {
+  const ml::Graph g = ml::deserialize_graph(read_file(in));
+  ml::Session session(g);  // variables take their initial values
+  const ml::Graph frozen = ml::freeze(g, session);
+  write_file(out, ml::serialize_graph(frozen));
+  std::printf("froze %zu variables -> %s\n", g.variables().size(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_lite(const std::string& in, const std::string& out) {
+  ml::Graph g = ml::deserialize_graph(read_file(in));
+  ml::OptimizeReport report;
+  const ml::Graph optimized = ml::optimize(g, {"probs"}, &report);
+  const auto model =
+      ml::lite::FlatModel::from_frozen(optimized, "input", "probs");
+  write_file(out, model.serialize());
+  std::printf("lowered %zu -> %zu nodes; %llu KB model -> %s\n",
+              report.nodes_before, report.nodes_after,
+              static_cast<unsigned long long>(model.weight_bytes() >> 10),
+              out.c_str());
+  return 0;
+}
+
+int cmd_quantize(const std::string& in, const std::string& out) {
+  const auto model = ml::lite::FlatModel::deserialize(read_file(in));
+  const auto q = model.quantized();
+  write_file(out, q.serialize());
+  std::printf("quantized: %llu KB float32 -> %llu KB int8 -> %s\n",
+              static_cast<unsigned long long>(model.weight_bytes() >> 10),
+              static_cast<unsigned long long>(q.weight_bytes() >> 10),
+              out.c_str());
+  return 0;
+}
+
+int cmd_classify(const std::string& path) {
+  const auto model = ml::lite::FlatModel::deserialize(read_file(path));
+  ml::lite::LiteInterpreter interp(model);
+  // Feed a sample with the model's expected input width.
+  std::int64_t dim = 784;
+  for (const auto& op : model.ops()) {
+    // The first matmul's weight reveals the input dimension.
+    if (op.type == ml::OpType::MatMul) {
+      const auto& w = model.tensors()[static_cast<std::size_t>(op.inputs[1])];
+      if (w.is_weight() && w.shape.size() == 2) dim = w.shape[0];
+      break;
+    }
+  }
+  ml::Tensor input({1, dim});
+  for (std::int64_t i = 0; i < dim; ++i) {
+    input.at(i) = 0.5f + 0.4f * std::sin(static_cast<float>(i) * 0.05f);
+  }
+  const ml::Tensor probs = interp.invoke(input);
+  std::printf("class probabilities:");
+  for (std::int64_t i = 0; i < probs.size(); ++i) {
+    std::printf(" %.3f", probs.at(i));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage:\n"
+      "  model_tool create <out.stfg> [--size-mb N]\n"
+      "  model_tool inspect <model.stfg|model.stflite>\n"
+      "  model_tool freeze <in.stfg> <out.stfg>\n"
+      "  model_tool lite <frozen.stfg> <out.stflite>\n"
+      "  model_tool quantize <in.stflite> <out.stflite>\n"
+      "  model_tool classify <model.stflite>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "create" && argc >= 3) {
+      std::uint64_t size_mb = 0;
+      if (argc >= 5 && std::strcmp(argv[3], "--size-mb") == 0) {
+        size_mb = std::strtoull(argv[4], nullptr, 10);
+      }
+      return cmd_create(argv[2], size_mb);
+    }
+    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+    if (cmd == "freeze" && argc == 4) return cmd_freeze(argv[2], argv[3]);
+    if (cmd == "lite" && argc == 4) return cmd_lite(argv[2], argv[3]);
+    if (cmd == "quantize" && argc == 4) return cmd_quantize(argv[2], argv[3]);
+    if (cmd == "classify" && argc == 3) return cmd_classify(argv[2]);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

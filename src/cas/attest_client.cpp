@@ -1,0 +1,172 @@
+#include "cas/attest_client.h"
+
+#include <sstream>
+
+#include "cas/wire.h"
+#include "crypto/sha256.h"
+#include "runtime/secure_channel.h"
+
+namespace stf::cas {
+namespace {
+
+struct PhaseTimer {
+  explicit PhaseTimer(const tee::SimClock& clock) : clock_(clock) {}
+  double lap_ms() {
+    const auto now = clock_.now_ns();
+    const double ms = static_cast<double>(now - mark_) / 1e6;
+    mark_ = now;
+    return ms;
+  }
+  const tee::SimClock& clock_;
+  std::uint64_t mark_ = 0;
+};
+
+/// Common client-side flow; `verify_hook` optionally replaces CAS-local
+/// verification latency with the IAS path (charged to the worker-visible
+/// timeline, since the worker waits for the verdict either way).
+ProvisionOutcome run_protocol(CasServer& cas, tee::Platform& worker_platform,
+                              tee::Enclave& worker_enclave,
+                              net::SimNetwork& net, net::NodeId worker_node,
+                              net::NodeId cas_node, crypto::HmacDrbg& rng,
+                              const std::string& session_name,
+                              IasVerifier* ias) {
+  ProvisionOutcome outcome;
+  tee::SimClock& wclock = worker_platform.clock();
+  // Both parties are idle when the exchange begins; align their virtual
+  // clocks so startup skew (enclave load time) does not pollute the latency
+  // breakdown.
+  const std::uint64_t aligned =
+      std::max(wclock.now_ns(), cas.platform().clock().now_ns());
+  wclock.advance_to(aligned);
+  cas.platform().clock().advance_to(aligned);
+  PhaseTimer timer(wclock);
+  timer.mark_ = wclock.now_ns();
+  const std::uint64_t start_ns = wclock.now_ns();
+
+  auto [worker_conn, cas_conn] = net.connect(worker_node, cas_node);
+
+  // 1. Request with our channel hello.
+  runtime::ChannelHandshake handshake(runtime::ChannelHandshake::Role::Client,
+                                      rng);
+  worker_conn.send(wire::encode_request(session_name, handshake.hello()));
+
+  runtime::SecureChannel channel;
+  std::optional<tee::Quote> quote;
+  double verification_share_ms = 0;
+
+  // Client continuation invoked once the CAS has emitted its challenge.
+  auto client_step = [&] {
+    const auto raw_challenge = worker_conn.recv();
+    if (!raw_challenge.has_value()) return;
+    const auto challenge = wire::decode_challenge(*raw_challenge);
+    if (!challenge.has_value()) return;
+    channel = handshake.finish(challenge->channel_hello, worker_conn,
+                               worker_platform.model(), wclock);
+    outcome.breakdown.session_setup_ms = timer.lap_ms();
+
+    // Quote with report_data = SHA-256(channel public key): the attested
+    // enclave owns this channel.
+    std::array<std::uint8_t, 64> report_data{};
+    const auto key_hash = crypto::Sha256::hash(crypto::BytesView(
+        handshake.public_key().data(), handshake.public_key().size()));
+    std::copy(key_hash.begin(), key_hash.end(), report_data.begin());
+    const auto report = worker_enclave.create_report(report_data);
+    quote = worker_platform.quote(report, challenge->nonce);
+    outcome.breakdown.quote_generation_ms = timer.lap_ms();
+
+    if (ias != nullptr) {
+      // Traditional flow: the verdict comes from Intel over the WAN before
+      // the service will talk to us; the worker waits that long.
+      const auto encoded = wire::encode_quote(*quote);
+      if (!ias->verify(*quote, challenge->nonce,
+                       static_cast<std::uint64_t>(encoded.size()), wclock)) {
+        return;  // leave quote unsent: CAS will report no quote received
+      }
+      verification_share_ms = timer.lap_ms();
+    }
+    channel.send(wire::encode_quote(*quote));
+  };
+
+  const ServeResult served = cas.serve_one(cas_conn, client_step);
+  if (!served.provisioned) {
+    outcome.error = served.reason;
+    outcome.breakdown.total_ms =
+        static_cast<double>(wclock.now_ns() - start_ns) / 1e6;
+    return outcome;
+  }
+
+  // Receive the secret bundle over the shielded channel.
+  std::optional<crypto::Bytes> reply;
+  try {
+    reply = channel.recv();
+  } catch (const runtime::SecurityError& e) {
+    outcome.error = e.what();
+    return outcome;
+  }
+  if (!reply.has_value() || reply->size() < 3 ||
+      !std::equal(reply->begin(), reply->begin() + 3,
+                  crypto::to_bytes("OK:").begin())) {
+    outcome.error = reply.has_value()
+                        ? std::string(reply->begin(), reply->end())
+                        : "no reply";
+    return outcome;
+  }
+  const auto secrets = wire::decode_secrets(
+      crypto::BytesView(reply->data() + 3, reply->size() - 3));
+  if (!secrets.has_value()) {
+    outcome.error = "malformed secret bundle";
+    return outcome;
+  }
+
+  // Verification happened while the worker waited: on the CAS path it is the
+  // CAS-local check; on the IAS path it is the WAN exchange measured above.
+  if (ias != nullptr) {
+    outcome.breakdown.quote_verification_ms = verification_share_ms;
+    outcome.breakdown.key_transfer_ms = timer.lap_ms();
+  } else {
+    const double rest = timer.lap_ms();
+    const double verify_ms =
+        static_cast<double>(worker_platform.model().cas_quote_verify_ns) / 1e6;
+    outcome.breakdown.quote_verification_ms = std::min(verify_ms, rest);
+    outcome.breakdown.key_transfer_ms =
+        rest - outcome.breakdown.quote_verification_ms;
+  }
+  outcome.breakdown.total_ms =
+      static_cast<double>(wclock.now_ns() - start_ns) / 1e6;
+  outcome.ok = true;
+  outcome.secrets = std::move(*secrets);
+  return outcome;
+}
+
+}  // namespace
+
+std::string AttestationBreakdown::to_string() const {
+  std::ostringstream os;
+  os << "session_setup=" << session_setup_ms
+     << "ms quote_gen=" << quote_generation_ms
+     << "ms quote_verify=" << quote_verification_ms
+     << "ms key_transfer=" << key_transfer_ms << "ms total=" << total_ms
+     << "ms";
+  return os.str();
+}
+
+ProvisionOutcome attest_with_cas(CasServer& cas, tee::Platform& worker_platform,
+                                 tee::Enclave& worker_enclave,
+                                 net::SimNetwork& net, net::NodeId worker_node,
+                                 net::NodeId cas_node, crypto::HmacDrbg& rng,
+                                 const std::string& session_name) {
+  return run_protocol(cas, worker_platform, worker_enclave, net, worker_node,
+                      cas_node, rng, session_name, nullptr);
+}
+
+ProvisionOutcome attest_with_ias(IasVerifier& ias, CasServer& cas,
+                                 tee::Platform& worker_platform,
+                                 tee::Enclave& worker_enclave,
+                                 net::SimNetwork& net, net::NodeId worker_node,
+                                 net::NodeId cas_node, crypto::HmacDrbg& rng,
+                                 const std::string& session_name) {
+  return run_protocol(cas, worker_platform, worker_enclave, net, worker_node,
+                      cas_node, rng, session_name, &ias);
+}
+
+}  // namespace stf::cas

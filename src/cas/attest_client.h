@@ -1,0 +1,59 @@
+// Worker-side attestation client + orchestration helpers.
+//
+// `attest_with_cas` drives the full provisioning exchange between a worker
+// enclave and a CAS (or, for the Figure 4 baseline, the IAS-backed verifier)
+// inside the single-threaded simulation, and reports the per-phase latency
+// breakdown the paper plots.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cas/cas_server.h"
+#include "cas/ias.h"
+#include "crypto/drbg.h"
+#include "net/network.h"
+#include "tee/platform.h"
+
+namespace stf::cas {
+
+/// Latency breakdown of one attestation + provisioning exchange, measured on
+/// the worker's clock (server-side verification shows up as waiting).
+struct AttestationBreakdown {
+  double session_setup_ms = 0;      ///< request/challenge + channel handshake
+  double quote_generation_ms = 0;   ///< quoting enclave (EPID signing)
+  double quote_verification_ms = 0; ///< verifier work incl. any WAN trips
+  double key_transfer_ms = 0;       ///< sealed secret delivery
+  double total_ms = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ProvisionOutcome {
+  bool ok = false;
+  std::string error;
+  std::map<std::string, crypto::Bytes> secrets;
+  AttestationBreakdown breakdown;
+};
+
+/// Runs the CAS protocol for `worker_enclave` (living on `worker_platform`)
+/// against `cas` across `net`. The worker and CAS nodes must already exist
+/// in the network.
+ProvisionOutcome attest_with_cas(CasServer& cas, tee::Platform& worker_platform,
+                                 tee::Enclave& worker_enclave,
+                                 net::SimNetwork& net, net::NodeId worker_node,
+                                 net::NodeId cas_node, crypto::HmacDrbg& rng,
+                                 const std::string& session_name);
+
+/// The traditional flow: quote verification is delegated to the Intel
+/// Attestation Service across the WAN (Figure 4's baseline).
+ProvisionOutcome attest_with_ias(IasVerifier& ias, CasServer& cas,
+                                 tee::Platform& worker_platform,
+                                 tee::Enclave& worker_enclave,
+                                 net::SimNetwork& net, net::NodeId worker_node,
+                                 net::NodeId cas_node, crypto::HmacDrbg& rng,
+                                 const std::string& session_name);
+
+}  // namespace stf::cas

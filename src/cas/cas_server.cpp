@@ -1,0 +1,147 @@
+#include "cas/cas_server.h"
+
+#include "cas/wire.h"
+#include "crypto/sha256.h"
+
+namespace stf::cas {
+namespace {
+
+tee::EnclaveImage cas_image() {
+  // The CAS binary is small (a Rust service + embedded DB in the paper).
+  return tee::EnclaveImage{
+      .name = "cas",
+      .content = crypto::to_bytes("stf-cas-service-v1"),
+      .binary_bytes = 6ull << 20,
+  };
+}
+
+}  // namespace
+
+CasServer::CasServer(tee::Platform& platform,
+                     tee::ProvisioningAuthority& authority,
+                     crypto::BytesView seed)
+    : platform_(platform),
+      authority_(authority),
+      enclave_(platform.launch_enclave(cas_image())),
+      rng_(seed),
+      audit_(crypto::HmacDrbg(crypto::Bytes(seed.begin(), seed.end()))
+                 .generate(32)),
+      secret_db_(rng_.generate(32), counters_, "cas/secret-db", rng_) {
+  counters_.create("cas/audit-head");
+}
+
+void CasServer::register_policy(const std::string& session_name,
+                                EnclavePolicy policy) {
+  // Secrets live in the encrypted embedded store; the policy index keeps
+  // only metadata.
+  for (const auto& [name, value] : policy.secrets) {
+    secret_db_.put(session_name + "/" + name, value);
+  }
+  policies_[session_name] = std::move(policy);
+}
+
+ServeResult CasServer::serve_one(
+    net::Connection conn, const std::function<void()>& on_challenge_sent) {
+  auto reject = [this](std::string reason) {
+    ++rejected_;
+    return ServeResult{false, std::move(reason)};
+  };
+
+  // 1. Request: session name + client channel hello.
+  const auto raw_request = conn.recv();
+  if (!raw_request.has_value()) return reject("no request received");
+  const auto request = wire::decode_request(*raw_request);
+  if (!request.has_value()) return reject("malformed request");
+  const auto policy_it = policies_.find(request->session_name);
+  if (policy_it == policies_.end()) {
+    return reject("unknown session '" + request->session_name + "'");
+  }
+  const EnclavePolicy& policy = policy_it->second;
+
+  // 2. Challenge: our channel hello + a fresh nonce.
+  runtime::ChannelHandshake handshake(runtime::ChannelHandshake::Role::Server,
+                                      rng_);
+  std::array<std::uint8_t, 16> nonce{};
+  rng_.fill(nonce.data(), nonce.size());
+  conn.send(wire::encode_challenge(handshake.hello(), nonce));
+  if (on_challenge_sent) on_challenge_sent();
+
+  runtime::SecureChannel channel;
+  try {
+    channel = handshake.finish(request->channel_hello, conn,
+                               platform_.model(), platform_.clock());
+  } catch (const runtime::SecurityError&) {
+    return reject("channel handshake failed");
+  }
+
+  // Remember the peer's channel public key to check the quote binding.
+  const auto peer_key_hash = crypto::Sha256::hash(crypto::BytesView(
+      request->channel_hello.data(),
+      std::min<std::size_t>(request->channel_hello.size(), 32)));
+
+  // 3. Quote over the channel.
+  std::optional<crypto::Bytes> raw_quote;
+  try {
+    raw_quote = channel.recv();
+  } catch (const runtime::SecurityError&) {
+    return reject("quote record tampered");
+  }
+  if (!raw_quote.has_value()) return reject("no quote received");
+  const auto quote = wire::decode_quote(*raw_quote);
+  if (!quote.has_value()) return reject("malformed quote");
+
+  // 4. Verification: signature, freshness, channel binding, policy.
+  platform_.clock().advance(platform_.model().cas_quote_verify_ns);
+  if (!authority_.verify(*quote, nonce)) {
+    return reject("quote verification failed (bad platform or stale nonce)");
+  }
+  if (!crypto::ct_equal(
+          crypto::BytesView(quote->report.report_data.data(), 32),
+          crypto::BytesView(peer_key_hash.data(), 32))) {
+    return reject("quote does not bind the channel key");
+  }
+  if (!crypto::ct_equal(
+          crypto::BytesView(quote->report.mrenclave.data(), 32),
+          crypto::BytesView(policy.expected_mrenclave.data(), 32))) {
+    channel.send(crypto::to_bytes("ERR:measurement mismatch"));
+    return reject("measurement mismatch");
+  }
+  if (quote->report.attributes.debug && !policy.allow_debug) {
+    channel.send(crypto::to_bytes("ERR:debug enclave"));
+    return reject("debug enclave not allowed");
+  }
+  if (quote->report.attributes.isv_svn < policy.min_isv_svn) {
+    channel.send(crypto::to_bytes("ERR:stale isv_svn"));
+    return reject("isv_svn below policy minimum");
+  }
+
+  // 5. Release the session's secrets from the encrypted store.
+  std::map<std::string, crypto::Bytes> secrets;
+  for (const auto& [name, _] : policy.secrets) {
+    secrets[name] = *secret_db_.get(request->session_name + "/" + name);
+  }
+  crypto::Bytes reply = crypto::to_bytes("OK:");
+  crypto::append(reply, wire::encode_secrets(secrets));
+  channel.send(reply);
+  ++served_;
+  record_freshness("attested/" + request->session_name,
+                   crypto::Bytes(quote->report.mrenclave.begin(),
+                                 quote->report.mrenclave.end()));
+  return {true, ""};
+}
+
+void CasServer::record_freshness(const std::string& subject,
+                                 crypto::Bytes payload) {
+  audit_.append(subject, std::move(payload));
+  counters_.increment("cas/audit-head");
+}
+
+std::optional<crypto::Bytes> CasServer::freshness(
+    const std::string& subject) const {
+  if (!counters_.is_current("cas/audit-head", audit_.size())) {
+    return std::nullopt;  // the chain was truncated behind our back
+  }
+  return audit_.latest(subject);
+}
+
+}  // namespace stf::cas

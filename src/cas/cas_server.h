@@ -1,0 +1,89 @@
+// Configuration and Remote Attestation Service (CAS) — §3.3.2, §4.3.
+//
+// The CAS is the trust anchor of the distributed deployment. It runs inside
+// its own enclave, has *zero* behaviour-controlling configuration (so a root
+// attacker cannot repurpose it), caches the provisioning material needed to
+// verify quotes locally (no WAN round trips — the Figure 4 win), stores
+// per-session secrets in an encrypted embedded database, and runs the
+// auditing service (monotonic counters + hash chain) that gives shielded
+// state its freshness guarantee.
+//
+// Protocol (one request):
+//   1. worker -> CAS : session name + channel client-hello        (cleartext)
+//   2. CAS -> worker : channel server-hello + attestation nonce   (cleartext)
+//   3. worker -> CAS : quote over the now-established channel; the quote's
+//                      report_data binds SHA-256(worker channel public key),
+//                      so the attested enclave provably owns the channel
+//   4. CAS verifies the quote + policy, replies with the session's secrets
+//      (or an error) over the channel.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cas/policy.h"
+#include "crypto/drbg.h"
+#include "net/network.h"
+#include "runtime/secure_channel.h"
+#include "storage/audit_log.h"
+#include "storage/kv_store.h"
+#include "storage/monotonic_counter.h"
+#include "tee/platform.h"
+
+namespace stf::cas {
+
+struct ServeResult {
+  bool provisioned = false;
+  std::string reason;  ///< on failure: why the request was rejected
+};
+
+class CasServer {
+ public:
+  /// The CAS enclave is launched on `platform`; quotes are verified against
+  /// `authority` (the provisioning cache).
+  CasServer(tee::Platform& platform, tee::ProvisioningAuthority& authority,
+            crypto::BytesView seed);
+
+  /// Installs the policy + secret bundle for a session name.
+  void register_policy(const std::string& session_name, EnclavePolicy policy);
+
+  /// Serves exactly one attestation/provisioning request arriving on `conn`.
+  /// `on_challenge_sent` is invoked right after the challenge message goes
+  /// out; the single-threaded simulation uses it to run the client's next
+  /// step (finish the channel, generate and send the quote).
+  ServeResult serve_one(net::Connection conn,
+                        const std::function<void()>& on_challenge_sent = {});
+
+  [[nodiscard]] const tee::Enclave& enclave() const { return *enclave_; }
+  [[nodiscard]] tee::Platform& platform() { return platform_; }
+
+  // --- auditing service (freshness anchor) ------------------------------
+  /// Records a freshness fact (e.g. "path P is at generation G").
+  void record_freshness(const std::string& subject, crypto::Bytes payload);
+  /// Latest recorded fact for `subject` after verifying the chain.
+  [[nodiscard]] std::optional<crypto::Bytes> freshness(
+      const std::string& subject) const;
+  [[nodiscard]] storage::MonotonicCounterService& counters() {
+    return counters_;
+  }
+  [[nodiscard]] const storage::AuditLog& audit_log() const { return audit_; }
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] std::uint64_t requests_rejected() const { return rejected_; }
+
+ private:
+  tee::Platform& platform_;
+  tee::ProvisioningAuthority& authority_;
+  std::unique_ptr<tee::Enclave> enclave_;
+  crypto::HmacDrbg rng_;
+  storage::MonotonicCounterService counters_;
+  storage::AuditLog audit_;
+  storage::EncryptedKvStore secret_db_;
+  std::map<std::string, EnclavePolicy> policies_;
+  std::uint64_t served_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace stf::cas

@@ -1,0 +1,26 @@
+// Attestation policies: what the CAS requires before releasing secrets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "tee/attestation.h"
+
+namespace stf::cas {
+
+struct EnclavePolicy {
+  /// Required MRENCLAVE; a differing measurement (modified binary, modified
+  /// configuration) is rejected.
+  tee::Measurement expected_mrenclave{};
+  /// Debug enclaves expose their memory to the host; strict policies ban them.
+  bool allow_debug = false;
+  /// Minimum security version number of the enclave.
+  std::uint16_t min_isv_svn = 1;
+  /// Secrets released on successful attestation (fs-shield keys, TLS certs,
+  /// data encryption keys, ...).
+  std::map<std::string, crypto::Bytes> secrets;
+};
+
+}  // namespace stf::cas

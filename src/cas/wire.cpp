@@ -1,0 +1,140 @@
+#include "cas/wire.h"
+
+#include <algorithm>
+
+namespace stf::cas::wire {
+namespace {
+
+void put_u32(crypto::Bytes& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  crypto::store_be32(b, v);
+  crypto::append(out, crypto::BytesView(b, 4));
+}
+
+void put_blob(crypto::Bytes& out, crypto::BytesView blob) {
+  put_u32(out, static_cast<std::uint32_t>(blob.size()));
+  crypto::append(out, blob);
+}
+
+struct Cursor {
+  crypto::BytesView data;
+  std::size_t pos = 0;
+
+  std::optional<std::uint32_t> u32() {
+    if (pos + 4 > data.size()) return std::nullopt;
+    const auto v = crypto::load_be32(data.data() + pos);
+    pos += 4;
+    return v;
+  }
+  std::optional<crypto::Bytes> blob() {
+    const auto len = u32();
+    if (!len.has_value() || pos + *len > data.size()) return std::nullopt;
+    crypto::Bytes out(data.begin() + pos, data.begin() + pos + *len);
+    pos += *len;
+    return out;
+  }
+  [[nodiscard]] bool done() const { return pos == data.size(); }
+};
+
+}  // namespace
+
+crypto::Bytes encode_quote(const tee::Quote& quote) {
+  crypto::Bytes out;
+  put_blob(out, quote.report.serialize());
+  put_blob(out, crypto::to_bytes(quote.platform_id));
+  crypto::append(out, crypto::BytesView(quote.nonce.data(), 16));
+  crypto::append(out, crypto::BytesView(quote.mac.data(), 32));
+  return out;
+}
+
+std::optional<tee::Quote> decode_quote(crypto::BytesView data) {
+  Cursor c{data};
+  const auto report_blob = c.blob();
+  if (!report_blob.has_value()) return std::nullopt;
+  // Report layout: mrenclave(32) || mrsigner(32) || debug(1) || svn(2) ||
+  // report_data(64).
+  if (report_blob->size() != 32 + 32 + 3 + 64) return std::nullopt;
+  tee::Quote q;
+  std::copy_n(report_blob->begin(), 32, q.report.mrenclave.begin());
+  std::copy_n(report_blob->begin() + 32, 32, q.report.mrsigner.begin());
+  q.report.attributes.debug = (*report_blob)[64] != 0;
+  q.report.attributes.isv_svn = static_cast<std::uint16_t>(
+      ((*report_blob)[65] << 8) | (*report_blob)[66]);
+  std::copy_n(report_blob->begin() + 67, 64, q.report.report_data.begin());
+
+  const auto platform = c.blob();
+  if (!platform.has_value()) return std::nullopt;
+  q.platform_id.assign(platform->begin(), platform->end());
+  if (c.pos + 16 + 32 > data.size()) return std::nullopt;
+  std::copy_n(data.begin() + c.pos, 16, q.nonce.begin());
+  c.pos += 16;
+  std::copy_n(data.begin() + c.pos, 32, q.mac.begin());
+  c.pos += 32;
+  if (!c.done()) return std::nullopt;
+  return q;
+}
+
+crypto::Bytes encode_secrets(
+    const std::map<std::string, crypto::Bytes>& secrets) {
+  crypto::Bytes out;
+  put_u32(out, static_cast<std::uint32_t>(secrets.size()));
+  for (const auto& [name, value] : secrets) {
+    put_blob(out, crypto::to_bytes(name));
+    put_blob(out, value);
+  }
+  return out;
+}
+
+std::optional<std::map<std::string, crypto::Bytes>> decode_secrets(
+    crypto::BytesView data) {
+  Cursor c{data};
+  const auto count = c.u32();
+  if (!count.has_value() || *count > 4096) return std::nullopt;
+  std::map<std::string, crypto::Bytes> out;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto name = c.blob();
+    auto value = c.blob();
+    if (!name.has_value() || !value.has_value()) return std::nullopt;
+    out.emplace(std::string(name->begin(), name->end()), std::move(*value));
+  }
+  if (!c.done()) return std::nullopt;
+  return out;
+}
+
+crypto::Bytes encode_request(const std::string& session_name,
+                             crypto::BytesView channel_hello) {
+  crypto::Bytes out;
+  put_blob(out, crypto::to_bytes(session_name));
+  put_blob(out, channel_hello);
+  return out;
+}
+
+std::optional<Request> decode_request(crypto::BytesView data) {
+  Cursor c{data};
+  auto name = c.blob();
+  auto hello = c.blob();
+  if (!name.has_value() || !hello.has_value() || !c.done()) {
+    return std::nullopt;
+  }
+  return Request{std::string(name->begin(), name->end()), std::move(*hello)};
+}
+
+crypto::Bytes encode_challenge(crypto::BytesView channel_hello,
+                               const std::array<std::uint8_t, 16>& nonce) {
+  crypto::Bytes out;
+  put_blob(out, channel_hello);
+  crypto::append(out, crypto::BytesView(nonce.data(), 16));
+  return out;
+}
+
+std::optional<Challenge> decode_challenge(crypto::BytesView data) {
+  Cursor c{data};
+  auto hello = c.blob();
+  if (!hello.has_value() || c.pos + 16 != data.size()) return std::nullopt;
+  Challenge ch;
+  ch.channel_hello = std::move(*hello);
+  std::copy_n(data.begin() + c.pos, 16, ch.nonce.begin());
+  return ch;
+}
+
+}  // namespace stf::cas::wire

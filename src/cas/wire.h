@@ -1,0 +1,46 @@
+// Wire encoding of the CAS provisioning protocol messages.
+//
+// Everything that crosses the untrusted network is explicit bytes: quotes,
+// secret bundles, and error replies. Parsers are defensive — a Dolev-Yao
+// network can deliver arbitrary garbage.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "tee/attestation.h"
+
+namespace stf::cas::wire {
+
+[[nodiscard]] crypto::Bytes encode_quote(const tee::Quote& quote);
+[[nodiscard]] std::optional<tee::Quote> decode_quote(crypto::BytesView data);
+
+/// Secret bundle: name -> value map, sent over the established channel.
+[[nodiscard]] crypto::Bytes encode_secrets(
+    const std::map<std::string, crypto::Bytes>& secrets);
+[[nodiscard]] std::optional<std::map<std::string, crypto::Bytes>>
+decode_secrets(crypto::BytesView data);
+
+/// Attestation request: session name + channel hello, sent in the clear
+/// (its integrity is established retroactively by the quote binding).
+[[nodiscard]] crypto::Bytes encode_request(const std::string& session_name,
+                                           crypto::BytesView channel_hello);
+struct Request {
+  std::string session_name;
+  crypto::Bytes channel_hello;
+};
+[[nodiscard]] std::optional<Request> decode_request(crypto::BytesView data);
+
+/// Server reply to the request: channel hello + attestation nonce.
+[[nodiscard]] crypto::Bytes encode_challenge(
+    crypto::BytesView channel_hello,
+    const std::array<std::uint8_t, 16>& nonce);
+struct Challenge {
+  crypto::Bytes channel_hello;
+  std::array<std::uint8_t, 16> nonce{};
+};
+[[nodiscard]] std::optional<Challenge> decode_challenge(crypto::BytesView data);
+
+}  // namespace stf::cas::wire

@@ -1,0 +1,111 @@
+#include "core/inference.h"
+
+namespace stf::core {
+namespace {
+
+tee::EnclaveImage image_for(const InferenceOptions& options) {
+  return tee::EnclaveImage{
+      .name = options.container_name,
+      .content = crypto::to_bytes("stf-classifier:" + options.container_name),
+      .binary_bytes = options.binary_bytes,
+  };
+}
+
+}  // namespace
+
+InferenceService::InferenceService(tee::Platform& platform,
+                                   ml::lite::FlatModel model,
+                                   InferenceOptions options)
+    : platform_(platform), options_(std::move(options)),
+      model_(std::move(model)) {
+  tee::MemoryEnv* env = nullptr;
+  if (platform_.mode() == tee::TeeMode::Native) {
+    native_env_ = std::make_unique<tee::NativeEnv>(platform_.model(),
+                                                   platform_.base_clock());
+    env = native_env_.get();
+  } else {
+    enclave_ = platform_.launch_enclave(image_for(options_));
+    enclave_->set_runtime_overhead(options_.runtime_overhead);
+    enclave_->set_compute_bytes_per_flop(options_.bytes_per_flop);
+    enclave_env_ = std::make_unique<tee::EnclaveEnv>(*enclave_);
+    env = enclave_env_.get();
+  }
+  interpreter_ = std::make_unique<ml::lite::LiteInterpreter>(*model_, env);
+}
+
+InferenceService::InferenceService(tee::Platform& platform,
+                                   ml::Graph frozen_graph,
+                                   InferenceOptions options)
+    : platform_(platform), options_(std::move(options)),
+      graph_(std::move(frozen_graph)) {
+  options_.full_tensorflow = true;
+  tee::MemoryEnv* env = nullptr;
+  if (platform_.mode() == tee::TeeMode::Native) {
+    native_env_ = std::make_unique<tee::NativeEnv>(platform_.model(),
+                                                   platform_.base_clock());
+    env = native_env_.get();
+  } else {
+    enclave_ = platform_.launch_enclave(image_for(options_));
+    enclave_->set_runtime_overhead(options_.runtime_overhead);
+    enclave_->set_compute_bytes_per_flop(options_.bytes_per_flop);
+    enclave_env_ = std::make_unique<tee::EnclaveEnv>(*enclave_);
+    env = enclave_env_.get();
+    if (options_.framework_heap_bytes > 0) {
+      heap_region_ = enclave_->alloc_region("framework-heap",
+                                            options_.framework_heap_bytes);
+    }
+  }
+  session_ = std::make_unique<ml::Session>(*graph_, env);
+}
+
+InferenceService::~InferenceService() = default;
+
+void InferenceService::charge_per_inference_overheads() {
+  // Framework compute equivalent of the real architecture's convolutions.
+  const double extra_flops = options_.extra_gflops_per_inference * 1e9;
+  if (enclave_) {
+    // Framework code executes every inference: its hot pages compete with
+    // the model for EPC residency. Full TF dispatches far more code per run
+    // (op dispatch, allocator, protobuf), so the whole image stays hot.
+    enclave_->touch_binary(options_.full_tensorflow
+                               ? 1.0
+                               : options_.hot_binary_fraction);
+    if (heap_region_ != 0) {
+      for (unsigned pass = 0; pass < options_.heap_passes_per_inference;
+           ++pass) {
+        enclave_->access(heap_region_, 0, options_.framework_heap_bytes,
+                         true);
+      }
+    }
+    if (extra_flops > 0) enclave_->compute(extra_flops);
+    for (std::uint64_t i = 0; i < options_.syscalls_per_inference; ++i) {
+      enclave_->syscall(256, /*asynchronous=*/!options_.sync_syscalls);
+    }
+  } else if (native_env_ != nullptr && extra_flops > 0) {
+    native_env_->compute(extra_flops);
+  }
+}
+
+ml::Tensor InferenceService::classify(const ml::Tensor& input) {
+  tee::SimStopwatch watch(platform_.clock());
+  charge_per_inference_overheads();
+  ml::Tensor probs;
+  if (interpreter_) {
+    probs = interpreter_->invoke(input);
+  } else {
+    probs = session_->run1("probs", {{"input", input}});
+  }
+  last_latency_ms_ = watch.elapsed_ms();
+  return probs;
+}
+
+std::int64_t InferenceService::classify_label(const ml::Tensor& input) {
+  const ml::Tensor probs = classify(input);
+  std::int64_t best = 0;
+  for (std::int64_t j = 1; j < probs.size(); ++j) {
+    if (probs.at(j) > probs.at(best)) best = j;
+  }
+  return best;
+}
+
+}  // namespace stf::core

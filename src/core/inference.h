@@ -1,0 +1,96 @@
+// Secure inference containers: the classification side of secureTF (§3.3.4,
+// §4.2).
+//
+// An InferenceService is one shielded container: an enclave sized like the
+// real deployment artifact (TF-Lite: 1.9 MB binary; full TensorFlow:
+// 87.4 MB; Graphene: application + library OS), the lowered model, and the
+// interpreter. The same service runs in Native / SIM / HW mode — results are
+// bit-identical, only the charged virtual time differs, which is exactly the
+// comparison Figures 5-7 draw.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/workloads.h"
+#include "ml/lite/flat_model.h"
+#include "ml/session.h"
+#include "tee/platform.h"
+
+namespace stf::core {
+
+struct InferenceOptions {
+  std::string container_name = "classifier";
+  std::uint64_t binary_bytes = kLiteBinaryBytes;
+  /// SCONE runtime multiplier (Native mode ignores it). Graphene-style
+  /// containers use a slightly higher value plus synchronous syscalls.
+  double runtime_overhead = 1.05;
+  /// Memory intensity of the model's kernels (see workloads.h).
+  double bytes_per_flop = 0.25;
+  /// Convolution compute of the real architecture not performed by the
+  /// dense stand-in; charged per inference through the cost model.
+  double extra_gflops_per_inference = 0;
+  /// Full-TF containers keep every activation and re-touch the whole binary
+  /// image per run (interpreter + framework); Lite containers do not.
+  bool full_tensorflow = false;
+  /// Graphene-style baseline: synchronous (exit-based) system calls and a
+  /// costlier page-fault path through the library OS.
+  bool sync_syscalls = false;
+  /// System calls issued per inference (I/O, futexes, ...); each costs a
+  /// transition in sync mode and an async queue hop otherwise.
+  std::uint64_t syscalls_per_inference = 180;
+  /// Fraction of the binary image whose code/data is hot per inference
+  /// (instruction fetch + static tables keep those EPC pages live).
+  double hot_binary_fraction = 0.3;
+  /// Full-TF only: framework heap (protobuf graph, grappler, Eigen arenas,
+  /// Python interpreter state) and how many times an inference sweeps it.
+  /// TF-Lite plans memory statically and has none of this.
+  std::uint64_t framework_heap_bytes = 0;
+  unsigned heap_passes_per_inference = 2;
+};
+
+class InferenceService {
+ public:
+  /// Lite-path service (the production configuration).
+  InferenceService(tee::Platform& platform, ml::lite::FlatModel model,
+                   InferenceOptions options);
+  /// Full-TensorFlow path (used by the §5.3 #4 comparison): executes the
+  /// frozen graph with the Session executor.
+  InferenceService(tee::Platform& platform, ml::Graph frozen_graph,
+                   InferenceOptions options);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Classifies one input; returns class probabilities.
+  ml::Tensor classify(const ml::Tensor& input);
+
+  /// Argmax convenience.
+  std::int64_t classify_label(const ml::Tensor& input);
+
+  /// Virtual-time latency of the most recent classify() call.
+  [[nodiscard]] double last_latency_ms() const { return last_latency_ms_; }
+
+  [[nodiscard]] const tee::Enclave* enclave() const { return enclave_.get(); }
+  [[nodiscard]] tee::Platform& platform() { return platform_; }
+
+ private:
+  void charge_per_inference_overheads();
+
+  tee::Platform& platform_;
+  InferenceOptions options_;
+  std::unique_ptr<tee::Enclave> enclave_;
+  std::unique_ptr<tee::EnclaveEnv> enclave_env_;
+  std::unique_ptr<tee::NativeEnv> native_env_;
+  // Exactly one of the two execution paths is active.
+  std::optional<ml::lite::FlatModel> model_;
+  std::unique_ptr<ml::lite::LiteInterpreter> interpreter_;
+  std::optional<ml::Graph> graph_;
+  std::unique_ptr<ml::Session> session_;
+  tee::RegionId heap_region_ = 0;
+  double last_latency_ms_ = 0;
+};
+
+}  // namespace stf::core

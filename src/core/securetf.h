@@ -1,0 +1,96 @@
+// SecureTfContext: the top-level public API of the secureTF reproduction.
+//
+// One context is one deployment node: a platform (Native / SIM / HW), the
+// untrusted host filesystem with the file-system shield over it, and
+// factories for secure containers. The quickstart in examples/ shows the
+// end-to-end workflow the paper describes: train (or import) a model, freeze
+// it, store it through the shield, attest against a CAS to receive the keys,
+// and serve encrypted classification requests.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cas/attest_client.h"
+#include "cas/cas_server.h"
+#include "core/inference.h"
+#include "core/workloads.h"
+#include "crypto/drbg.h"
+#include "ml/lite/flat_model.h"
+#include "ml/serialize.h"
+#include "net/network.h"
+#include "runtime/fs_shield.h"
+#include "runtime/untrusted_fs.h"
+#include "tee/platform.h"
+
+namespace stf::core {
+
+struct SecureTfConfig {
+  std::string node_name = "node0";
+  tee::TeeMode mode = tee::TeeMode::Hardware;
+  tee::CostModel model;
+  runtime::FsShieldConfig fs_shield = {
+      .prefixes = {{"/secure/", runtime::ShieldPolicy::Encrypt}}};
+  unsigned cores = 4;
+  std::uint64_t seed = 1;
+};
+
+class SecureTfContext {
+ public:
+  /// `authority` enables attestation (quotes); without it the context can
+  /// still run but cannot talk to a CAS.
+  explicit SecureTfContext(SecureTfConfig config,
+                           tee::ProvisioningAuthority* authority = nullptr);
+
+  [[nodiscard]] tee::Platform& platform() { return *platform_; }
+  [[nodiscard]] runtime::UntrustedFs& host_fs() { return host_fs_; }
+  [[nodiscard]] const SecureTfConfig& config() const { return config_; }
+
+  // --- shielded files ----------------------------------------------------
+  /// Installs the file-system-shield key (32 bytes) directly — the "I am my
+  /// own key master" deployment. Production deployments get the key from
+  /// CAS via attach_cas() instead.
+  void provision_fs_key(crypto::BytesView key);
+
+  /// Shielded write/read on the host filesystem (policy by path prefix).
+  void write_file(const std::string& path, crypto::BytesView data);
+  [[nodiscard]] crypto::Bytes read_file(const std::string& path);
+
+  // --- attestation ---------------------------------------------------------
+  /// Attests a freshly-launched service enclave against `cas` and, on
+  /// success, installs the "fs-key" secret from the released bundle as the
+  /// file-system-shield key. Returns the outcome (with latency breakdown).
+  cas::ProvisionOutcome attach_cas(cas::CasServer& cas,
+                                   const std::string& session_name);
+
+  /// The measurement a CAS policy for this context's service enclaves must
+  /// expect.
+  [[nodiscard]] tee::Measurement service_measurement() const;
+
+  // --- model lifecycle -----------------------------------------------------
+  /// Stores a lowered Lite model through the fs shield.
+  void save_lite_model(const std::string& path,
+                       const ml::lite::FlatModel& model);
+  /// Loads a Lite model back (verifying integrity/freshness).
+  [[nodiscard]] ml::lite::FlatModel load_lite_model(const std::string& path);
+
+  /// Launches a secure classification container for a Lite model.
+  [[nodiscard]] std::unique_ptr<InferenceService> create_lite_service(
+      ml::lite::FlatModel model, InferenceOptions options = {});
+  /// Launches a full-TensorFlow container for a frozen graph.
+  [[nodiscard]] std::unique_ptr<InferenceService> create_full_tf_service(
+      ml::Graph frozen_graph, InferenceOptions options = {});
+
+ private:
+  SecureTfConfig config_;
+  tee::ProvisioningAuthority* authority_;
+  std::unique_ptr<tee::Platform> platform_;
+  crypto::HmacDrbg rng_;
+  runtime::UntrustedFs host_fs_;
+  std::optional<runtime::FsShield> fs_shield_;
+  net::SimNetwork net_;
+  net::NodeId self_node_;
+};
+
+}  // namespace stf::core

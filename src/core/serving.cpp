@@ -1,0 +1,105 @@
+#include "core/serving.h"
+
+namespace stf::core {
+
+ServingNode::ServingNode(const ml::lite::FlatModel& model,
+                         ServingConfig config)
+    : config_(std::move(config)) {
+  tee::CostModel cost = config_.model;
+  if (config_.threads > config_.physical_cores) {
+    cost.flops_per_second *= config_.hyperthread_efficiency;
+  }
+  if (config_.mode == tee::TeeMode::Hardware && config_.threads > 1) {
+    const double contention =
+        config_.threads * (config_.threads > config_.physical_cores
+                               ? config_.oversubscribed_fault_factor
+                               : 1.0);
+    cost.page_fault_ns =
+        static_cast<std::uint64_t>(cost.page_fault_ns * contention);
+    cost.page_load_ns =
+        static_cast<std::uint64_t>(cost.page_load_ns * contention);
+    cost.page_evict_ns =
+        static_cast<std::uint64_t>(cost.page_evict_ns * contention);
+  }
+  platform_ = std::make_unique<tee::Platform>("serving-node", config_.mode,
+                                              cost, config_.threads);
+  service_ = std::make_unique<InferenceService>(*platform_, model,
+                                                config_.inference);
+  lanes_.resize(config_.threads);
+  if (auto* enclave = const_cast<tee::Enclave*>(service_->enclave())) {
+    for (unsigned t = 0; t < config_.threads; ++t) {
+      scratch_.push_back(enclave->alloc_region(
+          "thread-scratch-" + std::to_string(t), config_.per_thread_scratch));
+    }
+  }
+}
+
+void ServingNode::classify_on_lane(unsigned lane, const ml::Tensor& image) {
+  platform_->set_active_lane(&lanes_[lane]);
+  if (auto* enclave = const_cast<tee::Enclave*>(service_->enclave())) {
+    enclave->access(scratch_[lane], 0, config_.per_thread_scratch, true);
+  }
+  (void)service_->classify(image);
+  platform_->set_active_lane(nullptr);
+}
+
+double ServingNode::classify_stream(const ml::Tensor& image,
+                                    std::int64_t count) {
+  const std::uint64_t start = lanes_.empty() ? 0 : lanes_[0].now_ns();
+  for (std::int64_t i = 0; i < count; ++i) {
+    classify_on_lane(static_cast<unsigned>(i % config_.threads), image);
+  }
+  std::uint64_t end = start;
+  for (const auto& lane : lanes_) end = std::max(end, lane.now_ns());
+  return static_cast<double>(end - start) / 1e9;
+}
+
+double ServingNode::estimate_stream_seconds(const ml::Tensor& image,
+                                            std::int64_t count,
+                                            int warmup_rounds,
+                                            int measured_rounds) {
+  for (int r = 0; r < warmup_rounds; ++r) {
+    for (unsigned lane = 0; lane < config_.threads; ++lane) {
+      classify_on_lane(lane, image);
+    }
+  }
+  const std::uint64_t before = lanes_[0].now_ns();
+  for (int r = 0; r < measured_rounds; ++r) {
+    for (unsigned lane = 0; lane < config_.threads; ++lane) {
+      classify_on_lane(lane, image);
+    }
+  }
+  const double round_s =
+      static_cast<double>(lanes_[0].now_ns() - before) / 1e9 / measured_rounds;
+  const std::int64_t rounds =
+      (count + config_.threads - 1) / config_.threads;
+  return round_s * static_cast<double>(rounds);
+}
+
+ServingFleet::ServingFleet(const ml::lite::FlatModel& model,
+                           ServingConfig config, unsigned nodes)
+    : config_(std::move(config)) {
+  for (unsigned n = 0; n < nodes; ++n) {
+    nodes_.push_back(std::make_unique<ServingNode>(model, config_));
+  }
+}
+
+double ServingFleet::estimate_stream_seconds(const ml::Tensor& image,
+                                             std::int64_t count) {
+  const std::int64_t per_node =
+      (count + static_cast<std::int64_t>(nodes_.size()) - 1) /
+      static_cast<std::int64_t>(nodes_.size());
+  double slowest = 0;
+  for (auto& node : nodes_) {
+    slowest = std::max(slowest, node->estimate_stream_seconds(image, per_node));
+  }
+  // Request distribution: each image ships through the network shield and
+  // the LAN to its node.
+  const double per_request_s =
+      static_cast<double>(config_.model.netshield_ns(image.byte_size()) +
+                          config_.model.lan_transfer_ns(image.byte_size())) /
+      1e9;
+  return slowest + per_request_s * static_cast<double>(per_node);
+}
+
+}  // namespace stf::core

@@ -1,0 +1,47 @@
+// Evaluation workload catalogue.
+//
+// Each entry describes one of the paper's pre-trained models as a cost
+// profile: parameter bytes (drives EPC residency), the compute of one
+// forward pass (public FLOP counts for the real architectures), and the
+// memory-traffic intensity of its kernels (bytes per FLOP — densenet's
+// dense concatenations make it far more memory-bound than the inceptions).
+// Our dense stand-ins reproduce the parameter *bytes* exactly and charge the
+// remaining convolution compute through the cost model (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ml/models.h"
+
+namespace stf::core {
+
+struct ModelSpec {
+  std::string name;
+  std::uint64_t weight_bytes;
+  double gflops_per_inference;  ///< published forward-pass cost
+  double bytes_per_flop;        ///< kernel memory intensity (calibrated)
+
+  [[nodiscard]] ml::Graph build_graph() const {
+    return ml::sized_classifier(name, weight_bytes);
+  }
+};
+
+/// The three models of §5.3 (Figure 5/6).
+[[nodiscard]] inline ModelSpec densenet_spec() {
+  return {"densenet", 42ull << 20, 6.0, 1.33};
+}
+[[nodiscard]] inline ModelSpec inception_v3_spec() {
+  return {"inception_v3", 91ull << 20, 11.5, 0.48};
+}
+[[nodiscard]] inline ModelSpec inception_v4_spec() {
+  return {"inception_v4", 163ull << 20, 24.5, 0.02};
+}
+
+/// Container binary sizes reported in §5.3 #4.
+inline constexpr std::uint64_t kLiteBinaryBytes = 1'900'000;
+inline constexpr std::uint64_t kFullTfBinaryBytes = 87'400'000;
+/// Graphene ships a whole library OS + glibc next to the application.
+inline constexpr std::uint64_t kGrapheneBinaryBytes = 60ull << 20;
+
+}  // namespace stf::core

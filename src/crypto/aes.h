@@ -1,0 +1,38 @@
+// AES-128/256 block cipher (FIPS 197) with CTR keystream helper.
+//
+// This is the cipher behind the file-system shield's chunk sealing, the MEE
+// page sealing in the TEE simulator, and the network shield's record layer
+// (all via AES-GCM, see gcm.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace stf::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Constructs the key schedule. `key` must be 16 (AES-128) or 32 (AES-256)
+  /// bytes; other lengths throw std::invalid_argument.
+  explicit Aes(BytesView key);
+
+  /// Encrypts exactly one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// CTR mode: XORs `data` (in place) with the keystream generated from the
+  /// 16-byte initial counter block `iv`. Encryption and decryption are the
+  /// same operation.
+  void ctr_xor(const std::uint8_t iv[kBlockSize], std::uint8_t* data,
+               std::size_t len) const;
+
+ private:
+  int rounds_ = 0;
+  // Max schedule: AES-256 has 15 round keys of 4 words each.
+  std::array<std::uint32_t, 60> round_keys_{};
+};
+
+}  // namespace stf::crypto

@@ -1,0 +1,81 @@
+#include "crypto/drbg.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace stf::crypto {
+
+HmacDrbg::HmacDrbg(BytesView seed) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  update(seed);
+}
+
+void HmacDrbg::update(BytesView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes input(value_.begin(), value_.end());
+  input.push_back(0x00);
+  append(input, provided);
+  key_ = hmac_sha256(BytesView(key_.data(), key_.size()), input);
+  value_ = hmac_sha256(BytesView(key_.data(), key_.size()),
+                       BytesView(value_.data(), value_.size()));
+  if (!provided.empty()) {
+    input.assign(value_.begin(), value_.end());
+    input.push_back(0x01);
+    append(input, provided);
+    key_ = hmac_sha256(BytesView(key_.data(), key_.size()), input);
+    value_ = hmac_sha256(BytesView(key_.data(), key_.size()),
+                         BytesView(value_.data(), value_.size()));
+  }
+}
+
+void HmacDrbg::fill(std::uint8_t* out, std::size_t length) {
+  std::size_t produced = 0;
+  while (produced < length) {
+    value_ = hmac_sha256(BytesView(key_.data(), key_.size()),
+                         BytesView(value_.data(), value_.size()));
+    const std::size_t take = std::min(value_.size(), length - produced);
+    std::copy(value_.begin(), value_.begin() + take, out + produced);
+    produced += take;
+  }
+  update({});
+}
+
+Bytes HmacDrbg::generate(std::size_t length) {
+  Bytes out(length);
+  fill(out.data(), out.size());
+  return out;
+}
+
+void HmacDrbg::reseed(BytesView entropy) { update(entropy); }
+
+std::uint64_t HmacDrbg::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("uniform: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  for (;;) {
+    std::uint8_t raw[8];
+    fill(raw, 8);
+    const std::uint64_t v = load_be64(raw);
+    if (v < limit) return v % bound;
+  }
+}
+
+HmacDrbg& system_drbg() {
+  static HmacDrbg drbg = [] {
+    std::random_device rd;
+    Bytes seed(48);
+    for (std::size_t i = 0; i < seed.size(); i += 4) {
+      const std::uint32_t r = rd();
+      for (std::size_t j = 0; j < 4 && i + j < seed.size(); ++j) {
+        seed[i + j] = static_cast<std::uint8_t>(r >> (8 * j));
+      }
+    }
+    return HmacDrbg(seed);
+  }();
+  return drbg;
+}
+
+}  // namespace stf::crypto

@@ -1,0 +1,113 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace stf::crypto {
+
+AesGcm::AesGcm(BytesView key) : aes_(key) {
+  h_.fill(0);
+  aes_.encrypt_block(h_.data());
+}
+
+// Multiplies x by the GHASH subkey H in GF(2^128) with the GCM bit ordering.
+// Bitwise shift-and-add: slow but dependency-free and obviously correct; the
+// TEE cost model, not this loop, decides simulated latency.
+void AesGcm::gmul(Block& x) const {
+  Block z{};
+  Block v = h_;
+  for (int i = 0; i < 128; ++i) {
+    const int byte = i / 8;
+    const int bit = 7 - (i % 8);
+    if ((x[byte] >> bit) & 1) {
+      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
+    }
+    // v = v >> 1 with conditional reduction by the GCM polynomial.
+    const bool lsb = v[15] & 1;
+    for (int j = 15; j > 0; --j) {
+      v[j] = static_cast<std::uint8_t>((v[j] >> 1) | (v[j - 1] << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  x = z;
+}
+
+AesGcm::Block AesGcm::ghash(BytesView aad, BytesView ciphertext) const {
+  Block y{};
+  auto absorb = [&](BytesView data) {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const std::size_t take = std::min<std::size_t>(16, data.size() - offset);
+      for (std::size_t i = 0; i < take; ++i) y[i] ^= data[offset + i];
+      gmul(y);
+      offset += take;
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  Block lengths{};
+  store_be64(lengths.data(), std::uint64_t{aad.size()} * 8);
+  store_be64(lengths.data() + 8, std::uint64_t{ciphertext.size()} * 8);
+  for (int i = 0; i < 16; ++i) y[i] ^= lengths[i];
+  gmul(y);
+  return y;
+}
+
+Bytes AesGcm::seal(BytesView nonce, BytesView aad, BytesView plaintext) const {
+  if (nonce.size() != kNonceSize) {
+    throw std::invalid_argument("AesGcm: nonce must be 12 bytes");
+  }
+  // J0 = nonce || 0^31 || 1; data counters start at J0 + 1.
+  std::uint8_t j0[16] = {};
+  std::memcpy(j0, nonce.data(), kNonceSize);
+  j0[15] = 1;
+  std::uint8_t ctr1[16];
+  std::memcpy(ctr1, j0, 16);
+  ctr1[15] = 2;
+
+  Bytes out(plaintext.begin(), plaintext.end());
+  aes_.ctr_xor(ctr1, out.data(), out.size());
+
+  Block tag = ghash(aad, BytesView(out.data(), out.size()));
+  std::uint8_t ektag[16];
+  std::memcpy(ektag, j0, 16);
+  aes_.encrypt_block(ektag);
+  for (int i = 0; i < 16; ++i) tag[i] ^= ektag[i];
+
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open(BytesView nonce, BytesView aad,
+                                  BytesView ciphertext_and_tag) const {
+  if (nonce.size() != kNonceSize || ciphertext_and_tag.size() < kTagSize) {
+    return std::nullopt;
+  }
+  const BytesView ciphertext =
+      ciphertext_and_tag.first(ciphertext_and_tag.size() - kTagSize);
+  const BytesView received_tag = ciphertext_and_tag.last(kTagSize);
+
+  std::uint8_t j0[16] = {};
+  std::memcpy(j0, nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  Block tag = ghash(aad, ciphertext);
+  std::uint8_t ektag[16];
+  std::memcpy(ektag, j0, 16);
+  aes_.encrypt_block(ektag);
+  for (int i = 0; i < 16; ++i) tag[i] ^= ektag[i];
+
+  if (!ct_equal(BytesView(tag.data(), tag.size()), received_tag)) {
+    return std::nullopt;
+  }
+
+  std::uint8_t ctr1[16];
+  std::memcpy(ctr1, j0, 16);
+  ctr1[15] = 2;
+  Bytes plaintext(ciphertext.begin(), ciphertext.end());
+  aes_.ctr_xor(ctr1, plaintext.data(), plaintext.size());
+  return plaintext;
+}
+
+}  // namespace stf::crypto

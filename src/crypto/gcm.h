@@ -1,0 +1,42 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D).
+//
+// Every confidentiality+integrity boundary in secureTF — sealed EPC pages,
+// file-system-shield chunks, network-shield records, the CAS secret store —
+// goes through this AEAD.
+#pragma once
+
+#include <optional>
+
+#include "crypto/aes.h"
+#include "crypto/bytes.h"
+
+namespace stf::crypto {
+
+class AesGcm {
+ public:
+  static constexpr std::size_t kTagSize = 16;
+  static constexpr std::size_t kNonceSize = 12;
+
+  /// Key must be 16 or 32 bytes (AES-128-GCM / AES-256-GCM).
+  explicit AesGcm(BytesView key);
+
+  /// Encrypts `plaintext` bound to `aad`. Returns ciphertext || tag.
+  /// `nonce` must be 12 bytes and MUST be unique per key.
+  Bytes seal(BytesView nonce, BytesView aad, BytesView plaintext) const;
+
+  /// Authenticates and decrypts `ciphertext_and_tag`. Returns std::nullopt if
+  /// the tag does not verify (tampered data, wrong key, wrong aad or nonce).
+  std::optional<Bytes> open(BytesView nonce, BytesView aad,
+                            BytesView ciphertext_and_tag) const;
+
+ private:
+  using Block = std::array<std::uint8_t, 16>;
+
+  Block ghash(BytesView aad, BytesView ciphertext) const;
+  void gmul(Block& x) const;
+
+  Aes aes_;
+  Block h_{};  // GHASH subkey: AES_K(0^128)
+};
+
+}  // namespace stf::crypto

@@ -1,0 +1,62 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+namespace stf::crypto {
+
+Sha256::Digest hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, Sha256::kBlockSize> padded_key{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), padded_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), padded_key.begin());
+  }
+
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad, opad;
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = padded_key[i] ^ 0x36;
+    opad[i] = padded_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Sha256::Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw std::invalid_argument("hkdf_expand: requested length too large");
+  }
+  Bytes out;
+  out.reserve(length);
+  Bytes block;  // T(i-1) || info || counter
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes input = block;
+    append(input, info);
+    input.push_back(counter++);
+    const auto t = hmac_sha256(prk, input);
+    block.assign(t.begin(), t.end());
+    const std::size_t take = std::min(block.size(), length - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + take);
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  const auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(BytesView(prk.data(), prk.size()), info, length);
+}
+
+}  // namespace stf::crypto

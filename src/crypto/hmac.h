@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HMAC authenticates quotes and audit records; HKDF derives the session,
+// sealing and record keys used throughout the shields and the CAS protocol.
+#pragma once
+
+#include "crypto/bytes.h"
+#include "crypto/sha256.h"
+
+namespace stf::crypto {
+
+/// Computes HMAC-SHA256(key, data).
+Sha256::Digest hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-Extract: compresses input keying material into a pseudorandom key.
+Sha256::Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: stretches a pseudorandom key into `length` output bytes bound
+/// to `info`. `length` must be at most 255 * 32 bytes.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Convenience extract-then-expand.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace stf::crypto

@@ -1,0 +1,247 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+namespace stf::crypto {
+namespace {
+
+// Field arithmetic mod p = 2^255 - 19 with 5 limbs of 51 bits
+// (curve25519-donna-c64 style).
+using u128 = unsigned __int128;
+using Fe = std::array<std::uint64_t, 5>;
+
+constexpr std::uint64_t kMask51 = (std::uint64_t{1} << 51) - 1;
+
+Fe fe_from_bytes(const std::uint8_t s[32]) {
+  auto load64 = [](const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  };
+  Fe h;
+  h[0] = load64(s) & kMask51;
+  h[1] = (load64(s + 6) >> 3) & kMask51;
+  h[2] = (load64(s + 12) >> 6) & kMask51;
+  h[3] = (load64(s + 19) >> 1) & kMask51;
+  h[4] = (load64(s + 24) >> 12) & kMask51;
+  return h;
+}
+
+void fe_to_bytes(std::uint8_t out[32], Fe h) {
+  // Fully reduce mod 2^255-19.
+  for (int pass = 0; pass < 2; ++pass) {
+    h[0] += 19 * (h[4] >> 51);
+    h[4] &= kMask51;
+    for (int i = 0; i < 4; ++i) {
+      h[i + 1] += h[i] >> 51;
+      h[i] &= kMask51;
+    }
+  }
+  // Conditionally subtract p once more.
+  std::uint64_t q = (h[0] + 19) >> 51;
+  q = (h[1] + q) >> 51;
+  q = (h[2] + q) >> 51;
+  q = (h[3] + q) >> 51;
+  q = (h[4] + q) >> 51;
+  h[0] += 19 * q;
+  for (int i = 0; i < 4; ++i) {
+    h[i + 1] += h[i] >> 51;
+    h[i] &= kMask51;
+  }
+  h[4] &= kMask51;
+
+  std::uint8_t* p = out;
+  std::uint64_t packed[4];
+  packed[0] = h[0] | (h[1] << 51);
+  packed[1] = (h[1] >> 13) | (h[2] << 38);
+  packed[2] = (h[2] >> 26) | (h[3] << 25);
+  packed[3] = (h[3] >> 39) | (h[4] << 12);
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = packed[i];
+    for (int j = 0; j < 8; ++j) {
+      *p++ = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+// a - b without underflow: add 2*p (a multiple of p, so congruent mod p)
+// before subtracting. Inputs must be loosely reduced (limbs < 2^52, which
+// every fe_mul/fe_sq output satisfies); results stay below 2^53.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  Fe r;
+  r[0] = a[0] + 0xFFFFFFFFFFFDA - b[0];
+  r[1] = a[1] + 0xFFFFFFFFFFFFE - b[1];
+  r[2] = a[2] + 0xFFFFFFFFFFFFE - b[2];
+  r[3] = a[3] + 0xFFFFFFFFFFFFE - b[3];
+  r[4] = a[4] + 0xFFFFFFFFFFFFE - b[4];
+  return r;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const u128 a0 = a[0], a1 = a[1], a2 = a[2], a3 = a[3], a4 = a[4];
+  const std::uint64_t b0 = b[0], b1 = b[1], b2 = b[2], b3 = b[3], b4 = b[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+                      b4_19 = b4 * 19;
+
+  u128 t0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+  u128 t1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+  u128 t2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+  u128 t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+  u128 t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+  Fe r;
+  // Carries are kept in 128 bits: with loosely-reduced inputs the partial
+  // sums reach ~2^115, so t >> 51 does not fit in 64 bits.
+  t1 += t0 >> 51;
+  r[0] = static_cast<std::uint64_t>(t0) & kMask51;
+  t2 += t1 >> 51;
+  r[1] = static_cast<std::uint64_t>(t1) & kMask51;
+  t3 += t2 >> 51;
+  r[2] = static_cast<std::uint64_t>(t2) & kMask51;
+  t4 += t3 >> 51;
+  r[3] = static_cast<std::uint64_t>(t3) & kMask51;
+  const std::uint64_t carry = static_cast<std::uint64_t>(t4 >> 51);
+  r[4] = static_cast<std::uint64_t>(t4) & kMask51;
+  r[0] += carry * 19;
+  r[1] += r[0] >> 51;
+  r[0] &= kMask51;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_mul_small(const Fe& a, std::uint64_t s) {
+  u128 t0 = u128{a[0]} * s;
+  u128 t1 = u128{a[1]} * s;
+  u128 t2 = u128{a[2]} * s;
+  u128 t3 = u128{a[3]} * s;
+  u128 t4 = u128{a[4]} * s;
+  Fe r;
+  std::uint64_t carry;
+  r[0] = static_cast<std::uint64_t>(t0) & kMask51;
+  carry = static_cast<std::uint64_t>(t0 >> 51);
+  t1 += carry;
+  r[1] = static_cast<std::uint64_t>(t1) & kMask51;
+  carry = static_cast<std::uint64_t>(t1 >> 51);
+  t2 += carry;
+  r[2] = static_cast<std::uint64_t>(t2) & kMask51;
+  carry = static_cast<std::uint64_t>(t2 >> 51);
+  t3 += carry;
+  r[3] = static_cast<std::uint64_t>(t3) & kMask51;
+  carry = static_cast<std::uint64_t>(t3 >> 51);
+  t4 += carry;
+  r[4] = static_cast<std::uint64_t>(t4) & kMask51;
+  carry = static_cast<std::uint64_t>(t4 >> 51);
+  r[0] += carry * 19;
+  return r;
+}
+
+// Computes a^(p-2) = a^-1 mod p via the standard addition chain.
+Fe fe_invert(const Fe& z) {
+  Fe z2 = fe_sq(z);            // 2
+  Fe z8 = fe_sq(fe_sq(z2));    // 8
+  Fe z9 = fe_mul(z8, z);       // 9
+  Fe z11 = fe_mul(z9, z2);     // 11
+  Fe z22 = fe_sq(z11);         // 22
+  Fe z_5_0 = fe_mul(z22, z9);  // 2^5 - 2^0
+  Fe t = fe_sq(z_5_0);
+  for (int i = 1; i < 5; ++i) t = fe_sq(t);
+  Fe z_10_0 = fe_mul(t, z_5_0);  // 2^10 - 2^0
+  t = fe_sq(z_10_0);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z_20_0 = fe_mul(t, z_10_0);  // 2^20 - 2^0
+  t = fe_sq(z_20_0);
+  for (int i = 1; i < 20; ++i) t = fe_sq(t);
+  t = fe_mul(t, z_20_0);  // 2^40 - 2^0
+  t = fe_sq(t);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z_50_0 = fe_mul(t, z_10_0);  // 2^50 - 2^0
+  t = fe_sq(z_50_0);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  Fe z_100_0 = fe_mul(t, z_50_0);  // 2^100 - 2^0
+  t = fe_sq(z_100_0);
+  for (int i = 1; i < 100; ++i) t = fe_sq(t);
+  t = fe_mul(t, z_100_0);  // 2^200 - 2^0
+  t = fe_sq(t);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  t = fe_mul(t, z_50_0);  // 2^250 - 2^0
+  for (int i = 0; i < 5; ++i) t = fe_sq(t);
+  return fe_mul(t, z11);  // 2^255 - 21
+}
+
+void fe_cswap(Fe& a, Fe& b, std::uint64_t swap) {
+  const std::uint64_t mask = 0 - swap;  // all-ones if swap==1
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t x = mask & (a[i] ^ b[i]);
+    a[i] ^= x;
+    b[i] ^= x;
+  }
+}
+
+}  // namespace
+
+void X25519::clamp(Key& scalar) {
+  scalar[0] &= 248;
+  scalar[31] &= 127;
+  scalar[31] |= 64;
+}
+
+X25519::Key X25519::scalarmult(const Key& scalar, const Key& point) {
+  Key e = scalar;
+  clamp(e);
+  std::uint8_t pt[32];
+  std::memcpy(pt, point.data(), 32);
+  pt[31] &= 127;  // mask the high bit per RFC 7748
+
+  const Fe x1 = fe_from_bytes(pt);
+  Fe x2 = {1, 0, 0, 0, 0};
+  Fe z2 = {0, 0, 0, 0, 0};
+  Fe x3 = x1;
+  Fe z3 = {1, 0, 0, 0, 0};
+
+  std::uint64_t swap = 0;
+  for (int pos = 254; pos >= 0; --pos) {
+    const std::uint64_t bit = (e[pos / 8] >> (pos % 8)) & 1;
+    swap ^= bit;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = bit;
+
+    // Montgomery ladder step (RFC 7748 pseudocode, a24 = 121665).
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe ee = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(ee, fe_add(aa, fe_mul_small(ee, 121665)));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const Fe out = fe_mul(x2, fe_invert(z2));
+  Key result;
+  fe_to_bytes(result.data(), out);
+  return result;
+}
+
+X25519::Key X25519::public_from_secret(const Key& secret) {
+  Key base{};
+  base[0] = 9;
+  return scalarmult(secret, base);
+}
+
+}  // namespace stf::crypto

@@ -1,0 +1,28 @@
+// X25519 Diffie-Hellman over Curve25519 (RFC 7748).
+//
+// The network shield and the CAS provisioning protocol run ephemeral ECDHE
+// handshakes; the paper (§7.3) explicitly recommends forward-secret ECDHE
+// over RSA, so that is the only key exchange we implement.
+#pragma once
+
+#include <array>
+
+#include "crypto/bytes.h"
+
+namespace stf::crypto {
+
+struct X25519 {
+  static constexpr std::size_t kKeySize = 32;
+  using Key = std::array<std::uint8_t, kKeySize>;
+
+  /// Computes scalar * point on Curve25519 (the raw DH function).
+  static Key scalarmult(const Key& scalar, const Key& point);
+
+  /// Derives the public key for `secret` (scalar * base point 9).
+  static Key public_from_secret(const Key& secret);
+
+  /// Clamps random bytes into a valid X25519 scalar in place.
+  static void clamp(Key& scalar);
+};
+
+}  // namespace stf::crypto

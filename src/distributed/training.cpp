@@ -1,0 +1,394 @@
+#include "distributed/training.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cas/attest_client.h"
+#include "runtime/shielded_link.h"
+
+namespace stf::distributed {
+namespace {
+
+tee::EnclaveImage worker_image(const ClusterConfig& cfg, unsigned serial) {
+  return tee::EnclaveImage{
+      .name = "tf-worker-" + std::to_string(serial),
+      .content = crypto::to_bytes("stf-full-tensorflow-worker-v1"),
+      .binary_bytes = cfg.worker_binary_bytes,
+  };
+}
+
+}  // namespace
+
+TrainingCluster::TrainingCluster(const ml::Graph& graph, ClusterConfig config,
+                                 cas::CasServer* cas,
+                                 tee::ProvisioningAuthority* authority,
+                                 std::string session_name)
+    : graph_(graph),
+      config_(std::move(config)),
+      cas_(cas),
+      authority_(authority),
+      session_name_(std::move(session_name)),
+      rng_(crypto::to_bytes("cluster-" + std::to_string(config_.seed))) {
+  // Parameter server node.
+  if (authority_ != nullptr) {
+    ps_platform_ = std::make_unique<tee::Platform>(
+        "ps", config_.mode, config_.model, *authority_);
+  } else {
+    ps_platform_ = std::make_unique<tee::Platform>("ps", config_.mode,
+                                                   config_.model);
+  }
+  ps_node_ = net_.add_node("ps", ps_platform_->base_clock());
+  tee::MemoryEnv* ps_env = nullptr;
+  if (config_.mode == tee::TeeMode::Native) {
+    ps_native_env_ = std::make_unique<tee::NativeEnv>(
+        config_.model, ps_platform_->base_clock());
+    ps_env = ps_native_env_.get();
+  } else {
+    ps_enclave_ = ps_platform_->launch_enclave(worker_image(config_, 9999));
+    ps_enclave_->set_runtime_overhead(config_.model.runtime_overhead_training);
+    ps_env_ = std::make_unique<tee::EnclaveEnv>(*ps_enclave_);
+    ps_env = ps_env_.get();
+  }
+  master_session_ = std::make_unique<ml::Session>(graph_, ps_env);
+
+  // Register an attestation policy so spawned workers can join.
+  if (cas_ != nullptr) {
+    cas::EnclavePolicy policy;
+    policy.expected_mrenclave = worker_image(config_, 0).measure();
+    policy.secrets = {{"data-key", rng_.generate(32)}};
+    cas_->register_policy(session_name_, policy);
+  }
+
+  for (unsigned i = 0; i < config_.num_workers; ++i) spawn_worker();
+}
+
+tee::MemoryEnv* TrainingCluster::env_of(WorkerState& w) {
+  if (w.enclave_env) return w.enclave_env.get();
+  return w.native_env.get();
+}
+
+void TrainingCluster::spawn_worker() {
+  WorkerState w;
+  const unsigned serial = worker_serial_++;
+  const std::string name = "worker-" + std::to_string(serial);
+  tee::CostModel worker_model = config_.model;
+  if (serial < config_.worker_speed_factors.size()) {
+    const double factor = config_.worker_speed_factors[serial];
+    if (factor <= 0) {
+      throw std::invalid_argument("worker speed factor must be positive");
+    }
+    worker_model.flops_per_second *= factor;  // straggler simulation
+  }
+  if (authority_ != nullptr) {
+    w.platform = std::make_unique<tee::Platform>(name, config_.mode,
+                                                 worker_model, *authority_);
+  } else {
+    w.platform = std::make_unique<tee::Platform>(name, config_.mode,
+                                                 worker_model);
+  }
+  w.node = net_.add_node(name, w.platform->base_clock());
+
+  tee::MemoryEnv* env = nullptr;
+  if (config_.mode == tee::TeeMode::Native) {
+    w.native_env = std::make_unique<tee::NativeEnv>(config_.model,
+                                                    w.platform->base_clock());
+    env = w.native_env.get();
+  } else {
+    // The worker image is the measured worker_image(cfg, 0) content for
+    // every serial (same binary), so one CAS policy covers the fleet.
+    tee::EnclaveImage image = worker_image(config_, 0);
+    image.name = name;
+    w.enclave = w.platform->launch_enclave(std::move(image));
+    w.enclave->set_runtime_overhead(config_.model.runtime_overhead_training);
+    w.enclave_env = std::make_unique<tee::EnclaveEnv>(*w.enclave);
+    env = w.enclave_env.get();
+
+    // Attestation gate: the worker only joins after CAS releases secrets.
+    if (cas_ != nullptr) {
+      const auto outcome =
+          cas::attest_with_cas(*cas_, *w.platform, *w.enclave, net_, w.node,
+                               net_.add_node(name + "-cas-link",
+                                             cas_->platform().base_clock()),
+                               rng_, session_name_);
+      if (!outcome.ok) {
+        throw std::runtime_error("worker attestation failed: " +
+                                 outcome.error);
+      }
+      ++attested_;
+    }
+
+    // Framework temporaries region (allocator arenas etc.).
+    w.scratch = std::make_unique<tee::RegionId>(w.enclave->alloc_region(
+        "framework-scratch", config_.framework_scratch_bytes));
+  }
+  w.session = std::make_unique<ml::Session>(graph_, env);
+
+  // Connection to the parameter server; shielded if configured.
+  if (config_.network_shield) {
+    auto link = runtime::ShieldedLink::establish(
+        net_, w.node, ps_node_, config_.model, w.platform->base_clock(),
+        ps_platform_->base_clock(), rng_);
+    w.to_ps = std::move(link.a_to_b);
+    w.ps_to = std::move(link.b_to_a);
+  } else {
+    auto [worker_side, ps_side] = net_.connect(w.node, ps_node_);
+    w.plain_to_ps = worker_side;
+    w.ps_plain = ps_side;
+  }
+  workers_.push_back(std::move(w));
+}
+
+void TrainingCluster::add_worker() { spawn_worker(); }
+
+void TrainingCluster::fail_worker(std::size_t index) {
+  workers_.at(index).alive = false;
+}
+
+void TrainingCluster::ensure_workers_alive() {
+  // Rebuild by move-construction: move-assigning over a live WorkerState
+  // would destroy its platform before the enclave that references it.
+  const auto dead = std::count_if(workers_.begin(), workers_.end(),
+                                  [](const WorkerState& w) { return !w.alive; });
+  if (dead == 0) return;
+  std::vector<WorkerState> alive;
+  alive.reserve(workers_.size());
+  for (auto& w : workers_) {
+    if (w.alive) alive.push_back(std::move(w));
+  }
+  workers_ = std::move(alive);
+  for (std::int64_t i = 0; i < dead; ++i) spawn_worker();
+}
+
+TrainStats TrainingCluster::train(const ml::Dataset& data,
+                                  std::int64_t total_samples) {
+  ensure_workers_alive();
+  if (workers_.empty()) throw std::logic_error("no workers");
+  if (config_.async_updates) return train_async(data, total_samples);
+  const std::int64_t per_round =
+      config_.batch_size * static_cast<std::int64_t>(workers_.size());
+  if (total_samples % per_round != 0) {
+    total_samples -= total_samples % per_round;  // whole rounds only
+  }
+  if (total_samples <= 0) {
+    throw std::invalid_argument("train: need at least one full round");
+  }
+  const std::int64_t rounds = total_samples / per_round;
+
+  // Barrier helper: align a set of clocks to the max.
+  auto barrier = [this] {
+    std::uint64_t t = ps_platform_->base_clock().now_ns();
+    for (const auto& w : workers_) {
+      t = std::max(t, w.platform->base_clock().now_ns());
+    }
+    ps_platform_->base_clock().advance_to(t);
+    for (auto& w : workers_) w.platform->base_clock().advance_to(t);
+    return t;
+  };
+
+  TrainStats stats;
+  const std::uint64_t start_ns = barrier();
+  std::int64_t next_batch = 0;
+  const std::int64_t batches_available = data.size() / config_.batch_size;
+  float loss_sum = 0;
+
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    // 1. Server pushes current parameters to every worker. TensorFlow's
+    //    parameter server shards push in parallel: the per-worker shield
+    //    work overlaps, so the PS clock advances to the slowest push, not
+    //    the sum.
+    const auto params =
+        ml::serialize_tensor_map(master_session_->variable_snapshot());
+    {
+      tee::SimClock& ps_clock = ps_platform_->base_clock();
+      const std::uint64_t push_start = ps_clock.now_ns();
+      std::uint64_t slowest = push_start;
+      for (auto& w : workers_) {
+        ps_clock.set_ns(push_start);  // each shard starts concurrently
+        if (config_.network_shield) {
+          w.ps_to.send(params);
+        } else {
+          w.ps_plain.send(params);
+        }
+        slowest = std::max(slowest, ps_clock.now_ns());
+      }
+      ps_clock.set_ns(slowest);
+    }
+
+    // 2. Workers compute gradients on their own shard, in parallel lanes.
+    std::vector<crypto::Bytes> grad_msgs;
+    for (auto& w : workers_) {
+      std::optional<crypto::Bytes> msg = config_.network_shield
+                                             ? w.to_ps.recv()
+                                             : w.plain_to_ps.recv();
+      if (!msg.has_value()) throw std::runtime_error("lost parameter push");
+      w.session->restore_variables(ml::deserialize_tensor_map(*msg));
+
+      // One training step's framework activity: code+static data and
+      // temporaries all get touched (this is what fights the EPC in HW).
+      if (w.enclave) {
+        w.enclave->touch_binary();
+        w.enclave->access(*w.scratch, 0, config_.framework_scratch_bytes,
+                          true);
+      }
+
+      const auto feeds =
+          data.batch_feeds(next_batch % batches_available, config_.batch_size);
+      next_batch = (next_batch + 1) % batches_available;
+      const auto grads = w.session->gradients("loss", feeds);
+      loss_sum += w.session->last_loss();
+
+      const auto encoded = ml::serialize_tensor_map(grads);
+      if (config_.network_shield) {
+        w.to_ps.send(encoded);
+      } else {
+        w.plain_to_ps.send(encoded);
+      }
+    }
+
+    // 3. Server gathers gradients (waiting for the slowest worker),
+    //    averages, and applies.
+    std::map<std::string, ml::Tensor> avg;
+    for (auto& w : workers_) {
+      std::optional<crypto::Bytes> msg =
+          config_.network_shield ? w.ps_to.recv() : w.ps_plain.recv();
+      if (!msg.has_value()) throw std::runtime_error("lost gradient push");
+      auto grads = ml::deserialize_tensor_map(*msg);
+      for (auto& [name, grad] : grads) {
+        auto it = avg.find(name);
+        if (it == avg.end()) {
+          avg.emplace(name, std::move(grad));
+        } else {
+          for (std::int64_t i = 0; i < grad.size(); ++i) {
+            it->second.at(i) += grad.at(i);
+          }
+        }
+      }
+    }
+    const float scale = 1.0f / static_cast<float>(workers_.size());
+    for (auto& [name, grad] : avg) {
+      for (std::int64_t i = 0; i < grad.size(); ++i) grad.at(i) *= scale;
+    }
+    master_session_->apply_gradients(avg, config_.learning_rate);
+
+    barrier();  // synchronous SGD: everyone waits for the round to finish
+    stats.samples_processed += per_round;
+  }
+
+  const std::uint64_t end_ns = barrier();
+  stats.rounds = static_cast<std::uint64_t>(rounds);
+  stats.total_seconds = static_cast<double>(end_ns - start_ns) / 1e9;
+  stats.seconds_per_round =
+      stats.total_seconds / static_cast<double>(rounds);
+  stats.final_loss =
+      loss_sum / static_cast<float>(rounds * static_cast<std::int64_t>(
+                                                 workers_.size()));
+  for (const auto& w : workers_) {
+    stats.epc_faults += w.platform->epc().stats().faults;
+  }
+  return stats;
+}
+
+}  // namespace stf::distributed
+
+namespace stf::distributed {
+
+// Asynchronous parameter serving: a small discrete-event loop. The worker
+// whose virtual clock is furthest behind takes the next step: it pulls the
+// *current* parameters, computes a gradient on its own batch, and the server
+// applies it on arrival. No barriers — a straggler only slows its own
+// updates, not the fleet (at the cost of applying stale gradients).
+TrainStats TrainingCluster::train_async(const ml::Dataset& data,
+                                        std::int64_t total_samples) {
+  if (total_samples < config_.batch_size) {
+    throw std::invalid_argument("train: need at least one full batch");
+  }
+  const std::int64_t steps = total_samples / config_.batch_size;
+  const std::int64_t batches_available = data.size() / config_.batch_size;
+  tee::SimClock& ps_clock = ps_platform_->base_clock();
+
+  TrainStats stats;
+  std::uint64_t start_ns = ps_clock.now_ns();
+  for (const auto& w : workers_) {
+    start_ns = std::max(start_ns, w.platform->base_clock().now_ns());
+  }
+  ps_clock.advance_to(start_ns);
+  for (auto& w : workers_) w.platform->base_clock().advance_to(start_ns);
+
+  float loss_sum = 0;
+  std::int64_t next_batch = 0;
+  // The PS is sharded: channel crypto and parameter serving run on
+  // per-worker shard threads (concurrent); only the variable update itself
+  // is a serial pipeline.
+  std::uint64_t apply_pipeline_ns = ps_clock.now_ns();
+  for (std::int64_t step = 0; step < steps; ++step) {
+    // Earliest-clock worker takes the next step.
+    std::size_t wi = 0;
+    for (std::size_t i = 1; i < workers_.size(); ++i) {
+      if (workers_[i].platform->base_clock().now_ns() <
+          workers_[wi].platform->base_clock().now_ns()) {
+        wi = i;
+      }
+    }
+    WorkerState& w = workers_[wi];
+
+    // Pull: this worker's PS shard serves the *currently applied* parameters
+    // the moment the request arrives — asynchronous serving never waits for
+    // outstanding gradients (that is the whole point; the worker accepts
+    // staleness).
+    ps_clock.set_ns(w.platform->base_clock().now_ns());
+    const auto params =
+        ml::serialize_tensor_map(master_session_->variable_snapshot());
+    if (config_.network_shield) {
+      w.ps_to.send(params);
+    } else {
+      w.ps_plain.send(params);
+    }
+    auto msg = config_.network_shield ? w.to_ps.recv() : w.plain_to_ps.recv();
+    if (!msg.has_value()) throw std::runtime_error("lost parameter pull");
+    w.session->restore_variables(ml::deserialize_tensor_map(*msg));
+
+    if (w.enclave) {
+      w.enclave->touch_binary();
+      w.enclave->access(*w.scratch, 0, config_.framework_scratch_bytes, true);
+    }
+    const auto feeds =
+        data.batch_feeds(next_batch % batches_available, config_.batch_size);
+    next_batch = (next_batch + 1) % batches_available;
+    const auto grads = w.session->gradients("loss", feeds);
+    loss_sum += w.session->last_loss();
+
+    const auto encoded = ml::serialize_tensor_map(grads);
+    if (config_.network_shield) {
+      w.to_ps.send(encoded);
+    } else {
+      w.plain_to_ps.send(encoded);
+    }
+    // Gradient reception + record crypto happen on this worker's shard
+    // thread: rewind the PS clock so the work is charged from the arrival
+    // time, concurrently with other shards.
+    ps_clock.set_ns(0);
+    auto grad_msg = config_.network_shield ? w.ps_to.recv() : w.ps_plain.recv();
+    if (!grad_msg.has_value()) throw std::runtime_error("lost gradient push");
+    // Only the variable update itself serializes on the apply pipeline.
+    ps_clock.advance_to(apply_pipeline_ns);
+    master_session_->apply_gradients(ml::deserialize_tensor_map(*grad_msg),
+                                     config_.learning_rate);
+    apply_pipeline_ns = ps_clock.now_ns();
+    stats.samples_processed += config_.batch_size;
+  }
+
+  std::uint64_t end_ns = std::max(ps_clock.now_ns(), apply_pipeline_ns);
+  for (const auto& w : workers_) {
+    end_ns = std::max(end_ns, w.platform->base_clock().now_ns());
+  }
+  stats.rounds = static_cast<std::uint64_t>(steps);
+  stats.total_seconds = static_cast<double>(end_ns - start_ns) / 1e9;
+  stats.seconds_per_round = stats.total_seconds / static_cast<double>(steps);
+  stats.final_loss = loss_sum / static_cast<float>(steps);
+  for (const auto& w : workers_) {
+    stats.epc_faults += w.platform->epc().stats().faults;
+  }
+  return stats;
+}
+
+}  // namespace stf::distributed

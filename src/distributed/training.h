@@ -1,0 +1,123 @@
+// Distributed training: TensorFlow-style parameter server + workers (§3.3.4).
+//
+// Synchronous data-parallel SGD: every round the parameter server pushes the
+// current variables to each worker over the network shield, each worker
+// computes gradients on its own batch inside its enclave, sends them back,
+// and the server applies the averaged update. Worker enclaves carry the full
+// TensorFlow image (87.4 MB in the paper) — which is why Hardware mode pays
+// for EPC paging on every step (Figure 8's 14x) — and new workers join only
+// after CAS attestation (elasticity, challenge 4).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cas/cas_server.h"
+#include "ml/dataset.h"
+#include "ml/graph.h"
+#include "ml/serialize.h"
+#include "ml/session.h"
+#include "net/network.h"
+#include "runtime/secure_channel.h"
+#include "tee/platform.h"
+
+namespace stf::distributed {
+
+struct ClusterConfig {
+  unsigned num_workers = 1;
+  tee::TeeMode mode = tee::TeeMode::Hardware;
+  bool network_shield = true;
+  /// Asynchronous parameter-server updates: each worker pulls the latest
+  /// parameters and the server applies its gradient on arrival, no round
+  /// barrier. Tolerates stragglers at the cost of gradient staleness.
+  bool async_updates = false;
+  /// Per-worker relative compute speed (1.0 = nominal); shorter than the
+  /// fleet means trailing workers run at nominal speed. Models stragglers.
+  std::vector<double> worker_speed_factors;
+  tee::CostModel model;
+  std::int64_t batch_size = 100;     ///< per worker, as in §5.4
+  float learning_rate = 5e-4f;
+  /// EPC footprint of the full-TensorFlow worker image (87.4 MB, §5.3 #4).
+  std::uint64_t worker_binary_bytes = 87'400'000;
+  /// Framework heap/temporaries touched every step (allocator arenas,
+  /// interpreter state); pushes the HW working set past the EPC.
+  std::uint64_t framework_scratch_bytes = 24ull << 20;
+  std::uint64_t seed = 42;
+};
+
+struct TrainStats {
+  float final_loss = 0;
+  double total_seconds = 0;          ///< virtual wall time of the whole run
+  double seconds_per_round = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t samples_processed = 0;
+  std::uint64_t epc_faults = 0;      ///< summed over workers (HW mode)
+};
+
+class TrainingCluster {
+ public:
+  /// If `cas` is non-null, every worker attests against policy
+  /// `session_name` before joining; unattested workers are refused.
+  TrainingCluster(const ml::Graph& graph, ClusterConfig config,
+                  cas::CasServer* cas = nullptr,
+                  tee::ProvisioningAuthority* authority = nullptr,
+                  std::string session_name = "training");
+
+  /// Runs data-parallel SGD over `total_samples` of `data` — synchronous
+  /// rounds by default, asynchronous updates if the config says so.
+  TrainStats train(const ml::Dataset& data, std::int64_t total_samples);
+
+  /// Elastic scale-out: adds (and, with CAS, attests) one more worker.
+  void add_worker();
+
+  /// Fault injection: kills worker `index`; the next train() call respawns
+  /// and re-attests a replacement automatically.
+  void fail_worker(std::size_t index);
+
+  [[nodiscard]] ml::Session& master_session() { return *master_session_; }
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] unsigned attested_workers() const { return attested_; }
+
+ private:
+  struct WorkerState {
+    std::unique_ptr<tee::Platform> platform;
+    std::unique_ptr<tee::Enclave> enclave;        // SIM/HW modes
+    std::unique_ptr<tee::EnclaveEnv> enclave_env;
+    std::unique_ptr<tee::NativeEnv> native_env;   // Native mode
+    std::unique_ptr<ml::Session> session;
+    std::unique_ptr<tee::RegionId> scratch;       // framework temporaries
+    net::NodeId node = 0;
+    // Towards the parameter server:
+    net::Connection plain_to_ps, ps_plain;        // no-shield path
+    runtime::SecureChannel to_ps, ps_to;          // shield path
+    bool alive = true;
+  };
+
+  void spawn_worker();
+  void ensure_workers_alive();
+  TrainStats train_async(const ml::Dataset& data, std::int64_t total_samples);
+  [[nodiscard]] tee::MemoryEnv* env_of(WorkerState& w);
+
+  ml::Graph graph_;
+  ClusterConfig config_;
+  cas::CasServer* cas_;
+  tee::ProvisioningAuthority* authority_;
+  std::string session_name_;
+  crypto::HmacDrbg rng_;
+
+  net::SimNetwork net_;
+  std::unique_ptr<tee::Platform> ps_platform_;
+  std::unique_ptr<tee::Enclave> ps_enclave_;
+  std::unique_ptr<tee::EnclaveEnv> ps_env_;
+  std::unique_ptr<tee::NativeEnv> ps_native_env_;
+  std::unique_ptr<ml::Session> master_session_;
+  net::NodeId ps_node_ = 0;
+  std::vector<WorkerState> workers_;
+  unsigned attested_ = 0;
+  unsigned worker_serial_ = 0;
+};
+
+}  // namespace stf::distributed

@@ -1,0 +1,61 @@
+// Synthetic datasets standing in for MNIST and Cifar-10 (DESIGN.md §1).
+//
+// The paper uses the datasets as workloads (latency/throughput), not for
+// accuracy claims, so shape and size are what must match: 28x28x1 for MNIST,
+// 32x32x3 for Cifar-10, 10 classes each. Samples are generated from
+// per-class templates plus noise, deterministic in the seed, and separable
+// enough that training visibly converges (the accuracy-parity tests rely on
+// this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ml/tensor.h"
+
+namespace stf::ml {
+
+struct Dataset {
+  Tensor images;   ///< [n, features] flattened row-major
+  Tensor labels;   ///< [n, classes] one-hot
+  std::int64_t feature_dim = 0;
+  std::int64_t num_classes = 0;
+
+  [[nodiscard]] std::int64_t size() const { return images.dim(0); }
+
+  /// Copies batch `index` (of `batch_size` rows) into feed tensors.
+  [[nodiscard]] std::map<std::string, Tensor> batch_feeds(
+      std::int64_t index, std::int64_t batch_size,
+      const std::string& image_name = "input",
+      const std::string& label_name = "labels") const;
+
+  /// Extracts sample `i` as a [1, features] tensor.
+  [[nodiscard]] Tensor sample(std::int64_t i) const;
+  [[nodiscard]] std::int64_t label_of(std::int64_t i) const;
+};
+
+/// 28x28 grayscale, 10 classes, deterministic in `seed`.
+[[nodiscard]] Dataset synthetic_mnist(std::int64_t n, std::uint64_t seed);
+
+/// 32x32x3 color, 10 classes, deterministic in `seed`.
+[[nodiscard]] Dataset synthetic_cifar10(std::int64_t n, std::uint64_t seed);
+
+/// High-resolution variant (h x w x channels), for the §7.1 normalization
+/// study.
+[[nodiscard]] Dataset synthetic_images(std::int64_t n, std::int64_t h,
+                                       std::int64_t w, std::int64_t channels,
+                                       std::uint64_t seed);
+
+/// Input normalization (§7.1): downsamples every image from (from_h,from_w)
+/// to (to_h,to_w) by box averaging (dimensions must divide evenly). Shrinks
+/// the per-batch memory footprint quadratically — the paper's first avenue
+/// for making in-enclave training cheaper.
+[[nodiscard]] Dataset normalize_resolution(const Dataset& dataset,
+                                           std::int64_t from_h,
+                                           std::int64_t from_w,
+                                           std::int64_t channels,
+                                           std::int64_t to_h,
+                                           std::int64_t to_w);
+
+}  // namespace stf::ml

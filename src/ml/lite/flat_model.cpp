@@ -1,0 +1,392 @@
+#include "ml/lite/flat_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "ml/ops.h"
+
+namespace stf::ml::lite {
+namespace {
+
+constexpr std::uint32_t kLiteMagic = 0x5354464C;  // "STFL"
+constexpr std::uint32_t kVersion = 2;
+
+}  // namespace
+
+FlatModel FlatModel::from_frozen(const Graph& graph,
+                                 const std::string& input_name,
+                                 const std::string& output_name) {
+  FlatModel model;
+  const NodeId output_id = graph.find(output_name);
+  const auto order = graph.topological_order({output_id});
+
+  std::map<NodeId, std::int32_t> tensor_of;
+  for (const NodeId id : order) {
+    const Node& node = graph.node(id);
+    switch (node.type) {
+      case OpType::Variable:
+        throw std::invalid_argument(
+            "Lite converter: graph contains Variable '" + node.name +
+            "' — freeze it first");
+      case OpType::SoftmaxCrossEntropy:
+        throw std::invalid_argument(
+            "Lite converter: training op '" + node.name +
+            "' not supported (Lite is forward-only)");
+      case OpType::Placeholder: {
+        if (node.name != input_name) {
+          throw std::invalid_argument(
+              "Lite converter: unexpected placeholder '" + node.name + "'");
+        }
+        const auto idx = static_cast<std::int32_t>(model.tensors_.size());
+        model.tensors_.push_back({});
+        model.input_ = idx;
+        tensor_of[id] = idx;
+        break;
+      }
+      case OpType::Const: {
+        const Tensor& value = *node.value;
+        LiteTensorDesc desc;
+        desc.shape = value.shape();
+        desc.weight_offset = static_cast<std::int64_t>(model.weights_.size());
+        model.weights_.insert(model.weights_.end(), value.data(),
+                              value.data() + value.size());
+        const auto idx = static_cast<std::int32_t>(model.tensors_.size());
+        model.tensors_.push_back(std::move(desc));
+        tensor_of[id] = idx;
+        break;
+      }
+      default: {
+        LiteOp op;
+        op.type = node.type;
+        op.attrs = node.attrs;
+        for (const NodeId in : node.inputs) op.inputs.push_back(tensor_of.at(in));
+        const auto idx = static_cast<std::int32_t>(model.tensors_.size());
+        model.tensors_.push_back({});
+        op.output = idx;
+        model.ops_.push_back(std::move(op));
+        tensor_of[id] = idx;
+        break;
+      }
+    }
+  }
+  if (model.input_ < 0) {
+    throw std::invalid_argument("Lite converter: graph has no input '" +
+                                input_name + "'");
+  }
+  model.output_ = tensor_of.at(output_id);
+  return model;
+}
+
+crypto::Bytes FlatModel::serialize() const {
+  crypto::Bytes out;
+  auto u32 = [&out](std::uint32_t v) {
+    std::uint8_t b[4];
+    crypto::store_be32(b, v);
+    crypto::append(out, crypto::BytesView(b, 4));
+  };
+  auto i64 = [&out](std::int64_t v) {
+    std::uint8_t b[8];
+    crypto::store_be64(b, static_cast<std::uint64_t>(v));
+    crypto::append(out, crypto::BytesView(b, 8));
+  };
+  auto shape = [&](const Shape& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (const auto d : s) i64(d);
+  };
+
+  u32(kLiteMagic);
+  u32(kVersion);
+  out.push_back(quantized_ ? 1 : 0);
+  u32(static_cast<std::uint32_t>(tensors_.size()));
+  for (const auto& t : tensors_) {
+    shape(t.shape);
+    i64(t.weight_offset);
+    std::uint32_t scale_bits;
+    std::memcpy(&scale_bits, &t.quant_scale, 4);
+    u32(scale_bits);
+  }
+  u32(static_cast<std::uint32_t>(ops_.size()));
+  for (const auto& op : ops_) {
+    out.push_back(static_cast<std::uint8_t>(op.type));
+    i64(op.attrs.stride);
+    i64(op.attrs.window);
+    std::uint32_t scalar_bits;
+    std::memcpy(&scalar_bits, &op.attrs.scalar, 4);
+    u32(scalar_bits);
+    shape(op.attrs.target_shape);
+    u32(static_cast<std::uint32_t>(op.inputs.size()));
+    for (const auto in : op.inputs) u32(static_cast<std::uint32_t>(in));
+    u32(static_cast<std::uint32_t>(op.output));
+  }
+  u32(static_cast<std::uint32_t>(input_));
+  u32(static_cast<std::uint32_t>(output_));
+  if (quantized_) {
+    i64(static_cast<std::int64_t>(qweights_.size()));
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(qweights_.data());
+    crypto::append(out, crypto::BytesView(raw, qweights_.size()));
+  } else {
+    i64(static_cast<std::int64_t>(weights_.size()));
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(weights_.data());
+    crypto::append(out,
+                   crypto::BytesView(raw, weights_.size() * sizeof(float)));
+  }
+  return out;
+}
+
+FlatModel FlatModel::deserialize(crypto::BytesView data) {
+  std::size_t cursor = 0;
+  auto need = [&](std::size_t n) {
+    if (cursor + n > data.size()) {
+      throw std::runtime_error("FlatModel: truncated model file");
+    }
+  };
+  auto u32 = [&]() {
+    need(4);
+    const auto v = crypto::load_be32(data.data() + cursor);
+    cursor += 4;
+    return v;
+  };
+  auto i64 = [&]() {
+    need(8);
+    const auto v =
+        static_cast<std::int64_t>(crypto::load_be64(data.data() + cursor));
+    cursor += 8;
+    return v;
+  };
+  auto shape = [&]() {
+    const std::uint32_t rank = u32();
+    if (rank > 16) throw std::runtime_error("FlatModel: implausible rank");
+    Shape s(rank);
+    for (auto& d : s) d = i64();
+    return s;
+  };
+
+  if (u32() != kLiteMagic) throw std::runtime_error("FlatModel: bad magic");
+  if (u32() != kVersion) throw std::runtime_error("FlatModel: bad version");
+
+  FlatModel model;
+  need(1);
+  model.quantized_ = data[cursor++] != 0;
+  const std::uint32_t n_tensors = u32();
+  model.tensors_.reserve(n_tensors);
+  for (std::uint32_t i = 0; i < n_tensors; ++i) {
+    LiteTensorDesc desc;
+    desc.shape = shape();
+    desc.weight_offset = i64();
+    const std::uint32_t scale_bits = u32();
+    std::memcpy(&desc.quant_scale, &scale_bits, 4);
+    model.tensors_.push_back(std::move(desc));
+  }
+  const std::uint32_t n_ops = u32();
+  model.ops_.reserve(n_ops);
+  for (std::uint32_t i = 0; i < n_ops; ++i) {
+    LiteOp op;
+    need(1);
+    op.type = static_cast<OpType>(data[cursor++]);
+    op.attrs.stride = i64();
+    op.attrs.window = i64();
+    const std::uint32_t scalar_bits = u32();
+    std::memcpy(&op.attrs.scalar, &scalar_bits, 4);
+    op.attrs.target_shape = shape();
+    const std::uint32_t n_inputs = u32();
+    for (std::uint32_t j = 0; j < n_inputs; ++j) {
+      op.inputs.push_back(static_cast<std::int32_t>(u32()));
+    }
+    op.output = static_cast<std::int32_t>(u32());
+    model.ops_.push_back(std::move(op));
+  }
+  model.input_ = static_cast<std::int32_t>(u32());
+  model.output_ = static_cast<std::int32_t>(u32());
+  const std::int64_t n_weights = i64();
+  if (model.quantized_) {
+    need(static_cast<std::size_t>(n_weights));
+    model.qweights_.resize(static_cast<std::size_t>(n_weights));
+    std::memcpy(model.qweights_.data(), data.data() + cursor,
+                static_cast<std::size_t>(n_weights));
+    cursor += static_cast<std::size_t>(n_weights);
+  } else {
+    const std::size_t weight_bytes =
+        static_cast<std::size_t>(n_weights) * sizeof(float);
+    need(weight_bytes);
+    model.weights_.resize(static_cast<std::size_t>(n_weights));
+    std::memcpy(model.weights_.data(), data.data() + cursor, weight_bytes);
+    cursor += weight_bytes;
+  }
+  if (cursor != data.size()) {
+    throw std::runtime_error("FlatModel: trailing bytes");
+  }
+  return model;
+}
+
+
+FlatModel FlatModel::quantized() const {
+  if (quantized_) return *this;
+  FlatModel q;
+  q.tensors_ = tensors_;
+  q.ops_ = ops_;
+  q.input_ = input_;
+  q.output_ = output_;
+  q.quantized_ = true;
+  q.qweights_.reserve(weights_.size());
+  for (auto& desc : q.tensors_) {
+    if (!desc.is_weight()) continue;
+    const std::int64_t n = num_elements(desc.shape);
+    const float* w = weights_.data() + desc.weight_offset;
+    float max_abs = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      max_abs = std::max(max_abs, std::abs(w[i]));
+    }
+    desc.quant_scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+    desc.weight_offset = static_cast<std::int64_t>(q.qweights_.size());
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float scaled = w[i] / desc.quant_scale;
+      const int qv = static_cast<int>(scaled >= 0 ? scaled + 0.5f
+                                                  : scaled - 0.5f);
+      q.qweights_.push_back(static_cast<std::int8_t>(
+          std::max(-127, std::min(127, qv))));
+    }
+  }
+  return q;
+}
+
+LiteInterpreter::LiteInterpreter(const FlatModel& model, tee::MemoryEnv* env)
+    : model_(model), env_(env) {
+  if (env_ != nullptr) {
+    weights_region_ = env_->alloc("lite/weights", model_.weight_bytes());
+    activation_bytes_ = 256 * 1024;
+    activation_region_ = env_->alloc("lite/activations", activation_bytes_);
+  }
+}
+
+LiteInterpreter::~LiteInterpreter() {
+  if (env_ != nullptr) {
+    env_->release(weights_region_);
+    env_->release(activation_region_);
+  }
+}
+
+Tensor LiteInterpreter::invoke(const Tensor& input) {
+  std::vector<Tensor> values(model_.tensors().size());
+  std::vector<bool> ready(model_.tensors().size(), false);
+  values[static_cast<std::size_t>(model_.input_tensor())] = input;
+  ready[static_cast<std::size_t>(model_.input_tensor())] = true;
+  last_flops_ = 0;
+
+  auto materialize = [&](std::int32_t idx) -> const Tensor& {
+    auto& slot = values[static_cast<std::size_t>(idx)];
+    if (!ready[static_cast<std::size_t>(idx)]) {
+      const LiteTensorDesc& desc = model_.tensors()[static_cast<std::size_t>(idx)];
+      if (!desc.is_weight()) {
+        throw std::logic_error("Lite: activation used before production");
+      }
+      const std::int64_t n = num_elements(desc.shape);
+      std::vector<float> data(static_cast<std::size_t>(n));
+      if (model_.is_quantized()) {
+        const std::int8_t* qw = model_.qweights().data() + desc.weight_offset;
+        for (std::int64_t i = 0; i < n; ++i) {
+          data[static_cast<std::size_t>(i)] =
+              static_cast<float>(qw[i]) * desc.quant_scale;
+        }
+        last_flops_ += static_cast<double>(n);  // dequantization work
+      } else {
+        std::copy(model_.weights().begin() + desc.weight_offset,
+                  model_.weights().begin() + desc.weight_offset + n,
+                  data.begin());
+      }
+      slot = Tensor(desc.shape, std::move(data));
+      ready[static_cast<std::size_t>(idx)] = true;
+    }
+    return slot;
+  };
+
+  for (const LiteOp& op : model_.ops()) {
+    std::vector<const Tensor*> inputs;
+    inputs.reserve(op.inputs.size());
+    for (const auto idx : op.inputs) inputs.push_back(&materialize(idx));
+
+    // Cost accounting: weight reads hit the weights region at their true
+    // offset (page-accurate for the EPC model); activations ping-pong.
+    if (env_ != nullptr) {
+      for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+        const auto& desc =
+            model_.tensors()[static_cast<std::size_t>(op.inputs[i])];
+        if (desc.is_weight()) {
+          const std::uint64_t elem_size =
+              model_.is_quantized() ? 1 : sizeof(float);
+          env_->access(weights_region_,
+                       static_cast<std::uint64_t>(desc.weight_offset) *
+                           elem_size,
+                       static_cast<std::uint64_t>(inputs[i]->size()) *
+                           elem_size,
+                       false);
+        } else {
+          env_->access(activation_region_, 0,
+                       std::min<std::uint64_t>(inputs[i]->byte_size(),
+                                               activation_bytes_),
+                       false);
+        }
+      }
+    }
+
+    ops::OpResult r;
+    auto in = [&](std::size_t i) -> const Tensor& { return *inputs.at(i); };
+    switch (op.type) {
+      case OpType::MatMul: r = ops::matmul(in(0), in(1)); break;
+      case OpType::Add: r = ops::add(in(0), in(1)); break;
+      case OpType::Relu: r = ops::relu(in(0)); break;
+      case OpType::Softmax: r = ops::softmax(in(0)); break;
+      case OpType::Sigmoid: r = ops::sigmoid(in(0)); break;
+      case OpType::Tanh: r = ops::tanh_op(in(0)); break;
+      case OpType::Conv2D: r = ops::conv2d(in(0), in(1), op.attrs.stride); break;
+      case OpType::MaxPool2D:
+        r = ops::max_pool2d(in(0), op.attrs.window, op.attrs.stride);
+        break;
+      case OpType::AvgPool2D:
+        r = ops::avg_pool2d(in(0), op.attrs.window, op.attrs.stride);
+        break;
+      case OpType::GlobalAvgPool: r = ops::global_avg_pool(in(0)); break;
+      case OpType::Reshape: {
+        Shape target = op.attrs.target_shape;
+        std::int64_t known = 1;
+        int infer = -1;
+        for (std::size_t i = 0; i < target.size(); ++i) {
+          if (target[i] == -1) {
+            infer = static_cast<int>(i);
+          } else {
+            known *= target[i];
+          }
+        }
+        if (infer >= 0) {
+          target[static_cast<std::size_t>(infer)] = in(0).size() / known;
+        }
+        r = {in(0).reshaped(std::move(target)), 0};
+        break;
+      }
+      case OpType::ArgMax: r = ops::argmax(in(0)); break;
+      case OpType::Scale: r = ops::scale(in(0), op.attrs.scalar); break;
+      default:
+        throw std::logic_error("Lite interpreter: unsupported op");
+    }
+    last_flops_ += r.flops;
+
+    if (env_ != nullptr) {
+      const std::uint64_t out_bytes = r.output.byte_size();
+      // Grow the ping-pong buffer pair to hold the largest activation.
+      if (out_bytes * 2 > activation_bytes_) {
+        env_->release(activation_region_);
+        activation_bytes_ = out_bytes * 2;
+        activation_region_ = env_->alloc("lite/activations", activation_bytes_);
+      }
+      env_->access(activation_region_, activation_bytes_ - out_bytes,
+                   out_bytes, true);
+      env_->compute(r.flops);
+    }
+    values[static_cast<std::size_t>(op.output)] = std::move(r.output);
+    ready[static_cast<std::size_t>(op.output)] = true;
+  }
+  return values[static_cast<std::size_t>(model_.output_tensor())];
+}
+
+}  // namespace stf::ml::lite

@@ -1,0 +1,121 @@
+// stf-Lite: the TensorFlow-Lite analogue (§2.1, §3.3.4).
+//
+// A FlatModel is a frozen graph lowered to a linear op program over a single
+// contiguous weight arena — forward passes only, by design (training needs
+// the full framework; the Lite converter rejects variables and training
+// ops). The interpreter runs with a small, fixed memory footprint: weights
+// once, plus ping-pong activation buffers — which is exactly why the paper's
+// TF-Lite container stays inside the EPC where full TensorFlow thrashes
+// (the 71x result of §5.3 #4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "ml/graph.h"
+#include "ml/tensor.h"
+#include "tee/memory_env.h"
+
+namespace stf::ml::lite {
+
+struct LiteTensorDesc {
+  Shape shape;
+  /// Offset (in elements) into the weight arena, or -1 for an activation.
+  std::int64_t weight_offset = -1;
+  /// Dequantization scale for int8 models (w = q * scale, symmetric).
+  float quant_scale = 0;
+
+  [[nodiscard]] bool is_weight() const { return weight_offset >= 0; }
+};
+
+struct LiteOp {
+  OpType type = OpType::Relu;
+  NodeAttrs attrs;
+  std::vector<std::int32_t> inputs;  ///< tensor indices
+  std::int32_t output = -1;          ///< tensor index
+};
+
+class FlatModel {
+ public:
+  /// Lowers a frozen graph (no Variables) into a flat model computing
+  /// `output_name` from placeholder `input_name`. Throws on graphs that are
+  /// not inference-only.
+  static FlatModel from_frozen(const Graph& graph,
+                               const std::string& input_name = "input",
+                               const std::string& output_name = "probs");
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  static FlatModel deserialize(crypto::BytesView data);
+
+  /// Post-training int8 weight quantization (§7.2): per-tensor symmetric
+  /// affine, q = round(w / scale) with scale = max|w| / 127. Shrinks the
+  /// weight arena 4x — which can move a model from "thrashes the EPC" to
+  /// "fits the EPC" (bench_ablation_quantization measures it). Results
+  /// change within quantization error; the converter records per-tensor
+  /// scales so the interpreter dequantizes transparently.
+  [[nodiscard]] FlatModel quantized() const;
+
+  [[nodiscard]] bool is_quantized() const { return quantized_; }
+
+  [[nodiscard]] const std::vector<LiteOp>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<LiteTensorDesc>& tensors() const {
+    return tensors_;
+  }
+  [[nodiscard]] const std::vector<float>& weights() const { return weights_; }
+  [[nodiscard]] const std::vector<std::int8_t>& qweights() const {
+    return qweights_;
+  }
+  [[nodiscard]] std::int32_t input_tensor() const { return input_; }
+  [[nodiscard]] std::int32_t output_tensor() const { return output_; }
+
+  /// Total weight bytes — the dominant part of the model file size
+  /// (4 bytes/element float, 1 byte/element quantized).
+  [[nodiscard]] std::uint64_t weight_bytes() const {
+    return quantized_ ? qweights_.size() : weights_.size() * sizeof(float);
+  }
+
+ private:
+  std::vector<LiteTensorDesc> tensors_;
+  std::vector<LiteOp> ops_;
+  std::vector<float> weights_;
+  std::vector<std::int8_t> qweights_;
+  bool quantized_ = false;
+  std::int32_t input_ = -1;
+  std::int32_t output_ = -1;
+};
+
+/// Forward-only interpreter with a bounded activation footprint.
+class LiteInterpreter {
+ public:
+  /// `env` may be nullptr (no cost accounting). The interpreter keeps a
+  /// reference to `model`, which must outlive it (passing a temporary is
+  /// rejected below).
+  explicit LiteInterpreter(const FlatModel& model,
+                           tee::MemoryEnv* env = nullptr);
+  LiteInterpreter(FlatModel&&, tee::MemoryEnv* = nullptr) = delete;
+  ~LiteInterpreter();
+
+  LiteInterpreter(const LiteInterpreter&) = delete;
+  LiteInterpreter& operator=(const LiteInterpreter&) = delete;
+
+  /// Runs one forward pass.
+  Tensor invoke(const Tensor& input);
+
+  /// Peak activation bytes the interpreter keeps live (two buffers).
+  [[nodiscard]] std::uint64_t activation_bytes() const {
+    return activation_bytes_;
+  }
+  [[nodiscard]] double last_invoke_flops() const { return last_flops_; }
+
+ private:
+  const FlatModel& model_;
+  tee::MemoryEnv* env_;
+  std::uint64_t weights_region_ = 0;
+  std::uint64_t activation_region_ = 0;
+  std::uint64_t activation_bytes_ = 0;
+  double last_flops_ = 0;
+};
+
+}  // namespace stf::ml::lite

@@ -1,0 +1,102 @@
+#include "ml/models.h"
+#include <cmath>
+
+namespace stf::ml {
+
+Graph mnist_mlp(std::int64_t hidden, std::uint64_t seed) {
+  Graph graph;
+  GraphBuilder b(graph);
+  const NodeId input = b.placeholder("input");    // [batch, 784]
+  const NodeId labels = b.placeholder("labels");  // [batch, 10]
+  const NodeId h1 = b.dense("fc1", input, 784, hidden, /*with_relu=*/true,
+                            seed);
+  const NodeId logits = b.dense("fc2", h1, hidden, 10, /*with_relu=*/false,
+                                seed + 1);
+  // Expose the canonical heads. "logits" aliases fc2's output via Scale(1).
+  const NodeId named_logits = b.scale("logits", logits, 1.0f);
+  b.softmax("probs", named_logits);
+  b.argmax("pred", named_logits);
+  b.softmax_cross_entropy("loss", named_logits, labels);
+  return graph;
+}
+
+Graph mnist_convnet(std::uint64_t seed) {
+  Graph graph;
+  GraphBuilder b(graph);
+  const NodeId input = b.placeholder("input");    // [batch, 784]
+  const NodeId labels = b.placeholder("labels");  // [batch, 10]
+  const NodeId image = b.reshape("image", input, {-1, 28, 28, 1});
+
+  // Trainable He-initialized convolution filters.
+  auto conv_filter = [&](const std::string& name, std::int64_t fh,
+                         std::int64_t fw, std::int64_t in_c, std::int64_t out_c,
+                         std::uint64_t s) {
+    Tensor f({fh, fw, in_c, out_c});
+    std::uint64_t state = s * 0x9E3779B97F4A7C15ull + 0xBF58476D1CE4E5B9ull;
+    const float scale =
+        std::sqrt(2.0f / static_cast<float>(fh * fw * in_c));
+    for (std::int64_t i = 0; i < f.size(); ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const float u = static_cast<float>((state >> 33) & 0xffffff) /
+                          static_cast<float>(0xffffff) * 2.0f -
+                      1.0f;
+      f.at(i) = u * scale;
+    }
+    return b.variable(name, std::move(f));
+  };
+
+  const NodeId c1 = b.conv2d("conv1", image,
+                             conv_filter("conv1/filter", 3, 3, 1, 8, seed), 1);
+  const NodeId r1 = b.relu("conv1/relu", c1);
+  const NodeId p1 = b.max_pool("pool1", r1, 2, 2);  // 14x14x8
+  const NodeId c2 = b.conv2d(
+      "conv2", p1, conv_filter("conv2/filter", 3, 3, 8, 16, seed + 1), 1);
+  const NodeId r2 = b.relu("conv2/relu", c2);
+  const NodeId p2 = b.avg_pool("pool2", r2, 2, 2);  // 7x7x16
+  const NodeId flat = b.reshape("flatten", p2, {-1, 7 * 7 * 16});
+  const NodeId logits =
+      b.dense("fc", flat, 7 * 7 * 16, 10, /*with_relu=*/false, seed + 2);
+  const NodeId named_logits = b.scale("logits", logits, 1.0f);
+  b.softmax("probs", named_logits);
+  b.argmax("pred", named_logits);
+  b.softmax_cross_entropy("loss", named_logits, labels);
+  return graph;
+}
+
+Graph sized_classifier(const std::string& name,
+                       std::uint64_t target_weight_bytes,
+                       std::int64_t input_dim, std::int64_t classes,
+                       std::uint64_t seed) {
+  Graph graph;
+  GraphBuilder b(graph);
+  const NodeId input = b.placeholder("input");  // [batch, input_dim]
+
+  // Hidden width fixed at 1024: each hidden-to-hidden layer holds 4 MiB of
+  // float32 weights, so the layer count sets the model size.
+  constexpr std::int64_t kWidth = 1024;
+  const std::uint64_t per_layer_bytes =
+      static_cast<std::uint64_t>(kWidth) * kWidth * sizeof(float);
+  const std::uint64_t first_layer_bytes =
+      static_cast<std::uint64_t>(input_dim) * kWidth * sizeof(float);
+
+  std::int64_t hidden_layers = 0;
+  if (target_weight_bytes > first_layer_bytes) {
+    hidden_layers = static_cast<std::int64_t>(
+        (target_weight_bytes - first_layer_bytes + per_layer_bytes / 2) /
+        per_layer_bytes);
+  }
+
+  NodeId x = b.dense(name + "/in", input, input_dim, kWidth, true, seed);
+  for (std::int64_t l = 0; l < hidden_layers; ++l) {
+    x = b.dense(name + "/h" + std::to_string(l), x, kWidth, kWidth, true,
+                seed + static_cast<std::uint64_t>(l) + 1);
+  }
+  const NodeId logits = b.dense(name + "/out", x, kWidth, classes, false,
+                                seed + 1000);
+  const NodeId named_logits = b.scale("logits", logits, 1.0f);
+  b.softmax("probs", named_logits);
+  b.argmax("pred", named_logits);
+  return graph;
+}
+
+}  // namespace stf::ml

@@ -1,0 +1,73 @@
+// Operation kernels: the real math behind each graph node.
+//
+// Each kernel returns the output tensor and reports its FLOP count so the
+// executor can charge compute time into the TEE cost model. Kernels are
+// deliberately straightforward (no SIMD/blocking): numerical behaviour and
+// cost accounting, not raw host speed, is what the reproduction measures.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/tensor.h"
+
+namespace stf::ml::ops {
+
+struct OpResult {
+  Tensor output;
+  double flops = 0;
+};
+
+/// [m,k] x [k,n] -> [m,n]
+OpResult matmul(const Tensor& a, const Tensor& b);
+
+/// Elementwise add; also broadcasts a rank-1 bias over the last dimension.
+OpResult add(const Tensor& a, const Tensor& b);
+
+OpResult relu(const Tensor& x);
+
+/// Row-wise softmax over the last dimension of a rank-2 tensor.
+OpResult softmax(const Tensor& logits);
+
+OpResult sigmoid(const Tensor& x);
+OpResult tanh_op(const Tensor& x);
+
+/// Mean softmax cross-entropy: logits [m,n], one-hot labels [m,n] -> scalar.
+OpResult softmax_cross_entropy(const Tensor& logits, const Tensor& labels);
+
+/// Gradient of mean softmax cross-entropy w.r.t. logits: (softmax-labels)/m.
+OpResult softmax_cross_entropy_grad(const Tensor& logits,
+                                    const Tensor& labels);
+
+/// NHWC input [n,h,w,c], HWIO filter [fh,fw,c,k], SAME padding.
+OpResult conv2d(const Tensor& input, const Tensor& filter,
+                std::int64_t stride);
+
+/// Gradients of conv2d w.r.t. its input and filter (same padding/stride
+/// conventions as the forward pass).
+OpResult conv2d_grad_input(const Tensor& input, const Tensor& filter,
+                           const Tensor& grad_output, std::int64_t stride);
+OpResult conv2d_grad_filter(const Tensor& input, const Tensor& filter,
+                            const Tensor& grad_output, std::int64_t stride);
+
+/// Pooling gradients. Max pooling routes each output gradient to the argmax
+/// position of its window (recomputed from the recorded input).
+OpResult max_pool2d_grad(const Tensor& input, const Tensor& grad_output,
+                         std::int64_t window, std::int64_t stride);
+OpResult avg_pool2d_grad(const Tensor& input, const Tensor& grad_output,
+                         std::int64_t window, std::int64_t stride);
+OpResult global_avg_pool_grad(const Tensor& input, const Tensor& grad_output);
+
+OpResult max_pool2d(const Tensor& input, std::int64_t window,
+                    std::int64_t stride);
+OpResult avg_pool2d(const Tensor& input, std::int64_t window,
+                    std::int64_t stride);
+
+/// NHWC [n,h,w,c] -> [n,c]
+OpResult global_avg_pool(const Tensor& input);
+
+/// Row-wise argmax of a rank-2 tensor -> [rows] (indices stored as floats).
+OpResult argmax(const Tensor& x);
+
+OpResult scale(const Tensor& x, float factor);
+
+}  // namespace stf::ml::ops

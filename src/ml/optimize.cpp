@@ -1,0 +1,73 @@
+#include "ml/optimize.h"
+
+#include <algorithm>
+#include <map>
+
+namespace stf::ml {
+
+Graph prune(const Graph& graph, const std::vector<std::string>& outputs) {
+  std::vector<NodeId> output_ids;
+  output_ids.reserve(outputs.size());
+  for (const auto& name : outputs) output_ids.push_back(graph.find(name));
+  const auto reachable = graph.topological_order(output_ids);
+
+  Graph pruned;
+  std::map<NodeId, NodeId> remap;
+  for (const NodeId id : reachable) {
+    const Node& n = graph.node(id);
+    std::vector<NodeId> inputs;
+    inputs.reserve(n.inputs.size());
+    for (const NodeId in : n.inputs) inputs.push_back(remap.at(in));
+    remap[id] =
+        pruned.add_node(n.type, n.name, std::move(inputs), n.attrs, n.value);
+  }
+  return pruned;
+}
+
+Graph fold_identities(const Graph& graph,
+                      const std::vector<std::string>& keep_names) {
+  auto kept = [&keep_names](const std::string& name) {
+    return std::find(keep_names.begin(), keep_names.end(), name) !=
+           keep_names.end();
+  };
+
+  // First pass: decide which nodes are removable no-ops.
+  auto is_noop = [&](const Node& n) {
+    if (kept(n.name)) return false;
+    if (n.type == OpType::Scale) return n.attrs.scalar == 1.0f;
+    return false;
+  };
+
+  // Second pass: rebuild, remapping consumers of a folded node to the
+  // folded node's (already remapped) input.
+  Graph folded;
+  std::map<NodeId, NodeId> remap;
+  for (const Node& n : graph.nodes()) {
+    if (is_noop(n)) {
+      remap[n.id] = remap.at(n.inputs.front());
+      continue;
+    }
+    std::vector<NodeId> inputs;
+    inputs.reserve(n.inputs.size());
+    for (const NodeId in : n.inputs) inputs.push_back(remap.at(in));
+    remap[n.id] =
+        folded.add_node(n.type, n.name, std::move(inputs), n.attrs, n.value);
+  }
+  return folded;
+}
+
+Graph optimize(const Graph& graph, const std::vector<std::string>& outputs,
+               OptimizeReport* report) {
+  if (report != nullptr) {
+    report->nodes_before = graph.node_count();
+    report->parameter_bytes_before = graph.parameter_bytes();
+  }
+  Graph result = fold_identities(prune(graph, outputs), outputs);
+  if (report != nullptr) {
+    report->nodes_after = result.node_count();
+    report->parameter_bytes_after = result.parameter_bytes();
+  }
+  return result;
+}
+
+}  // namespace stf::ml

@@ -1,0 +1,44 @@
+// Model graph optimizations (§7.2).
+//
+// The paper's ongoing work prunes and quantizes model graphs (OpenVINO-style)
+// because smaller models behave dramatically better inside the EPC. This
+// module implements the two transformations the discussion names:
+//   * pruning — drop nodes (and their weights) that do not contribute to the
+//     requested outputs;
+//   * identity folding — remove no-op nodes (Scale by 1.0, trivial Reshape)
+//     by rewiring their consumers.
+// Both preserve results exactly; bench_ablation_quantization measures the
+// EPC effect together with int8 weight quantization (ml/lite/flat_model.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/graph.h"
+
+namespace stf::ml {
+
+struct OptimizeReport {
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::uint64_t parameter_bytes_before = 0;
+  std::uint64_t parameter_bytes_after = 0;
+};
+
+/// Returns a graph containing only the nodes reachable from `outputs`.
+[[nodiscard]] Graph prune(const Graph& graph,
+                          const std::vector<std::string>& outputs);
+
+/// Removes no-op nodes: Scale with factor 1.0 and Reshape whose target shape
+/// equals its input's static shape cannot change values; consumers are
+/// rewired to the no-op's input. Named no-ops survive if they are in
+/// `keep_names` (e.g. the graph's published output heads).
+[[nodiscard]] Graph fold_identities(const Graph& graph,
+                                    const std::vector<std::string>& keep_names);
+
+/// prune + fold, with an optional before/after report.
+[[nodiscard]] Graph optimize(const Graph& graph,
+                             const std::vector<std::string>& outputs,
+                             OptimizeReport* report = nullptr);
+
+}  // namespace stf::ml

@@ -1,0 +1,115 @@
+// Optimizers beyond plain SGD.
+//
+// The paper's workloads train with vanilla SGD (batch 100, lr 5e-4), which
+// Session::train_step covers; production users of a TF-style framework also
+// expect momentum and Adam. Optimizers keep their slot state (velocities,
+// moment estimates) per variable and reduce to a final delta applied through
+// Session::apply_gradients, so the TEE cost accounting of the update path is
+// identical for every optimizer.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "ml/session.h"
+
+namespace stf::ml {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step for `grads` to the session's variables.
+  virtual void apply(Session& session,
+                     const std::map<std::string, Tensor>& grads) = 0;
+
+  /// Convenience: forward + backward + apply; returns the loss.
+  float minimize(Session& session, const std::string& loss,
+                 const std::map<std::string, Tensor>& feeds) {
+    const auto grads = session.gradients(loss, feeds);
+    apply(session, grads);
+    return session.last_loss();
+  }
+};
+
+/// Plain SGD: v -= lr * g.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate) : lr_(learning_rate) {}
+  void apply(Session& session,
+             const std::map<std::string, Tensor>& grads) override {
+    session.apply_gradients(grads, lr_);
+  }
+
+ private:
+  float lr_;
+};
+
+/// Classical momentum: u = m*u + g; v -= lr * u.
+class MomentumSgd final : public Optimizer {
+ public:
+  MomentumSgd(float learning_rate, float momentum = 0.9f)
+      : lr_(learning_rate), momentum_(momentum) {}
+
+  void apply(Session& session,
+             const std::map<std::string, Tensor>& grads) override {
+    std::map<std::string, Tensor> updates;
+    for (const auto& [name, grad] : grads) {
+      auto [it, inserted] = velocity_.try_emplace(name, Tensor(grad.shape()));
+      Tensor& u = it->second;
+      if (!inserted && !u.same_shape(grad)) {
+        throw std::invalid_argument("MomentumSgd: gradient shape changed");
+      }
+      for (std::int64_t i = 0; i < u.size(); ++i) {
+        u.at(i) = momentum_ * u.at(i) + grad.at(i);
+      }
+      updates.emplace(name, u);
+    }
+    session.apply_gradients(updates, lr_);
+  }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::map<std::string, Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba): bias-corrected first/second moment estimates.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float learning_rate, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+  void apply(Session& session,
+             const std::map<std::string, Tensor>& grads) override {
+    ++step_;
+    const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+    const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+    std::map<std::string, Tensor> updates;
+    for (const auto& [name, grad] : grads) {
+      auto [mit, m_new] = m_.try_emplace(name, Tensor(grad.shape()));
+      auto [vit, v_new] = v_.try_emplace(name, Tensor(grad.shape()));
+      Tensor& m = mit->second;
+      Tensor& v = vit->second;
+      Tensor update(grad.shape());
+      for (std::int64_t i = 0; i < grad.size(); ++i) {
+        m.at(i) = beta1_ * m.at(i) + (1 - beta1_) * grad.at(i);
+        v.at(i) = beta2_ * v.at(i) + (1 - beta2_) * grad.at(i) * grad.at(i);
+        const float m_hat = m.at(i) / bias1;
+        const float v_hat = v.at(i) / bias2;
+        update.at(i) = m_hat / (std::sqrt(v_hat) + epsilon_);
+      }
+      updates.emplace(name, std::move(update));
+    }
+    session.apply_gradients(updates, lr_);
+  }
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_;
+  std::uint64_t step_ = 0;
+  std::map<std::string, Tensor> m_, v_;
+};
+
+}  // namespace stf::ml

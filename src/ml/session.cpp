@@ -1,0 +1,489 @@
+#include "ml/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stf::ml {
+namespace {
+
+constexpr std::uint64_t kArenaInitialBytes = 1 << 20;
+
+bool is_parameter(OpType t) {
+  return t == OpType::Const || t == OpType::Variable;
+}
+
+// grad_a = g [m,n] x b^T [n,k] -> [m,k]
+Tensor matmul_nt(const Tensor& g, const Tensor& b, double& flops) {
+  const std::int64_t m = g.dim(0), n = g.dim(1), k = b.dim(0);
+  Tensor out({m, k});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      float acc = 0;
+      for (std::int64_t t = 0; t < n; ++t) acc += g.at2(i, t) * b.at2(j, t);
+      out.at2(i, j) = acc;
+    }
+  }
+  flops += 2.0 * static_cast<double>(m) * n * k;
+  return out;
+}
+
+// grad_b = a^T [k,m] x g [m,n] -> [k,n]
+Tensor matmul_tn(const Tensor& a, const Tensor& g, double& flops) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = g.dim(1);
+  Tensor out({k, n});
+  for (std::int64_t t = 0; t < m; ++t) {
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float av = a.at2(t, i);
+      if (av == 0.0f) continue;
+      for (std::int64_t j = 0; j < n; ++j) {
+        out.at2(i, j) += av * g.at2(t, j);
+      }
+    }
+  }
+  flops += 2.0 * static_cast<double>(m) * k * n;
+  return out;
+}
+
+void accumulate(std::optional<Tensor>& into, Tensor value) {
+  if (!into.has_value()) {
+    into = std::move(value);
+    return;
+  }
+  if (!into->same_shape(value)) {
+    throw std::logic_error("gradient shape mismatch during accumulation");
+  }
+  for (std::int64_t i = 0; i < into->size(); ++i) into->at(i) += value.at(i);
+}
+
+}  // namespace
+
+struct Session::Tape {
+  struct Record {
+    NodeId id;
+    std::vector<Tensor> inputs;
+    Tensor output;
+  };
+  std::map<NodeId, Record> records;
+};
+
+Session::Session(const Graph& graph, tee::MemoryEnv* env)
+    : graph_(graph), env_(env) {
+  for (const Node& n : graph_.nodes()) {
+    if (n.type == OpType::Variable) {
+      if (!n.value.has_value()) {
+        throw std::invalid_argument("variable '" + n.name +
+                                    "' has no initial value");
+      }
+      variables_[n.name] = *n.value;
+    }
+    if (env_ != nullptr && is_parameter(n.type) && n.value.has_value()) {
+      param_regions_[n.id] = env_->alloc(n.name, n.value->byte_size());
+    }
+  }
+  if (env_ != nullptr) {
+    arena_bytes_ = kArenaInitialBytes;
+    arena_region_ = env_->alloc("activation-arena", arena_bytes_);
+  }
+}
+
+Session::~Session() {
+  if (env_ != nullptr) {
+    for (const auto& [id, region] : param_regions_) env_->release(region);
+    env_->release(arena_region_);
+  }
+}
+
+void Session::charge(const Node& node, const std::vector<const Tensor*>& inputs,
+                     const Tensor& output, double flops) {
+  if (env_ == nullptr) return;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Node& in_node = graph_.node(node.inputs[i]);
+    const std::uint64_t bytes = inputs[i]->byte_size();
+    if (const auto it = param_regions_.find(in_node.id);
+        it != param_regions_.end()) {
+      env_->access(it->second, 0, bytes, /*write=*/false);
+    } else if (bytes > 0) {
+      // Activation read from the arena (position approximated by cursor
+      // history; re-reads of recent outputs hit the same hot pages). Inputs
+      // larger than the current arena (e.g. a big fed batch before any
+      // output grew it) clamp to the arena window.
+      const std::uint64_t len = std::min(bytes, arena_bytes_);
+      const std::uint64_t offset =
+          arena_cursor_ >= len ? arena_cursor_ - len : 0;
+      env_->access(arena_region_, std::min(offset, arena_bytes_ - len), len,
+                   false);
+    }
+  }
+  // Output write into the arena at the bump cursor.
+  const std::uint64_t out_bytes = output.byte_size();
+  if (out_bytes > 0 && !is_parameter(node.type)) {
+    if (out_bytes > arena_bytes_ ||
+        arena_cursor_ + out_bytes > arena_bytes_) {
+      // Grow (or wrap) the arena: model frameworks growing their activation
+      // workspace to the pass's high-water mark.
+      if (out_bytes > arena_bytes_) {
+        env_->release(arena_region_);
+        arena_bytes_ = std::max(out_bytes, arena_bytes_ * 2);
+        arena_region_ = env_->alloc("activation-arena", arena_bytes_);
+      }
+      arena_cursor_ = 0;
+    }
+    env_->access(arena_region_, arena_cursor_, out_bytes, /*write=*/true);
+    arena_cursor_ += out_bytes;
+  }
+  env_->compute(flops);
+}
+
+Tensor Session::eval_node(const Node& node,
+                          const std::vector<const Tensor*>& inputs,
+                          double& flops) const {
+  auto in = [&](std::size_t i) -> const Tensor& { return *inputs.at(i); };
+  ops::OpResult r;
+  switch (node.type) {
+    case OpType::Const:
+    case OpType::Variable:
+    case OpType::Placeholder:
+      throw std::logic_error("eval_node called on a source node");
+    case OpType::MatMul: r = ops::matmul(in(0), in(1)); break;
+    case OpType::Add: r = ops::add(in(0), in(1)); break;
+    case OpType::Relu: r = ops::relu(in(0)); break;
+    case OpType::Softmax: r = ops::softmax(in(0)); break;
+    case OpType::Sigmoid: r = ops::sigmoid(in(0)); break;
+    case OpType::Tanh: r = ops::tanh_op(in(0)); break;
+    case OpType::SoftmaxCrossEntropy:
+      r = ops::softmax_cross_entropy(in(0), in(1));
+      break;
+    case OpType::Conv2D: r = ops::conv2d(in(0), in(1), node.attrs.stride); break;
+    case OpType::MaxPool2D:
+      r = ops::max_pool2d(in(0), node.attrs.window, node.attrs.stride);
+      break;
+    case OpType::AvgPool2D:
+      r = ops::avg_pool2d(in(0), node.attrs.window, node.attrs.stride);
+      break;
+    case OpType::GlobalAvgPool: r = ops::global_avg_pool(in(0)); break;
+    case OpType::Reshape: {
+      Shape target = node.attrs.target_shape;
+      // A leading -1 dimension is inferred (batch-size polymorphism).
+      std::int64_t known = 1;
+      int infer = -1;
+      for (std::size_t i = 0; i < target.size(); ++i) {
+        if (target[i] == -1) {
+          infer = static_cast<int>(i);
+        } else {
+          known *= target[i];
+        }
+      }
+      if (infer >= 0) target[static_cast<std::size_t>(infer)] =
+          in(0).size() / known;
+      r = {in(0).reshaped(std::move(target)), 0};
+      break;
+    }
+    case OpType::ArgMax: r = ops::argmax(in(0)); break;
+    case OpType::Scale: r = ops::scale(in(0), node.attrs.scalar); break;
+  }
+  flops += r.flops;
+  return std::move(r.output);
+}
+
+std::vector<Tensor> Session::run_internal(
+    const std::vector<NodeId>& fetch_ids,
+    const std::map<std::string, Tensor>& feeds, Tape* tape) {
+  const auto order = graph_.topological_order(fetch_ids);
+  std::map<NodeId, Tensor> values;
+  last_run_flops_ = 0;
+  arena_cursor_ = 0;
+
+  for (const NodeId id : order) {
+    const Node& node = graph_.node(id);
+    switch (node.type) {
+      case OpType::Const:
+        values[id] = *node.value;
+        break;
+      case OpType::Variable:
+        values[id] = variables_.at(node.name);
+        break;
+      case OpType::Placeholder: {
+        const auto it = feeds.find(node.name);
+        if (it == feeds.end()) {
+          throw std::invalid_argument("placeholder '" + node.name +
+                                      "' was not fed");
+        }
+        values[id] = it->second;
+        break;
+      }
+      default: {
+        std::vector<const Tensor*> inputs;
+        inputs.reserve(node.inputs.size());
+        for (const NodeId in : node.inputs) inputs.push_back(&values.at(in));
+        double flops = 0;
+        Tensor out = eval_node(node, inputs, flops);
+        charge(node, inputs, out, flops);
+        last_run_flops_ += flops;
+        if (tape != nullptr) {
+          Tape::Record rec{.id = id, .inputs = {}, .output = out};
+          for (const Tensor* t : inputs) rec.inputs.push_back(*t);
+          tape->records.emplace(id, std::move(rec));
+        }
+        values[id] = std::move(out);
+        break;
+      }
+    }
+  }
+
+  std::vector<Tensor> out;
+  out.reserve(fetch_ids.size());
+  for (const NodeId id : fetch_ids) out.push_back(values.at(id));
+  return out;
+}
+
+std::vector<Tensor> Session::run(const std::vector<std::string>& fetches,
+                                 const std::map<std::string, Tensor>& feeds) {
+  std::vector<NodeId> ids;
+  ids.reserve(fetches.size());
+  for (const auto& name : fetches) ids.push_back(graph_.find(name));
+  return run_internal(ids, feeds, nullptr);
+}
+
+Tensor Session::run1(const std::string& fetch,
+                     const std::map<std::string, Tensor>& feeds) {
+  return run({fetch}, feeds).front();
+}
+
+const Tensor& Session::variable(const std::string& name) const {
+  const auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    throw std::invalid_argument("no variable named '" + name + "'");
+  }
+  return it->second;
+}
+
+void Session::assign(const std::string& name, Tensor value) {
+  auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    throw std::invalid_argument("no variable named '" + name + "'");
+  }
+  if (!it->second.same_shape(value)) {
+    throw std::invalid_argument("assign to '" + name + "': shape mismatch");
+  }
+  it->second = std::move(value);
+}
+
+std::map<std::string, Tensor> Session::variable_snapshot() const {
+  return variables_;
+}
+
+void Session::restore_variables(const std::map<std::string, Tensor>& values) {
+  for (const auto& [name, value] : values) assign(name, value);
+}
+
+void Session::backward(const Tape& tape, const std::vector<NodeId>& order,
+                       std::map<std::string, Tensor>& grads_out) {
+  std::map<NodeId, std::optional<Tensor>> grads;
+  // Seed: d(loss)/d(loss) = 1.
+  grads[order.back()] = Tensor({1}, {1.0f});
+
+  double flops = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    const Node& node = graph_.node(id);
+    auto git = grads.find(id);
+    if (git == grads.end() || !git->second.has_value()) continue;
+    const Tensor& g = *git->second;
+
+    if (node.type == OpType::Variable) {
+      auto& slot = grads_out[node.name];
+      if (slot.size() == 0) {
+        slot = g;
+      } else {
+        for (std::int64_t i = 0; i < slot.size(); ++i) slot.at(i) += g.at(i);
+      }
+      continue;
+    }
+    if (node.type == OpType::Const || node.type == OpType::Placeholder) {
+      continue;
+    }
+
+    const auto& rec = tape.records.at(id);
+    switch (node.type) {
+      case OpType::SoftmaxCrossEntropy: {
+        // d(mean xent)/d(logits) = (softmax - labels)/m, scaled by upstream.
+        auto r = ops::softmax_cross_entropy_grad(rec.inputs[0], rec.inputs[1]);
+        const float upstream = g.at(0);
+        for (std::int64_t i = 0; i < r.output.size(); ++i) {
+          r.output.at(i) *= upstream;
+        }
+        flops += r.flops;
+        accumulate(grads[node.inputs[0]], std::move(r.output));
+        break;
+      }
+      case OpType::MatMul: {
+        accumulate(grads[node.inputs[0]], matmul_nt(g, rec.inputs[1], flops));
+        accumulate(grads[node.inputs[1]], matmul_tn(rec.inputs[0], g, flops));
+        break;
+      }
+      case OpType::Add: {
+        accumulate(grads[node.inputs[0]], g);
+        const Tensor& b = rec.inputs[1];
+        if (b.same_shape(g)) {
+          accumulate(grads[node.inputs[1]], g);
+        } else {
+          // Bias broadcast: sum the gradient over the broadcast rows.
+          Tensor gb(b.shape());
+          const std::int64_t n = b.dim(0);
+          for (std::int64_t i = 0; i < g.size(); ++i) {
+            gb.at(i % n) += g.at(i);
+          }
+          flops += static_cast<double>(g.size());
+          accumulate(grads[node.inputs[1]], std::move(gb));
+        }
+        break;
+      }
+      case OpType::Relu: {
+        Tensor gx = g;
+        for (std::int64_t i = 0; i < gx.size(); ++i) {
+          if (rec.inputs[0].at(i) <= 0.0f) gx.at(i) = 0.0f;
+        }
+        flops += static_cast<double>(gx.size());
+        accumulate(grads[node.inputs[0]], std::move(gx));
+        break;
+      }
+      case OpType::Sigmoid: {
+        // d/dx sigmoid = s * (1 - s), with s the recorded output.
+        Tensor gx = g;
+        for (std::int64_t i = 0; i < gx.size(); ++i) {
+          const float sv = rec.output.at(i);
+          gx.at(i) *= sv * (1.0f - sv);
+        }
+        flops += 3.0 * static_cast<double>(gx.size());
+        accumulate(grads[node.inputs[0]], std::move(gx));
+        break;
+      }
+      case OpType::Tanh: {
+        // d/dx tanh = 1 - t^2, with t the recorded output.
+        Tensor gx = g;
+        for (std::int64_t i = 0; i < gx.size(); ++i) {
+          const float tv = rec.output.at(i);
+          gx.at(i) *= 1.0f - tv * tv;
+        }
+        flops += 3.0 * static_cast<double>(gx.size());
+        accumulate(grads[node.inputs[0]], std::move(gx));
+        break;
+      }
+      case OpType::Reshape: {
+        accumulate(grads[node.inputs[0]], g.reshaped(rec.inputs[0].shape()));
+        break;
+      }
+      case OpType::Scale: {
+        Tensor gx = g;
+        for (std::int64_t i = 0; i < gx.size(); ++i) {
+          gx.at(i) *= node.attrs.scalar;
+        }
+        flops += static_cast<double>(gx.size());
+        accumulate(grads[node.inputs[0]], std::move(gx));
+        break;
+      }
+      case OpType::Conv2D: {
+        auto gi = ops::conv2d_grad_input(rec.inputs[0], rec.inputs[1], g,
+                                         node.attrs.stride);
+        auto gf = ops::conv2d_grad_filter(rec.inputs[0], rec.inputs[1], g,
+                                          node.attrs.stride);
+        flops += gi.flops + gf.flops;
+        accumulate(grads[node.inputs[0]], std::move(gi.output));
+        accumulate(grads[node.inputs[1]], std::move(gf.output));
+        break;
+      }
+      case OpType::MaxPool2D: {
+        auto gi = ops::max_pool2d_grad(rec.inputs[0], g, node.attrs.window,
+                                       node.attrs.stride);
+        flops += gi.flops;
+        accumulate(grads[node.inputs[0]], std::move(gi.output));
+        break;
+      }
+      case OpType::AvgPool2D: {
+        auto gi = ops::avg_pool2d_grad(rec.inputs[0], g, node.attrs.window,
+                                       node.attrs.stride);
+        flops += gi.flops;
+        accumulate(grads[node.inputs[0]], std::move(gi.output));
+        break;
+      }
+      case OpType::GlobalAvgPool: {
+        auto gi = ops::global_avg_pool_grad(rec.inputs[0], g);
+        flops += gi.flops;
+        accumulate(grads[node.inputs[0]], std::move(gi.output));
+        break;
+      }
+      default:
+        throw std::logic_error(std::string("backward not implemented for ") +
+                               op_name(node.type) +
+                               " (inference-only operation)");
+    }
+  }
+  if (env_ != nullptr) env_->compute(flops);
+  last_run_flops_ += flops;
+}
+
+std::map<std::string, Tensor> Session::gradients(
+    const std::string& loss, const std::map<std::string, Tensor>& feeds) {
+  const NodeId loss_id = graph_.find(loss);
+  const auto order = graph_.topological_order({loss_id});
+  Tape tape;
+  const auto loss_value = run_internal({loss_id}, feeds, &tape);
+  last_loss_ = loss_value.front().size() > 0 ? loss_value.front().at(0) : 0.0f;
+  const double forward_flops = last_run_flops_;
+
+  std::map<std::string, Tensor> grads;
+  backward(tape, order, grads);
+  last_run_flops_ += forward_flops;  // report forward+backward total
+
+  // Backward reads every stashed activation and weight once more; charge the
+  // corresponding memory traffic (tape size) to the environment.
+  if (env_ != nullptr) {
+    std::uint64_t tape_bytes = 0;
+    for (const auto& [id, rec] : tape.records) {
+      tape_bytes += rec.output.byte_size();
+    }
+    if (tape_bytes > 0) {
+      if (tape_bytes > arena_bytes_) {
+        env_->release(arena_region_);
+        arena_bytes_ = tape_bytes;
+        arena_region_ = env_->alloc("activation-arena", arena_bytes_);
+      }
+      env_->access(arena_region_, 0, std::min(tape_bytes, arena_bytes_), false);
+    }
+  }
+  return grads;
+}
+
+void Session::apply_gradients(const std::map<std::string, Tensor>& grads,
+                              float learning_rate) {
+  for (const auto& [name, grad] : grads) {
+    auto it = variables_.find(name);
+    if (it == variables_.end()) {
+      throw std::invalid_argument("apply_gradients: unknown variable '" +
+                                  name + "'");
+    }
+    Tensor& value = it->second;
+    if (!value.same_shape(grad)) {
+      throw std::invalid_argument("apply_gradients: shape mismatch on '" +
+                                  name + "'");
+    }
+    for (std::int64_t i = 0; i < value.size(); ++i) {
+      value.at(i) -= learning_rate * grad.at(i);
+    }
+    if (env_ != nullptr) {
+      const NodeId id = graph_.find(name);
+      env_->access(param_regions_.at(id), 0, value.byte_size(), true);
+      env_->compute(2.0 * static_cast<double>(value.size()));
+    }
+  }
+}
+
+float Session::train_step(const std::string& loss,
+                          const std::map<std::string, Tensor>& feeds,
+                          float learning_rate) {
+  const auto grads = gradients(loss, feeds);
+  apply_gradients(grads, learning_rate);
+  return last_loss_;
+}
+
+}  // namespace stf::ml

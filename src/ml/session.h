@@ -1,0 +1,93 @@
+// Session: executes a Graph, owns Variable state, and supports training.
+//
+// Mirrors TensorFlow's Session.run(fetches, feeds) contract. When given a
+// tee::MemoryEnv the executor reports every weight access, activation
+// buffer, and FLOP to it, which is how the same model run charges native,
+// SIM-mode or HW-mode costs (the basis of Figures 5-8).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/graph.h"
+#include "ml/ops.h"
+#include "tee/memory_env.h"
+
+namespace stf::ml {
+
+class Session {
+ public:
+  /// `env` may be nullptr (pure math, no cost accounting).
+  explicit Session(const Graph& graph, tee::MemoryEnv* env = nullptr);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs the graph and returns the fetched tensors in order.
+  std::vector<Tensor> run(const std::vector<std::string>& fetches,
+                          const std::map<std::string, Tensor>& feeds = {});
+
+  /// Single fetch convenience.
+  Tensor run1(const std::string& fetch,
+              const std::map<std::string, Tensor>& feeds = {});
+
+  // --- variables ---------------------------------------------------------
+  [[nodiscard]] const Tensor& variable(const std::string& name) const;
+  void assign(const std::string& name, Tensor value);
+  [[nodiscard]] std::map<std::string, Tensor> variable_snapshot() const;
+  void restore_variables(const std::map<std::string, Tensor>& values);
+
+  // --- training ----------------------------------------------------------
+  /// Computes d(loss)/d(variable) for every trainable variable.
+  /// `loss` must be a scalar node reachable from the variables.
+  std::map<std::string, Tensor> gradients(
+      const std::string& loss, const std::map<std::string, Tensor>& feeds);
+
+  /// SGD update: var -= learning_rate * grad.
+  void apply_gradients(const std::map<std::string, Tensor>& grads,
+                       float learning_rate);
+
+  /// Forward + backward + update; returns the loss value.
+  float train_step(const std::string& loss,
+                   const std::map<std::string, Tensor>& feeds,
+                   float learning_rate);
+
+  /// FLOPs charged by the most recent run/gradients call.
+  [[nodiscard]] double last_run_flops() const { return last_run_flops_; }
+
+  /// Loss value observed by the most recent gradients()/train_step() call.
+  [[nodiscard]] float last_loss() const { return last_loss_; }
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+ private:
+  struct Tape;  // records per-node inputs/outputs of one forward pass
+
+  std::vector<Tensor> run_internal(const std::vector<NodeId>& fetch_ids,
+                                   const std::map<std::string, Tensor>& feeds,
+                                   Tape* tape);
+  Tensor eval_node(const Node& node, const std::vector<const Tensor*>& inputs,
+                   double& flops) const;
+  void charge(const Node& node, const std::vector<const Tensor*>& inputs,
+              const Tensor& output, double flops);
+  void backward(const Tape& tape, const std::vector<NodeId>& order,
+                std::map<std::string, Tensor>& grads_out);
+
+  const Graph& graph_;
+  tee::MemoryEnv* env_;
+  std::map<std::string, Tensor> variables_;
+  /// Per-parameter-node env regions (weights live in the EPC persistently).
+  std::map<NodeId, std::uint64_t> param_regions_;
+  /// Rotating activation arena region.
+  std::uint64_t arena_region_ = 0;
+  std::uint64_t arena_bytes_ = 0;
+  std::uint64_t arena_cursor_ = 0;
+  double last_run_flops_ = 0;
+  float last_loss_ = 0;
+};
+
+}  // namespace stf::ml

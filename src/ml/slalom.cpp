@@ -1,0 +1,207 @@
+#include "ml/slalom.h"
+
+#include <cmath>
+#include <map>
+
+namespace stf::ml {
+
+SlalomExecutor::SlalomExecutor(const Graph& frozen_graph, SlalomConfig config,
+                               tee::MemoryEnv* env, tee::SimClock& clock,
+                               crypto::HmacDrbg& rng)
+    : graph_(frozen_graph), config_(config), env_(env), clock_(clock),
+      rng_(rng) {
+  if (!graph_.variables().empty()) {
+    throw std::invalid_argument("SlalomExecutor: freeze the graph first");
+  }
+  // Weights are uploaded to the GPU once at initialization.
+  clock_.advance(static_cast<std::uint64_t>(
+      static_cast<double>(graph_.parameter_bytes()) / config_.pcie_bandwidth *
+      1e9));
+}
+
+void SlalomExecutor::charge_gpu(double flops, std::uint64_t transfer_bytes) {
+  clock_.advance(static_cast<std::uint64_t>(
+      flops / config_.gpu_flops_per_second * 1e9 +
+      static_cast<double>(transfer_bytes) / config_.pcie_bandwidth * 1e9));
+  stats_.gpu_flops += flops;
+}
+
+void SlalomExecutor::charge_enclave(double flops) {
+  if (env_ != nullptr) env_->compute(flops);
+  stats_.verification_flops += flops;
+}
+
+Tensor SlalomExecutor::offload_matmul(const Tensor& a, const Tensor& b) {
+  // "GPU" computes C = A x B (values a correct device would return).
+  auto result = ops::matmul(a, b);
+  Tensor c = std::move(result.output);
+  if (gpu_corruption_) gpu_corruption_(c);
+  charge_gpu(result.flops, a.byte_size() + c.byte_size());
+  ++stats_.offloaded_ops;
+
+  // Freivalds: pick random r, check A(Br) == Cr. One round with real-valued
+  // r in {1..16} gives overwhelming detection probability for non-adversarial
+  // float errors and any wrong entry.
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor r({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    r.at(i) = static_cast<float>(1 + rng_.uniform(16));
+  }
+  // br = B x r  (k), abr = A x br (m), cr = C x r (m)
+  std::vector<float> br(static_cast<std::size_t>(k), 0.0f);
+  for (std::int64_t i = 0; i < k; ++i) {
+    float acc = 0;
+    for (std::int64_t j = 0; j < n; ++j) acc += b.at2(i, j) * r.at(j);
+    br[static_cast<std::size_t>(i)] = acc;
+  }
+  float max_magnitude = 1.0f;
+  for (std::int64_t i = 0; i < m; ++i) {
+    float abr = 0;
+    for (std::int64_t j = 0; j < k; ++j) abr += a.at2(i, j) * br[static_cast<std::size_t>(j)];
+    float cr = 0;
+    for (std::int64_t j = 0; j < n; ++j) cr += c.at2(i, j) * r.at(j);
+    max_magnitude = std::max({max_magnitude, std::abs(abr), std::abs(cr)});
+    if (std::abs(abr - cr) > config_.tolerance * max_magnitude) {
+      throw VerificationError("matmul row " + std::to_string(i) +
+                              " failed Freivalds' check");
+    }
+  }
+  charge_enclave(2.0 * static_cast<double>(k * n + m * k + m * n));
+  ++stats_.verifications;
+  return c;
+}
+
+Tensor SlalomExecutor::offload_conv2d(const Tensor& input,
+                                      const Tensor& filter,
+                                      std::int64_t stride) {
+  auto result = ops::conv2d(input, filter, stride);
+  Tensor out = std::move(result.output);
+  if (gpu_corruption_) gpu_corruption_(out);
+  charge_gpu(result.flops, input.byte_size() + out.byte_size());
+  ++stats_.offloaded_ops;
+
+  // Spot-check: recompute random output elements in the enclave.
+  const std::int64_t n = input.dim(0), h = input.dim(1), w = input.dim(2),
+                     c = input.dim(3);
+  const std::int64_t fh = filter.dim(0), fw = filter.dim(1),
+                     k = filter.dim(3);
+  const std::int64_t oh = out.dim(1), ow = out.dim(2);
+  const std::int64_t pad_h =
+      std::max<std::int64_t>(0, ((oh - 1) * stride + fh - h) / 2);
+  const std::int64_t pad_w =
+      std::max<std::int64_t>(0, ((ow - 1) * stride + fw - w) / 2);
+  for (int sample = 0; sample < config_.conv_samples; ++sample) {
+    const std::int64_t b = static_cast<std::int64_t>(
+        rng_.uniform(static_cast<std::uint64_t>(n)));
+    const std::int64_t oy = static_cast<std::int64_t>(
+        rng_.uniform(static_cast<std::uint64_t>(oh)));
+    const std::int64_t ox = static_cast<std::int64_t>(
+        rng_.uniform(static_cast<std::uint64_t>(ow)));
+    const std::int64_t ko = static_cast<std::int64_t>(
+        rng_.uniform(static_cast<std::uint64_t>(k)));
+    float expected = 0;
+    for (std::int64_t fy = 0; fy < fh; ++fy) {
+      const std::int64_t iy = oy * stride + fy - pad_h;
+      if (iy < 0 || iy >= h) continue;
+      for (std::int64_t fx = 0; fx < fw; ++fx) {
+        const std::int64_t ix = ox * stride + fx - pad_w;
+        if (ix < 0 || ix >= w) continue;
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          expected += input.at(((b * h + iy) * w + ix) * c + ci) *
+                      filter.at(((fy * fw + fx) * c + ci) * k + ko);
+        }
+      }
+    }
+    const float got = out.at(((b * oh + oy) * ow + ox) * k + ko);
+    const float scale = std::max({1.0f, std::abs(expected), std::abs(got)});
+    if (std::abs(expected - got) > config_.tolerance * scale) {
+      throw VerificationError("conv2d sample (" + std::to_string(oy) + "," +
+                              std::to_string(ox) + ") mismatch");
+    }
+  }
+  charge_enclave(2.0 * static_cast<double>(config_.conv_samples) *
+                 static_cast<double>(fh * fw * c));
+  ++stats_.verifications;
+  return out;
+}
+
+Tensor SlalomExecutor::run(const Tensor& input, const std::string& input_name,
+                           const std::string& output_name) {
+  const NodeId output_id = graph_.find(output_name);
+  const auto order = graph_.topological_order({output_id});
+  std::map<NodeId, Tensor> values;
+
+  for (const NodeId id : order) {
+    const Node& node = graph_.node(id);
+    auto in = [&](std::size_t i) -> const Tensor& {
+      return values.at(node.inputs.at(i));
+    };
+    switch (node.type) {
+      case OpType::Const:
+        values[id] = *node.value;
+        continue;
+      case OpType::Placeholder:
+        if (node.name != input_name) {
+          throw std::invalid_argument("SlalomExecutor: unexpected placeholder '" +
+                                      node.name + "'");
+        }
+        values[id] = input;
+        continue;
+      case OpType::Variable:
+      case OpType::SoftmaxCrossEntropy:
+        throw std::invalid_argument(
+            "SlalomExecutor: inference graphs only (freeze + prune first)");
+      case OpType::MatMul:
+        values[id] = offload_matmul(in(0), in(1));
+        continue;
+      case OpType::Conv2D:
+        values[id] = offload_conv2d(in(0), in(1), node.attrs.stride);
+        continue;
+      default:
+        break;
+    }
+    // Everything non-linear runs inside the enclave.
+    ops::OpResult r;
+    switch (node.type) {
+      case OpType::Add: r = ops::add(in(0), in(1)); break;
+      case OpType::Relu: r = ops::relu(in(0)); break;
+      case OpType::Softmax: r = ops::softmax(in(0)); break;
+      case OpType::Sigmoid: r = ops::sigmoid(in(0)); break;
+      case OpType::Tanh: r = ops::tanh_op(in(0)); break;
+      case OpType::MaxPool2D:
+        r = ops::max_pool2d(in(0), node.attrs.window, node.attrs.stride);
+        break;
+      case OpType::AvgPool2D:
+        r = ops::avg_pool2d(in(0), node.attrs.window, node.attrs.stride);
+        break;
+      case OpType::GlobalAvgPool: r = ops::global_avg_pool(in(0)); break;
+      case OpType::Reshape: {
+        Shape target = node.attrs.target_shape;
+        std::int64_t known = 1;
+        int infer = -1;
+        for (std::size_t i = 0; i < target.size(); ++i) {
+          if (target[i] == -1) {
+            infer = static_cast<int>(i);
+          } else {
+            known *= target[i];
+          }
+        }
+        if (infer >= 0) {
+          target[static_cast<std::size_t>(infer)] = in(0).size() / known;
+        }
+        r = {in(0).reshaped(std::move(target)), 0};
+        break;
+      }
+      case OpType::ArgMax: r = ops::argmax(in(0)); break;
+      case OpType::Scale: r = ops::scale(in(0), node.attrs.scalar); break;
+      default:
+        throw std::logic_error("SlalomExecutor: unhandled op");
+    }
+    charge_enclave(r.flops);
+    ++stats_.enclave_ops;
+    values[id] = std::move(r.output);
+  }
+  return values.at(output_id);
+}
+
+}  // namespace stf::ml

@@ -1,0 +1,99 @@
+// Slalom-style GPU offloading with in-enclave verification (§7.4).
+//
+// The paper's GPU discussion: trusted GPUs don't exist commercially, so
+// offloading requires either weakening the threat model or verifying what
+// the untrusted GPU returns. Slalom (Tramèr & Boneh, cited as [89]) does the
+// latter for linear layers; this module reproduces the scheme:
+//
+//   * linear operations (MatMul, Conv2D) run on an *untrusted* GPU — fast,
+//     but the adversary may return anything;
+//   * the enclave verifies each result probabilistically: Freivalds' check
+//     for matrix products (A(Br) == Cr for a random r — O(n^2) instead of
+//     the O(n^3) recompute) and random output-sample recomputation for
+//     convolutions;
+//   * non-linear operations (relu, softmax, pooling, bias) stay inside the
+//     enclave.
+//
+// The GPU itself is simulated: its arithmetic is performed on the host (the
+// values a correct GPU would return), its time is charged from the cost
+// model's GPU rate, and tests corrupt its outputs to show verification
+// catches tampering.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+#include "crypto/drbg.h"
+#include "ml/graph.h"
+#include "ml/ops.h"
+#include "tee/memory_env.h"
+#include "tee/sim_clock.h"
+
+namespace stf::ml {
+
+/// Thrown when an offloaded result fails its in-enclave verification: the
+/// GPU (or the host driving it) returned a wrong result.
+class VerificationError : public std::runtime_error {
+ public:
+  explicit VerificationError(const std::string& what)
+      : std::runtime_error("gpu verification failed: " + what) {}
+};
+
+struct SlalomConfig {
+  /// Untrusted accelerator throughput (consumer GPU class).
+  double gpu_flops_per_second = 500e9;
+  /// CPU <-> GPU transfer bandwidth (PCIe 3.0 x16 class), bytes/s.
+  double pcie_bandwidth = 12e9;
+  /// Random output samples recomputed in-enclave per convolution.
+  int conv_samples = 32;
+  /// Relative tolerance of the float comparisons (accumulation order on a
+  /// real GPU differs from the host).
+  float tolerance = 1e-3f;
+};
+
+struct SlalomStats {
+  std::uint64_t offloaded_ops = 0;
+  std::uint64_t enclave_ops = 0;
+  std::uint64_t verifications = 0;
+  double gpu_flops = 0;
+  double verification_flops = 0;
+};
+
+/// Executes a frozen inference graph with linear layers offloaded.
+/// `env` (nullable) receives the *enclave-side* work — nonlinear ops and
+/// verification; GPU time and PCIe transfers are charged to `clock`.
+class SlalomExecutor {
+ public:
+  SlalomExecutor(const Graph& frozen_graph, SlalomConfig config,
+                 tee::MemoryEnv* env, tee::SimClock& clock,
+                 crypto::HmacDrbg& rng);
+
+  /// One forward pass computing `output_name` from placeholder `input_name`.
+  /// Throws VerificationError if any offloaded result fails its check.
+  Tensor run(const Tensor& input, const std::string& input_name = "input",
+             const std::string& output_name = "probs");
+
+  /// Test hook: corrupts every GPU result before verification.
+  void set_gpu_corruption(std::function<void(Tensor&)> hook) {
+    gpu_corruption_ = std::move(hook);
+  }
+
+  [[nodiscard]] const SlalomStats& stats() const { return stats_; }
+
+ private:
+  Tensor offload_matmul(const Tensor& a, const Tensor& b);
+  Tensor offload_conv2d(const Tensor& input, const Tensor& filter,
+                        std::int64_t stride);
+  void charge_gpu(double flops, std::uint64_t transfer_bytes);
+  void charge_enclave(double flops);
+
+  const Graph& graph_;
+  SlalomConfig config_;
+  tee::MemoryEnv* env_;
+  tee::SimClock& clock_;
+  crypto::HmacDrbg& rng_;
+  std::function<void(Tensor&)> gpu_corruption_;
+  SlalomStats stats_;
+};
+
+}  // namespace stf::ml

@@ -1,0 +1,104 @@
+// Dense float32 tensor — the value type of the stf::ml dataflow framework.
+//
+// Row-major contiguous storage, shapes as vectors of dimensions. The math
+// here is real (inference and training actually compute); the TEE cost
+// model separately accounts for what that math would cost inside an enclave.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stf::ml {
+
+using Shape = std::vector<std::int64_t>;
+
+[[nodiscard]] inline std::int64_t num_elements(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+[[nodiscard]] inline std::string shape_to_string(const Shape& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(num_elements(shape_)), 0.0f) {}
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    if (static_cast<std::int64_t>(data_.size()) != num_elements(shape_)) {
+      throw std::invalid_argument("Tensor: data size does not match shape " +
+                                  shape_to_string(shape_));
+    }
+  }
+
+  /// Scalar convenience.
+  static Tensor scalar(float v) { return Tensor({1}, {v}); }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] std::uint64_t byte_size() const {
+    return data_.size() * sizeof(float);
+  }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] float& at(std::int64_t i) {
+    return data_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] float at(std::int64_t i) const {
+    return data_.at(static_cast<std::size_t>(i));
+  }
+
+  /// 2-D indexed access (checked), for matrices [rows, cols].
+  [[nodiscard]] float& at2(std::int64_t r, std::int64_t c) {
+    return data_.at(static_cast<std::size_t>(r * shape_.at(1) + c));
+  }
+  [[nodiscard]] float at2(std::int64_t r, std::int64_t c) const {
+    return data_.at(static_cast<std::size_t>(r * shape_.at(1) + c));
+  }
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+  /// Returns a reshaped view-copy with the same number of elements.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const {
+    if (num_elements(new_shape) != size()) {
+      throw std::invalid_argument("reshape: element count mismatch");
+    }
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace stf::ml

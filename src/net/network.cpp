@@ -1,0 +1,103 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace stf::net {
+
+void Connection::send(crypto::BytesView payload) {
+  if (network_ == nullptr) throw std::logic_error("send on invalid Connection");
+  network_->send_impl(conn_id_, side_, payload);
+}
+
+std::optional<crypto::Bytes> Connection::recv() {
+  if (network_ == nullptr) throw std::logic_error("recv on invalid Connection");
+  return network_->recv_impl(conn_id_, side_);
+}
+
+std::size_t Connection::pending() const {
+  if (network_ == nullptr) return 0;
+  const auto& conn = network_->conns_.at(conn_id_);
+  return side_ ? conn.to_b.size() : conn.to_a.size();
+}
+
+NodeId SimNetwork::add_node(std::string name, tee::SimClock& clock) {
+  nodes_.push_back({std::move(name), &clock});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+namespace {
+std::uint64_t link_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
+}  // namespace
+
+void SimNetwork::set_link(NodeId a, NodeId b, LinkSpec spec) {
+  links_[link_key(a, b)] = spec;
+}
+
+const LinkSpec& SimNetwork::link_between(NodeId a, NodeId b) const {
+  const auto it = links_.find(link_key(a, b));
+  return it != links_.end() ? it->second : default_link_;
+}
+
+std::pair<Connection, Connection> SimNetwork::connect(NodeId dialer,
+                                                      NodeId listener) {
+  if (dialer >= nodes_.size() || listener >= nodes_.size()) {
+    throw std::invalid_argument("SimNetwork::connect: unknown node");
+  }
+  const std::uint64_t id = next_conn_++;
+  conns_[id] = ConnState{.a = dialer, .b = listener};
+  // TCP-style setup: the dialer pays one RTT; the listener learns of the
+  // connection when the first message arrives.
+  nodes_[dialer].clock->advance(link_between(dialer, listener).rtt_ns);
+  return {Connection(this, id, /*side=*/false, dialer, listener),
+          Connection(this, id, /*side=*/true, listener, dialer)};
+}
+
+void SimNetwork::send_impl(std::uint64_t conn_id, bool from_side,
+                           crypto::BytesView payload) {
+  ConnState& conn = conns_.at(conn_id);
+  const NodeId from = from_side ? conn.b : conn.a;
+  const NodeId to = from_side ? conn.a : conn.b;
+  const LinkSpec& link = link_between(from, to);
+
+  tee::SimClock& sender_clock = *nodes_[from].clock;
+  bytes_sent_ += payload.size();
+
+  Message msg;
+  msg.payload.assign(payload.begin(), payload.end());
+
+  AdversaryAction action = AdversaryAction::Pass;
+  if (adversary_) action = adversary_(msg.payload);
+
+  // Sender-side serialization cost applies regardless of what the network
+  // does with the packet afterwards.
+  sender_clock.advance(static_cast<std::uint64_t>(
+      static_cast<double>(payload.size()) / link.bandwidth * 1e9));
+
+  if (action == AdversaryAction::Drop) return;
+
+  std::uint64_t latency = link.rtt_ns / 2;
+  if (action == AdversaryAction::Delay) latency += link.rtt_ns * 10;
+  msg.arrival_ns = sender_clock.now_ns() + latency;
+
+  auto& queue = from_side ? conn.to_a : conn.to_b;
+  queue.push_back(msg);
+  if (action == AdversaryAction::Replay) queue.push_back(msg);
+}
+
+std::optional<crypto::Bytes> SimNetwork::recv_impl(std::uint64_t conn_id,
+                                                   bool side) {
+  ConnState& conn = conns_.at(conn_id);
+  auto& queue = side ? conn.to_b : conn.to_a;
+  if (queue.empty()) return std::nullopt;
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  const NodeId self = side ? conn.b : conn.a;
+  nodes_[self].clock->advance_to(msg.arrival_ns);
+  ++messages_delivered_;
+  return std::move(msg.payload);
+}
+
+}  // namespace stf::net

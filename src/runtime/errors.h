@@ -1,0 +1,18 @@
+// Error taxonomy of the shielded runtime.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stf::runtime {
+
+/// An integrity/confidentiality violation detected by a shield: tampered
+/// ciphertext, replayed record, rolled-back file, Iago-style host lie.
+/// Security errors are never silently swallowed — the computation must stop.
+class SecurityError : public std::runtime_error {
+ public:
+  explicit SecurityError(const std::string& what)
+      : std::runtime_error("security violation: " + what) {}
+};
+
+}  // namespace stf::runtime

@@ -1,0 +1,62 @@
+// Iago-attack defences (§3.3, Checkoway & Shacham).
+//
+// The system-call interface is an untrusted RPC: a malicious kernel can
+// return impossible values (a read length longer than the buffer, a pointer
+// that aliases enclave memory, a negative "success") hoping the shielded
+// application corrupts itself acting on the lie. Every host return value
+// crossing into the enclave passes one of these checks first.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/errors.h"
+
+namespace stf::runtime::iago {
+
+/// The enclave's linear address range (host-supplied pointers must lie
+/// strictly outside it — otherwise the host could alias protected state).
+struct EnclaveRange {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] bool overlaps(std::uint64_t addr, std::uint64_t len) const {
+    const std::uint64_t end = addr + len;
+    if (end < addr) return true;  // wrap-around is always hostile
+    return addr < base + size && end > base;
+  }
+};
+
+/// Validates the return of read()/recv(): the host may not claim more bytes
+/// than the buffer holds. Returns the validated length.
+inline std::uint64_t checked_io_length(std::int64_t claimed,
+                                       std::uint64_t requested) {
+  if (claimed < 0) {
+    throw SecurityError("iago: negative I/O length from host");
+  }
+  if (static_cast<std::uint64_t>(claimed) > requested) {
+    throw SecurityError("iago: host claimed more bytes than requested");
+  }
+  return static_cast<std::uint64_t>(claimed);
+}
+
+/// Validates a host-provided buffer (e.g. mmap result): it must not overlap
+/// enclave memory and must not wrap around the address space.
+inline std::uint64_t checked_host_buffer(std::uint64_t addr, std::uint64_t len,
+                                         const EnclaveRange& enclave) {
+  if (addr == 0) throw SecurityError("iago: null host buffer");
+  if (addr + len < addr) throw SecurityError("iago: host buffer wraps");
+  if (enclave.overlaps(addr, len)) {
+    throw SecurityError("iago: host buffer aliases enclave memory");
+  }
+  return addr;
+}
+
+/// Validates an errno-style result: only values in [-4095, smaller bound]
+/// are legitimate kernel errors; anything else is a fabricated code.
+inline std::int64_t checked_errno(std::int64_t value) {
+  if (value < 0 && value >= -4095) return value;  // plausible -errno
+  if (value >= 0) return value;
+  throw SecurityError("iago: implausible errno from host");
+}
+
+}  // namespace stf::runtime::iago

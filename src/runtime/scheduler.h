@@ -1,0 +1,79 @@
+// User-level (M:N) threading with exit-less system calls (§3.3).
+//
+// Enclave transitions cost thousands of cycles, so the SCONE runtime keeps
+// OS threads inside the enclave and multiplexes many application threads on
+// top. When an application thread issues a system call, the request is
+// placed on a shared queue, a host thread executes it outside, and the
+// scheduler immediately runs another application thread — the kernel time is
+// *masked* by useful work instead of being serialized behind a transition.
+//
+// The scheduler here is a discrete-event simulation of that policy operating
+// on an Enclave's virtual clock: tasks are step lists (compute / syscall /
+// yield), and the measured effect — async syscalls overlapping compute,
+// fewer transitions — is exactly what bench_ablation_syscalls quantifies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tee/enclave.h"
+
+namespace stf::runtime {
+
+/// Burn CPU: `flops` floating-point operations.
+struct ComputeStep {
+  double flops = 0;
+};
+/// Issue a system call copying `bytes` across the boundary.
+struct SyscallStep {
+  std::uint64_t bytes = 0;
+};
+/// Voluntarily yield to the scheduler.
+struct YieldStep {};
+
+using Step = std::variant<ComputeStep, SyscallStep, YieldStep>;
+
+struct TaskSpec {
+  std::string name;
+  std::vector<Step> steps;
+};
+
+struct SchedulerStats {
+  std::uint64_t context_switches = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t transitions = 0;  ///< enclave exits (sync mode only)
+  std::uint64_t idle_ns = 0;      ///< clock advanced with every task blocked
+};
+
+class UserScheduler {
+ public:
+  /// `async_syscalls` selects the SCONE exit-less interface; false models a
+  /// conventional runtime that exits the enclave per syscall (the ablation
+  /// baseline, comparable to what Graphene-SGX does).
+  UserScheduler(tee::Enclave& enclave, bool async_syscalls);
+
+  void spawn(TaskSpec task);
+
+  /// Runs every task to completion on one OS thread; returns the virtual
+  /// time the whole batch took.
+  std::uint64_t run();
+
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+
+ private:
+  struct TaskState {
+    TaskSpec spec;
+    std::size_t next_step = 0;
+    std::uint64_t ready_at_ns = 0;  // blocked until this time
+    bool done = false;
+  };
+
+  tee::Enclave& enclave_;
+  bool async_syscalls_;
+  std::vector<TaskState> tasks_;
+  SchedulerStats stats_;
+};
+
+}  // namespace stf::runtime

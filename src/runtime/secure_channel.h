@@ -1,0 +1,94 @@
+// Network shield: the transparent TLS-like channel of §3.3.
+//
+// TensorFlow does not encrypt its wire traffic; under the Dolev-Yao threat
+// model nothing may leave the enclave in plaintext. The network shield wraps
+// every socket: an ephemeral X25519 handshake (the paper recommends
+// forward-secret ECDHE over RSA, §7.3) derives per-direction AES-128-GCM
+// keys, and every record carries a sequence number in its nonce and header,
+// so tampering, replay, reordering and truncation are all detected.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/bytes.h"
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "crypto/x25519.h"
+#include "net/network.h"
+#include "runtime/errors.h"
+#include "tee/cost_model.h"
+#include "tee/sim_clock.h"
+
+namespace stf::runtime {
+
+class SecureChannel;
+
+/// Two-message handshake state machine. Each side constructs one, exchanges
+/// `hello()` payloads over an untrusted connection, and calls `finish()`.
+class ChannelHandshake {
+ public:
+  enum class Role : std::uint8_t { Client, Server };
+
+  ChannelHandshake(Role role, crypto::HmacDrbg& rng);
+
+  /// The hello message (ephemeral public key + random) to send to the peer.
+  [[nodiscard]] crypto::Bytes hello() const;
+
+  /// This side's ephemeral public key; attestation binds it into a quote's
+  /// report_data so that the attested identity owns the channel.
+  [[nodiscard]] const crypto::X25519::Key& public_key() const { return pub_; }
+
+  /// Derives the channel from the peer's hello. Throws SecurityError on a
+  /// malformed hello (wrong size / reflected key).
+  SecureChannel finish(crypto::BytesView peer_hello, net::Connection conn,
+                       const tee::CostModel& model, tee::SimClock& clock);
+
+ private:
+  Role role_;
+  crypto::X25519::Key secret_{};
+  crypto::X25519::Key pub_{};
+  std::array<std::uint8_t, 16> random_{};
+};
+
+/// An established shielded channel. Move-only.
+class SecureChannel {
+ public:
+  SecureChannel() = default;
+
+  /// Seals and sends one record. Charges AEAD + link cost.
+  void send(crypto::BytesView plaintext);
+
+  /// Receives, verifies and decrypts the next record. Returns std::nullopt
+  /// when nothing is in flight. Throws SecurityError on tampered ciphertext
+  /// or a sequence-number violation (replay / reorder / injection).
+  std::optional<crypto::Bytes> recv();
+
+  [[nodiscard]] std::uint64_t records_sent() const { return send_seq_; }
+  [[nodiscard]] std::uint64_t records_received() const { return recv_seq_; }
+  [[nodiscard]] bool valid() const { return static_cast<bool>(send_aead_); }
+
+ private:
+  friend class ChannelHandshake;
+  SecureChannel(net::Connection conn, crypto::BytesView send_key,
+                crypto::BytesView recv_key,
+                std::array<std::uint8_t, 12> send_iv,
+                std::array<std::uint8_t, 12> recv_iv,
+                const tee::CostModel& model, tee::SimClock& clock);
+
+  [[nodiscard]] std::array<std::uint8_t, 12> nonce_for(
+      const std::array<std::uint8_t, 12>& iv, std::uint64_t seq) const;
+
+  net::Connection conn_;
+  std::unique_ptr<crypto::AesGcm> send_aead_;
+  std::unique_ptr<crypto::AesGcm> recv_aead_;
+  std::array<std::uint8_t, 12> send_iv_{};
+  std::array<std::uint8_t, 12> recv_iv_{};
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+  const tee::CostModel* model_ = nullptr;
+  tee::SimClock* clock_ = nullptr;
+};
+
+}  // namespace stf::runtime

@@ -1,0 +1,39 @@
+// Convenience for establishing a shielded channel pair between two nodes of
+// the single-threaded simulation (client and server live in one process, so
+// the two-message handshake can be driven in line).
+#pragma once
+
+#include "crypto/drbg.h"
+#include "net/network.h"
+#include "runtime/secure_channel.h"
+
+namespace stf::runtime {
+
+struct ShieldedLink {
+  SecureChannel a_to_b;  ///< endpoint at node a
+  SecureChannel b_to_a;  ///< endpoint at node b
+
+  /// Connects `a` to `b` across `net` and runs the X25519 handshake, with
+  /// each side's latency charged to its own clock.
+  static ShieldedLink establish(net::SimNetwork& net, net::NodeId a,
+                                net::NodeId b, const tee::CostModel& model,
+                                tee::SimClock& clock_a, tee::SimClock& clock_b,
+                                crypto::HmacDrbg& rng) {
+    auto [conn_a, conn_b] = net.connect(a, b);
+    ChannelHandshake hs_a(ChannelHandshake::Role::Client, rng);
+    ChannelHandshake hs_b(ChannelHandshake::Role::Server, rng);
+    conn_a.send(hs_a.hello());
+    conn_b.send(hs_b.hello());
+    const auto hello_a = conn_b.recv();
+    const auto hello_b = conn_a.recv();
+    if (!hello_a.has_value() || !hello_b.has_value()) {
+      throw SecurityError("shielded link: handshake message lost");
+    }
+    ShieldedLink link;
+    link.a_to_b = hs_a.finish(*hello_b, conn_a, model, clock_a);
+    link.b_to_a = hs_b.finish(*hello_a, conn_b, model, clock_b);
+    return link;
+  }
+};
+
+}  // namespace stf::runtime

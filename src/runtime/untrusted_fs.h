@@ -1,0 +1,81 @@
+// The untrusted host filesystem.
+//
+// Everything an enclave persists lands here — and per the threat model the
+// host controls it completely. Tests drive the adversarial mutators
+// (tamper/rollback/swap) to show the file-system shield catches each attack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace stf::runtime {
+
+class UntrustedFs {
+ public:
+  void write(const std::string& path, crypto::Bytes data) {
+    auto& entry = files_[path];
+    entry.history.push_back(std::move(entry.current));
+    entry.current = std::move(data);
+  }
+
+  [[nodiscard]] std::optional<crypto::Bytes> read(const std::string& path) const {
+    const auto it = files_.find(path);
+    if (it == files_.end()) return std::nullopt;
+    return it->second.current;
+  }
+
+  [[nodiscard]] bool exists(const std::string& path) const {
+    return files_.contains(path);
+  }
+
+  void remove(const std::string& path) { files_.erase(path); }
+
+  [[nodiscard]] std::vector<std::string> list() const {
+    std::vector<std::string> out;
+    out.reserve(files_.size());
+    for (const auto& [path, _] : files_) out.push_back(path);
+    return out;
+  }
+
+  // --- adversarial controls (the host is the attacker) -------------------
+
+  /// Flips one byte of the stored file. Returns false if absent/empty.
+  bool tamper(const std::string& path, std::size_t offset) {
+    auto it = files_.find(path);
+    if (it == files_.end() || it->second.current.empty()) return false;
+    it->second.current[offset % it->second.current.size()] ^= 0x01;
+    return true;
+  }
+
+  /// Restores the previous version of the file (a rollback attack).
+  bool rollback(const std::string& path) {
+    auto it = files_.find(path);
+    if (it == files_.end() || it->second.history.empty()) return false;
+    it->second.current = it->second.history.back();
+    it->second.history.pop_back();
+    return true;
+  }
+
+  /// Swaps the contents of two files (a substitution attack).
+  bool swap_files(const std::string& a, const std::string& b) {
+    auto ia = files_.find(a);
+    auto ib = files_.find(b);
+    if (ia == files_.end() || ib == files_.end()) return false;
+    std::swap(ia->second.current, ib->second.current);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    crypto::Bytes current;
+    std::vector<crypto::Bytes> history;  // what a rollback attacker replays
+  };
+  std::map<std::string, Entry> files_;
+};
+
+}  // namespace stf::runtime

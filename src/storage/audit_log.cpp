@@ -1,0 +1,68 @@
+#include "storage/audit_log.h"
+
+namespace stf::storage {
+
+crypto::Bytes AuditEntry::serialize_unauthenticated() const {
+  crypto::Bytes out;
+  std::uint8_t seq_bytes[8];
+  crypto::store_be64(seq_bytes, seq);
+  crypto::append(out, crypto::BytesView(seq_bytes, 8));
+  std::uint8_t subject_len[8];
+  crypto::store_be64(subject_len, subject.size());
+  crypto::append(out, crypto::BytesView(subject_len, 8));
+  crypto::append(out, crypto::to_bytes(subject));
+  crypto::append(out, payload);
+  crypto::append(out, crypto::BytesView(prev_digest.data(), 32));
+  return out;
+}
+
+std::array<std::uint8_t, 32> AuditEntry::digest() const {
+  crypto::Bytes all = serialize_unauthenticated();
+  crypto::append(all, crypto::BytesView(mac.data(), 32));
+  return crypto::Sha256::hash(all);
+}
+
+std::array<std::uint8_t, 32> AuditLog::mac_for(const AuditEntry& e) const {
+  return crypto::hmac_sha256(key_, e.serialize_unauthenticated());
+}
+
+std::uint64_t AuditLog::append(std::string subject, crypto::Bytes payload) {
+  AuditEntry entry;
+  entry.seq = entries_.size();
+  entry.subject = std::move(subject);
+  entry.payload = std::move(payload);
+  if (!entries_.empty()) entry.prev_digest = entries_.back().digest();
+  entry.mac = mac_for(entry);
+  entries_.push_back(std::move(entry));
+  return entries_.back().seq;
+}
+
+bool AuditLog::verify_chain() const {
+  std::array<std::uint8_t, 32> prev{};
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const AuditEntry& e = entries_[i];
+    if (e.seq != i) return false;
+    if (!crypto::ct_equal(crypto::BytesView(e.prev_digest.data(), 32),
+                          crypto::BytesView(prev.data(), 32))) {
+      return false;
+    }
+    const auto expected_mac = mac_for(e);
+    if (!crypto::ct_equal(crypto::BytesView(expected_mac.data(), 32),
+                          crypto::BytesView(e.mac.data(), 32))) {
+      return false;
+    }
+    prev = e.digest();
+  }
+  return true;
+}
+
+std::optional<crypto::Bytes> AuditLog::latest(
+    const std::string& subject) const {
+  if (!verify_chain()) return std::nullopt;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->subject == subject) return it->payload;
+  }
+  return std::nullopt;
+}
+
+}  // namespace stf::storage

@@ -1,0 +1,64 @@
+// Append-only audit log: a MAC'd hash chain (§3.3.2).
+//
+// The CAS auditing service records every modification of shielded data in a
+// chain where each entry binds the digest of the previous one. Truncating,
+// reordering or rewriting history breaks the chain; forging entries requires
+// the audit key, which never leaves the CAS enclave. Freshness queries
+// ("what is the latest generation of /secure/model?") are answered from the
+// verified chain tail.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace stf::storage {
+
+struct AuditEntry {
+  std::uint64_t seq = 0;
+  std::string subject;              ///< e.g. file path or "fs-meta/worker-1"
+  crypto::Bytes payload;            ///< e.g. generation number, state digest
+  std::array<std::uint8_t, 32> prev_digest{};
+  std::array<std::uint8_t, 32> mac{};
+
+  [[nodiscard]] crypto::Bytes serialize_unauthenticated() const;
+  [[nodiscard]] std::array<std::uint8_t, 32> digest() const;
+};
+
+class AuditLog {
+ public:
+  /// `key` is the audit MAC key held inside the CAS enclave.
+  explicit AuditLog(crypto::BytesView key) : key_(key.begin(), key.end()) {}
+
+  /// Appends an entry for `subject` with `payload`; returns its sequence.
+  std::uint64_t append(std::string subject, crypto::Bytes payload);
+
+  /// Walks the whole chain verifying digests and MACs.
+  [[nodiscard]] bool verify_chain() const;
+
+  /// Latest payload recorded for `subject` (after verifying the chain).
+  [[nodiscard]] std::optional<crypto::Bytes> latest(
+      const std::string& subject) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<AuditEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Adversarial access for tests: the log storage itself may be attacked.
+  std::vector<AuditEntry>& mutable_entries() { return entries_; }
+
+ private:
+  [[nodiscard]] std::array<std::uint8_t, 32> mac_for(
+      const AuditEntry& e) const;
+
+  crypto::Bytes key_;
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace stf::storage

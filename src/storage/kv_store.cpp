@@ -1,0 +1,83 @@
+#include "storage/kv_store.h"
+
+#include <stdexcept>
+
+namespace stf::storage {
+
+EncryptedKvStore::EncryptedKvStore(crypto::BytesView key,
+                                   MonotonicCounterService& counters,
+                                   std::string counter_id,
+                                   crypto::HmacDrbg& rng)
+    : aead_(key), counters_(counters), counter_id_(std::move(counter_id)),
+      rng_(rng) {
+  if (key.size() != 32) {
+    throw std::invalid_argument("EncryptedKvStore: key must be 32 bytes");
+  }
+  if (!counters_.exists(counter_id_)) counters_.create(counter_id_);
+}
+
+crypto::Bytes EncryptedKvStore::seal() {
+  // Plain length-prefixed serialization of the map.
+  crypto::Bytes plain;
+  std::uint8_t n[8];
+  crypto::store_be64(n, data_.size());
+  crypto::append(plain, crypto::BytesView(n, 8));
+  for (const auto& [k, v] : data_) {
+    crypto::store_be64(n, k.size());
+    crypto::append(plain, crypto::BytesView(n, 8));
+    crypto::append(plain, crypto::to_bytes(k));
+    crypto::store_be64(n, v.size());
+    crypto::append(plain, crypto::BytesView(n, 8));
+    crypto::append(plain, v);
+  }
+
+  const std::uint64_t version = counters_.increment(counter_id_);
+  std::uint8_t aad[8];
+  crypto::store_be64(aad, version);
+
+  const crypto::Bytes nonce = rng_.generate(crypto::AesGcm::kNonceSize);
+  crypto::Bytes out = nonce;
+  crypto::append(out, aead_.seal(nonce, crypto::BytesView(aad, 8), plain));
+  return out;
+}
+
+bool EncryptedKvStore::load(crypto::BytesView sealed) {
+  if (sealed.size() < crypto::AesGcm::kNonceSize + crypto::AesGcm::kTagSize) {
+    return false;
+  }
+  // Only the blob sealed under the *current* counter value is acceptable:
+  // an older blob (rollback) fails AAD authentication.
+  std::uint8_t aad[8];
+  crypto::store_be64(aad, counters_.read(counter_id_));
+  const auto opened = aead_.open(
+      sealed.first(crypto::AesGcm::kNonceSize), crypto::BytesView(aad, 8),
+      sealed.subspan(crypto::AesGcm::kNonceSize));
+  if (!opened.has_value()) return false;
+
+  std::map<std::string, crypto::Bytes> restored;
+  const crypto::Bytes& plain = *opened;
+  std::size_t cursor = 0;
+  auto read_u64 = [&](std::uint64_t& v) {
+    if (cursor + 8 > plain.size()) return false;
+    v = crypto::load_be64(plain.data() + cursor);
+    cursor += 8;
+    return true;
+  };
+  std::uint64_t count = 0;
+  if (!read_u64(count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t klen = 0, vlen = 0;
+    if (!read_u64(klen) || cursor + klen > plain.size()) return false;
+    std::string k(plain.begin() + cursor, plain.begin() + cursor + klen);
+    cursor += klen;
+    if (!read_u64(vlen) || cursor + vlen > plain.size()) return false;
+    crypto::Bytes v(plain.begin() + cursor, plain.begin() + cursor + vlen);
+    cursor += vlen;
+    restored.emplace(std::move(k), std::move(v));
+  }
+  if (cursor != plain.size()) return false;
+  data_ = std::move(restored);
+  return true;
+}
+
+}  // namespace stf::storage

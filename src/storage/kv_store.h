@@ -1,0 +1,57 @@
+// Encrypted embedded key-value store.
+//
+// Stand-in for the encrypted SQLite the CAS implementation embeds (§4.3):
+// secrets, certificates and policies live in this store, which serializes to
+// a single AES-GCM-sealed blob whose version is pinned by a monotonic
+// counter — so the host can neither read, modify, nor roll back the secret
+// database.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "storage/monotonic_counter.h"
+
+namespace stf::storage {
+
+class EncryptedKvStore {
+ public:
+  /// `key`: 32-byte sealing key. `counter_id` names this store's version
+  /// counter inside `counters` (created on first use).
+  EncryptedKvStore(crypto::BytesView key, MonotonicCounterService& counters,
+                   std::string counter_id, crypto::HmacDrbg& rng);
+
+  void put(const std::string& k, crypto::Bytes v) { data_[k] = std::move(v); }
+  [[nodiscard]] std::optional<crypto::Bytes> get(const std::string& k) const {
+    const auto it = data_.find(k);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+  void erase(const std::string& k) { data_.erase(k); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool contains(const std::string& k) const {
+    return data_.contains(k);
+  }
+
+  /// Seals the current contents; bumps the version counter so older blobs
+  /// become invalid.
+  [[nodiscard]] crypto::Bytes seal();
+
+  /// Restores contents from a sealed blob. Returns false (leaving the store
+  /// untouched) on tamper or version mismatch (rollback).
+  [[nodiscard]] bool load(crypto::BytesView sealed);
+
+ private:
+  crypto::AesGcm aead_;
+  MonotonicCounterService& counters_;
+  std::string counter_id_;
+  crypto::HmacDrbg& rng_;
+  std::map<std::string, crypto::Bytes> data_;
+};
+
+}  // namespace stf::storage

@@ -1,0 +1,61 @@
+// Trusted monotonic counters (Memoir-style rollback defence, §2.3/§3.3.2).
+//
+// A counter can only move forward; shielded state embeds the counter value
+// it was written under, so replaying an older blob is detectable. In
+// secureTF the counters live inside the CAS enclave, surviving restarts of
+// the worker enclaves whose state they protect.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace stf::storage {
+
+class MonotonicCounterService {
+ public:
+  /// Creates a counter starting at 0; throws if the id already exists.
+  void create(const std::string& id) {
+    if (counters_.contains(id)) {
+      throw std::invalid_argument("counter exists: " + id);
+    }
+    counters_[id] = 0;
+  }
+
+  /// Atomically increments and returns the new value.
+  std::uint64_t increment(const std::string& id) {
+    return ++counter_ref(id);
+  }
+
+  [[nodiscard]] std::uint64_t read(const std::string& id) const {
+    const auto it = counters_.find(id);
+    if (it == counters_.end()) {
+      throw std::invalid_argument("no such counter: " + id);
+    }
+    return it->second;
+  }
+
+  /// Verifies that `claimed` is the current value (a stale value means the
+  /// state being checked was rolled back).
+  [[nodiscard]] bool is_current(const std::string& id,
+                                std::uint64_t claimed) const {
+    return read(id) == claimed;
+  }
+
+  [[nodiscard]] bool exists(const std::string& id) const {
+    return counters_.contains(id);
+  }
+
+ private:
+  std::uint64_t& counter_ref(const std::string& id) {
+    const auto it = counters_.find(id);
+    if (it == counters_.end()) {
+      throw std::invalid_argument("no such counter: " + id);
+    }
+    return it->second;
+  }
+  std::unordered_map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace stf::storage

@@ -1,0 +1,77 @@
+#include "tee/attestation.h"
+
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+
+namespace stf::tee {
+
+crypto::Bytes Report::serialize() const {
+  crypto::Bytes out;
+  out.reserve(32 + 32 + 4 + 64);
+  crypto::append(out, crypto::BytesView(mrenclave.data(), mrenclave.size()));
+  crypto::append(out, crypto::BytesView(mrsigner.data(), mrsigner.size()));
+  out.push_back(attributes.debug ? 1 : 0);
+  out.push_back(static_cast<std::uint8_t>(attributes.isv_svn >> 8));
+  out.push_back(static_cast<std::uint8_t>(attributes.isv_svn));
+  crypto::append(out,
+                 crypto::BytesView(report_data.data(), report_data.size()));
+  return out;
+}
+
+crypto::Bytes Quote::serialize_without_mac() const {
+  crypto::Bytes out = report.serialize();
+  crypto::append(out, crypto::to_bytes(platform_id));
+  crypto::append(out, crypto::BytesView(nonce.data(), nonce.size()));
+  return out;
+}
+
+crypto::Bytes ProvisioningAuthority::register_platform(
+    const std::string& platform_id) {
+  crypto::Bytes secret =
+      crypto::HmacDrbg(crypto::to_bytes("provision:" + platform_id))
+          .generate(32);
+  secrets_[platform_id] = secret;
+  return secret;
+}
+
+crypto::Sha256::Digest ProvisioningAuthority::attestation_key(
+    crypto::BytesView secret) {
+  return crypto::hmac_sha256(secret, crypto::to_bytes("attestation-key"));
+}
+
+bool ProvisioningAuthority::verify(
+    const Quote& quote, const std::array<std::uint8_t, 16>& nonce) const {
+  const auto it = secrets_.find(quote.platform_id);
+  if (it == secrets_.end()) return false;
+  if (!crypto::ct_equal(crypto::BytesView(quote.nonce.data(), 16),
+                        crypto::BytesView(nonce.data(), 16))) {
+    return false;
+  }
+  const auto key = attestation_key(it->second);
+  const auto expected = crypto::hmac_sha256(
+      crypto::BytesView(key.data(), key.size()),
+      quote.serialize_without_mac());
+  return crypto::ct_equal(crypto::BytesView(expected.data(), expected.size()),
+                          crypto::BytesView(quote.mac.data(), 32));
+}
+
+QuotingEnclave::QuotingEnclave(std::string platform_id,
+                               crypto::Bytes provisioning_secret)
+    : platform_id_(std::move(platform_id)),
+      attestation_key_(ProvisioningAuthority::attestation_key(
+          provisioning_secret)) {}
+
+Quote QuotingEnclave::quote(const Report& report,
+                            const std::array<std::uint8_t, 16>& nonce) const {
+  Quote q;
+  q.report = report;
+  q.platform_id = platform_id_;
+  q.nonce = nonce;
+  const auto mac = crypto::hmac_sha256(
+      crypto::BytesView(attestation_key_.data(), attestation_key_.size()),
+      q.serialize_without_mac());
+  std::copy(mac.begin(), mac.end(), q.mac.begin());
+  return q;
+}
+
+}  // namespace stf::tee

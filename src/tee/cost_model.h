@@ -1,0 +1,146 @@
+// Calibrated cost model for the SGX simulation.
+//
+// The constants below encode the performance characteristics that drive every
+// result in the paper's evaluation (§5):
+//   * enclave transitions are expensive (~8k cycles for EENTER/EEXIT), which
+//     is why SCONE's asynchronous syscalls + user-level threading win;
+//   * the usable EPC is ~94 MB; once an enclave's working set exceeds it the
+//     kernel pages EPC pages in/out through the MEE (encrypt + integrity),
+//     which is 2-3 orders of magnitude slower than a normal memory access;
+//   * IAS attestation needs WAN round trips, local CAS does not.
+//
+// Values are derived from published SGXv1 measurements (SCONE paper §4,
+// "Intel SGX Explained", Graphene-SGX ATC'17) and tuned so the headline
+// ratios of the secureTF paper land where the paper reports them. Absolute
+// numbers are *not* claimed to match the authors' testbed.
+#pragma once
+
+#include <cstdint>
+
+namespace stf::tee {
+
+/// Execution mode of a platform, matching the paper's evaluation axes.
+enum class TeeMode {
+  Native,      ///< no TEE, no runtime: plain process (baseline)
+  Simulation,  ///< SCONE runtime active, SGX hardware off (paper's "SIM")
+  Hardware,    ///< SCONE runtime + SGX costs: EPC limit, MEE, transitions
+};
+
+inline const char* to_string(TeeMode m) {
+  switch (m) {
+    case TeeMode::Native: return "native";
+    case TeeMode::Simulation: return "sim";
+    case TeeMode::Hardware: return "hw";
+  }
+  return "?";
+}
+
+struct CostModel {
+  // --- CPU / memory ---------------------------------------------------
+  /// Sustained single-core compute throughput (single-precision FLOP/s).
+  double flops_per_second = 32e9;
+  /// Plain DRAM streaming bandwidth, bytes/s.
+  double dram_bandwidth = 12e9;
+  /// Extra per-byte cost of reads/writes that hit EPC through the MEE
+  /// (cache-line encryption); applied in Hardware mode only.
+  double mee_overhead_per_byte_ns = 0.11;
+  /// Memory traffic generated per FLOP of enclave compute (cache misses on
+  /// activations/weights during kernels). Workload-specific intensity is
+  /// set per model (see core/workloads.h); this is the default.
+  double compute_bytes_per_flop = 0.25;
+  /// SCONE-runtime overhead multiplier on in-enclave compute. Inference
+  /// containers see ~5% (the paper's SIM-vs-native gap, §5.3 #1); the
+  /// distributed-training path sees ~2.3x, which the paper attributes to a
+  /// SCONE scheduling defect (§5.4) — reproduced here as a calibrated
+  /// constant so Figure 8 keeps its published shape.
+  double runtime_overhead_inference = 1.05;
+  double runtime_overhead_training = 2.3;
+  /// Per-byte stall of the network shield's in-enclave record path under the
+  /// same scheduler defect (the SIM+shield vs SIM-no-shield gap in Fig. 8).
+  double netshield_stall_ns_per_byte = 112;
+
+  // --- EPC & paging ----------------------------------------------------
+  std::uint64_t page_size = 4096;
+  /// Usable EPC in bytes (~94 MB on SGXv1 as the paper states).
+  std::uint64_t epc_bytes = 94ull * 1024 * 1024;
+  /// Cost of evicting one EPC page (EWB: version tracking + AES-GCM) and of
+  /// loading one back (ELDU: decrypt + integrity check). Dominated by crypto
+  /// and kernel involvement; ~40k cycles each on SGXv1.
+  std::uint64_t page_evict_ns = 14000;
+  std::uint64_t page_load_ns = 14000;
+  /// Page fault kernel entry/exit + enclave AEX on an EPC miss.
+  std::uint64_t page_fault_ns = 7000;
+
+  // --- transitions & syscalls -------------------------------------------
+  /// Synchronous enclave transition (EENTER/EEXIT pair), ~8k cycles.
+  std::uint64_t transition_ns = 2100;
+  /// Asynchronous (SCONE-style) syscall: enqueue + dequeue on shared queue,
+  /// no transition.
+  std::uint64_t async_syscall_ns = 700;
+  /// Kernel time of a cheap syscall once it reaches the OS.
+  std::uint64_t syscall_kernel_ns = 900;
+  /// User-level thread context switch inside the enclave.
+  std::uint64_t uthread_switch_ns = 120;
+
+  // --- crypto (shield data paths) ---------------------------------------
+  /// Effective AES-GCM throughput of the shields outside SGX: AES-NI runs at
+  /// up to 4 GB/s (the paper's figure), but the shield also copies data
+  /// in/out of its buffers, so the end-to-end rate is lower.
+  double aead_bandwidth = 1.4e9;
+  /// Effective AEAD throughput when the crypto runs *inside* an SGXv1
+  /// enclave (buffer copies across the boundary + MEE on every byte).
+  double hw_aead_bandwidth = 175e6;
+  /// Fixed per-record / per-chunk AEAD cost (key schedule, tag, framing).
+  std::uint64_t aead_record_ns = 450;
+
+  // --- attestation -------------------------------------------------------
+  /// EPID quote generation by the quoting enclave.
+  std::uint64_t quote_generation_ns = 11'500'000;  // ~11.5 ms
+  /// Local CAS quote verification (paper: < 1 ms).
+  std::uint64_t cas_quote_verify_ns = 800'000;     // 0.8 ms
+  /// IAS quote verification incl. WAN round trips (paper: ~280 ms).
+  std::uint64_t ias_quote_verify_ns = 280'000'000;
+  /// TLS handshake (ECDHE + certificate checks) on the local network.
+  std::uint64_t tls_handshake_ns = 2'400'000;      // 2.4 ms
+
+  // --- network -----------------------------------------------------------
+  /// 1 Gb/s switched LAN (the paper's cluster interconnect).
+  double lan_bandwidth = 125e6;  // bytes/s
+  std::uint64_t lan_rtt_ns = 200'000;      // 0.2 ms
+  /// WAN to the Intel Attestation Service.
+  double wan_bandwidth = 12.5e6;
+  std::uint64_t wan_rtt_ns = 18'000'000;   // 18 ms
+
+  // ---- derived helpers ----------------------------------------------------
+  [[nodiscard]] std::uint64_t compute_ns(double flops) const {
+    return static_cast<std::uint64_t>(flops / flops_per_second * 1e9);
+  }
+  [[nodiscard]] std::uint64_t dram_ns(std::uint64_t bytes) const {
+    return static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                      dram_bandwidth * 1e9);
+  }
+  [[nodiscard]] std::uint64_t aead_ns(std::uint64_t bytes) const {
+    return aead_record_ns + static_cast<std::uint64_t>(
+                                static_cast<double>(bytes) / aead_bandwidth * 1e9);
+  }
+  /// Full network-shield record cost: AEAD plus the in-enclave record-path
+  /// stall (copies + scheduler interaction).
+  [[nodiscard]] std::uint64_t netshield_ns(std::uint64_t bytes) const {
+    return aead_ns(bytes) + static_cast<std::uint64_t>(
+                                static_cast<double>(bytes) *
+                                netshield_stall_ns_per_byte);
+  }
+  [[nodiscard]] std::uint64_t lan_transfer_ns(std::uint64_t bytes) const {
+    return lan_rtt_ns / 2 + static_cast<std::uint64_t>(
+                                static_cast<double>(bytes) / lan_bandwidth * 1e9);
+  }
+  [[nodiscard]] std::uint64_t wan_transfer_ns(std::uint64_t bytes) const {
+    return wan_rtt_ns / 2 + static_cast<std::uint64_t>(
+                                static_cast<double>(bytes) / wan_bandwidth * 1e9);
+  }
+  [[nodiscard]] std::uint64_t epc_pages() const {
+    return epc_bytes / page_size;
+  }
+};
+
+}  // namespace stf::tee

@@ -1,0 +1,108 @@
+#include "tee/enclave.h"
+
+#include "crypto/sha256.h"
+#include "tee/platform.h"
+
+namespace stf::tee {
+
+Measurement EnclaveImage::measure() const {
+  // The instance name is deployment metadata, not part of the measured
+  // image: every container built from the same binary + attributes must
+  // produce the same MRENCLAVE (that is what makes elastic scale-out work
+  // with a single CAS policy).
+  crypto::Sha256 h;
+  h.update(content);
+  std::uint8_t attr[3] = {static_cast<std::uint8_t>(attributes.debug ? 1 : 0),
+                          static_cast<std::uint8_t>(attributes.isv_svn >> 8),
+                          static_cast<std::uint8_t>(attributes.isv_svn)};
+  h.update(crypto::BytesView(attr, sizeof attr));
+  return h.finish();
+}
+
+Enclave::Enclave(Platform& platform, EnclaveImage image)
+    : platform_(platform), image_(std::move(image)) {
+  mrenclave_ = image_.measure();
+  // The loaded binary occupies EPC for the enclave's lifetime; fault it in
+  // now (EADD copies every page through the MEE).
+  binary_region_ =
+      platform_.epc().map_region(image_.name + "/binary", image_.binary_bytes);
+  platform_.epc().access_all(binary_region_, /*write=*/true, platform_.clock());
+}
+
+Enclave::~Enclave() { platform_.epc().unmap_region(binary_region_); }
+
+TeeMode Enclave::mode() const { return platform_.mode(); }
+
+Report Enclave::create_report(
+    const std::array<std::uint8_t, 64>& report_data) const {
+  Report r;
+  r.mrenclave = mrenclave_;
+  r.mrsigner = image_.signer;
+  r.attributes = image_.attributes;
+  r.report_data = report_data;
+  return r;
+}
+
+RegionId Enclave::alloc_region(std::string_view label, std::uint64_t bytes) {
+  return platform_.epc().map_region(image_.name + "/" + std::string(label),
+                                    bytes);
+}
+
+void Enclave::release_region(RegionId id) {
+  platform_.epc().unmap_region(id);
+}
+
+void Enclave::access(RegionId id, std::uint64_t offset, std::uint64_t len,
+                     bool write) {
+  // Baseline DRAM traffic cost applies in every mode; the EPC manager adds
+  // MEE and paging costs in Hardware mode.
+  platform_.clock().advance(platform_.model().dram_ns(len));
+  platform_.epc().access(id, offset, len, write, platform_.clock());
+}
+
+void Enclave::compute(double flops) {
+  const CostModel& m = platform_.model();
+  // Base compute, inflated by the SCONE runtime overhead for this container.
+  platform_.clock().advance(static_cast<std::uint64_t>(
+      static_cast<double>(m.compute_ns(flops)) * runtime_overhead_));
+  // In HW mode every cache miss of the kernels crosses the MEE; the traffic
+  // is proportional to the arithmetic with a workload-specific intensity.
+  if (platform_.mode() == TeeMode::Hardware) {
+    const double bpf = bytes_per_flop_ >= 0 ? bytes_per_flop_
+                                            : m.compute_bytes_per_flop;
+    platform_.clock().advance(static_cast<std::uint64_t>(
+        flops * bpf * m.mee_overhead_per_byte_ns));
+  }
+}
+
+void Enclave::touch_binary(double fraction) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(
+      static_cast<double>(image_.binary_bytes) * std::min(1.0, fraction));
+  platform_.epc().access(binary_region_, 0, bytes, /*write=*/false,
+                         platform_.clock());
+}
+
+void Enclave::charge_transition() {
+  platform_.clock().advance(platform_.model().transition_ns);
+}
+
+void Enclave::syscall(std::uint64_t bytes_copied, bool asynchronous) {
+  ++syscall_count_;
+  const CostModel& m = platform_.model();
+  SimClock& clock = platform_.clock();
+  if (asynchronous) {
+    // SCONE exit-less syscall: the request crosses a shared queue; an
+    // outside thread runs the kernel part while the enclave thread yields.
+    clock.advance(m.async_syscall_ns + m.syscall_kernel_ns);
+  } else {
+    clock.advance(m.transition_ns + m.syscall_kernel_ns);
+  }
+  // Arguments/results are copied across the enclave boundary.
+  clock.advance(m.dram_ns(bytes_copied));
+}
+
+void Enclave::charge_uthread_switch() {
+  platform_.clock().advance(platform_.model().uthread_switch_ns);
+}
+
+}  // namespace stf::tee

@@ -1,0 +1,140 @@
+#include "tee/epc.h"
+
+#include <stdexcept>
+
+namespace stf::tee {
+
+EpcManager::EpcManager(const CostModel& model, bool limited)
+    : model_(model), limited_(limited), capacity_pages_(model.epc_pages()) {
+  if (capacity_pages_ == 0) {
+    throw std::invalid_argument("EpcManager: EPC must hold at least one page");
+  }
+}
+
+std::uint64_t EpcManager::next_random() {
+  // xorshift64: deterministic victim sampling, independent of any global RNG.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return rng_state_;
+}
+
+RegionId EpcManager::map_region(std::string label, std::uint64_t bytes) {
+  const std::uint64_t page_count =
+      (bytes + model_.page_size - 1) / model_.page_size;
+  Region region;
+  region.label = std::move(label);
+  region.bytes = bytes;
+  region.pages.resize(page_count);
+  mapped_bytes_ += bytes;
+  const RegionId id = next_id_++;
+  regions_.emplace(id, std::move(region));
+  return id;
+}
+
+void EpcManager::unmap_region(RegionId id) {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return;
+  for (std::uint32_t p = 0; p < it->second.pages.size(); ++p) {
+    Page& page = it->second.pages[p];
+    if (!page.resident) continue;
+    // Swap-remove from the resident list, fixing the moved page's position.
+    const std::uint32_t pos = page.resident_pos;
+    resident_list_[pos] = resident_list_.back();
+    resident_list_.pop_back();
+    if (pos < resident_list_.size()) {
+      const auto [moved_region, moved_page] = resident_list_[pos];
+      regions_.at(moved_region).pages[moved_page].resident_pos = pos;
+    }
+    --resident_count_;
+    page.resident = false;
+  }
+  stats_.resident_pages = resident_count_;
+  mapped_bytes_ -= it->second.bytes;
+  regions_.erase(it);
+}
+
+void EpcManager::evict_one(SimClock& clock) {
+  if (resident_list_.empty()) {
+    throw std::logic_error("EpcManager: EPC full with no evictable page");
+  }
+  const std::uint32_t pos = static_cast<std::uint32_t>(
+      next_random() % resident_list_.size());
+  const auto [victim_region, victim_page] = resident_list_[pos];
+  Region& region = regions_.at(victim_region);
+  region.pages[victim_page].resident = false;
+  --region.resident;
+
+  resident_list_[pos] = resident_list_.back();
+  resident_list_.pop_back();
+  if (pos < resident_list_.size()) {
+    const auto [moved_region, moved_page] = resident_list_[pos];
+    regions_.at(moved_region).pages[moved_page].resident_pos = pos;
+  }
+
+  --resident_count_;
+  ++stats_.evictions;
+  clock.advance(model_.page_evict_ns);
+}
+
+void EpcManager::fault_in(Region& region, RegionId id, std::uint32_t page_index,
+                          SimClock& clock) {
+  ++stats_.faults;
+  clock.advance(model_.page_fault_ns);
+  while (resident_count_ >= capacity_pages_) evict_one(clock);
+  Page& page = region.pages[page_index];
+  page.resident = true;
+  page.resident_pos = static_cast<std::uint32_t>(resident_list_.size());
+  resident_list_.emplace_back(id, page_index);
+  ++region.resident;
+  ++resident_count_;
+  ++stats_.loads;
+  clock.advance(model_.page_load_ns);
+}
+
+void EpcManager::access(RegionId id, std::uint64_t offset, std::uint64_t len,
+                        bool write, SimClock& clock) {
+  (void)write;  // SGX pays EWB for clean and dirty pages alike
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw std::invalid_argument("EpcManager: access to unmapped region");
+  }
+  if (len == 0) return;
+  Region& region = it->second;
+  if (offset + len > region.pages.size() * model_.page_size) {
+    throw std::out_of_range("EpcManager: access beyond region");
+  }
+
+  ++stats_.accesses;
+  stats_.bytes_accessed += len;
+
+  if (!limited_) return;  // SIM mode: runtime active, but no EPC boundary
+
+  // Cache lines crossing the EPC boundary pass through the MEE.
+  clock.advance(static_cast<std::uint64_t>(
+      static_cast<double>(len) * model_.mee_overhead_per_byte_ns));
+
+  // Fast path: a fully-resident region cannot fault.
+  if (region.resident == region.pages.size()) {
+    stats_.resident_pages = resident_count_;
+    return;
+  }
+
+  const std::uint32_t first = static_cast<std::uint32_t>(offset / model_.page_size);
+  const std::uint32_t last =
+      static_cast<std::uint32_t>((offset + len - 1) / model_.page_size);
+  for (std::uint32_t p = first; p <= last; ++p) {
+    if (!region.pages[p].resident) fault_in(region, id, p, clock);
+  }
+  stats_.resident_pages = resident_count_;
+}
+
+void EpcManager::access_all(RegionId id, bool write, SimClock& clock) {
+  const auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw std::invalid_argument("EpcManager: access to unmapped region");
+  }
+  access(id, 0, it->second.bytes, write, clock);
+}
+
+}  // namespace stf::tee

@@ -1,0 +1,102 @@
+// Enclave Page Cache (EPC) simulator.
+//
+// SGXv1 exposes ~94 MB of protected memory; when an enclave's working set
+// exceeds it, the kernel evicts pages (EWB: encrypt + version-tree update)
+// and reloads them on demand (ELDU: decrypt + integrity check). That paging
+// traffic is the single biggest performance effect in the paper: it is why
+// TF-Lite beats full TF by 71x inside enclaves, why HW mode stops scaling at
+// 8 cores, and why secureTF beats Graphene once models outgrow the EPC.
+//
+// This manager tracks page residency per region with a randomized-victim
+// reclaim policy (modeling the kernel's imprecise accessed-bit scanning) and
+// charges the calibrated per-page costs into a SimClock. The MEE itself is
+// hardware, invisible to software, so its work is *modeled* (cost-only);
+// software-visible crypto (the shields) is implemented for real elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tee/cost_model.h"
+#include "tee/sim_clock.h"
+
+namespace stf::tee {
+
+using RegionId = std::uint64_t;
+
+struct EpcStats {
+  std::uint64_t faults = 0;       ///< page accesses that found the page absent
+  std::uint64_t loads = 0;        ///< pages brought into EPC (ELDU)
+  std::uint64_t evictions = 0;    ///< pages pushed out of EPC (EWB)
+  std::uint64_t accesses = 0;     ///< access() calls
+  std::uint64_t bytes_accessed = 0;
+  std::uint64_t resident_pages = 0;
+};
+
+class EpcManager {
+ public:
+  /// `limited` is false in Simulation mode: the runtime is active but there
+  /// is no EPC boundary, so pages never fault (paper's SIM semantics).
+  EpcManager(const CostModel& model, bool limited);
+
+  /// Registers a memory region of `bytes` (rounded up to whole pages).
+  /// Pages start non-resident; first touch faults them in.
+  RegionId map_region(std::string label, std::uint64_t bytes);
+
+  /// Releases a region; its resident pages leave the EPC for free (EREMOVE).
+  void unmap_region(RegionId id);
+
+  /// Simulates enclave accesses to [offset, offset+len) of a region and
+  /// charges fault/load/eviction costs to `clock`. `write` marks dirtiness
+  /// (dirty evictions are the common case; clean pages still pay EWB in SGX,
+  /// so the model charges evictions uniformly).
+  void access(RegionId id, std::uint64_t offset, std::uint64_t len, bool write,
+              SimClock& clock);
+
+  /// Touches an entire region (e.g. initial load of a model file).
+  void access_all(RegionId id, bool write, SimClock& clock);
+
+  [[nodiscard]] const EpcStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EpcStats{.resident_pages = resident_count_}; }
+
+  [[nodiscard]] std::uint64_t capacity_pages() const { return capacity_pages_; }
+  [[nodiscard]] std::uint64_t resident_pages() const { return resident_count_; }
+  [[nodiscard]] std::uint64_t mapped_bytes() const { return mapped_bytes_; }
+  [[nodiscard]] bool limited() const { return limited_; }
+
+ private:
+  struct Page {
+    bool resident = false;
+    std::uint32_t resident_pos = 0;  // index into resident_list_
+  };
+  struct Region {
+    std::string label;
+    std::uint64_t bytes = 0;
+    std::vector<Page> pages;
+    std::uint64_t resident = 0;  // fast path: fully-resident regions skip scan
+  };
+
+  void fault_in(Region& region, RegionId id, std::uint32_t page_index,
+                SimClock& clock);
+  void evict_one(SimClock& clock);
+  std::uint64_t next_random();
+
+  const CostModel& model_;
+  bool limited_;
+  std::uint64_t capacity_pages_;
+  std::uint64_t resident_count_ = 0;
+  std::uint64_t mapped_bytes_ = 0;
+  RegionId next_id_ = 1;
+  std::unordered_map<RegionId, Region> regions_;
+  // Resident pages in arbitrary order for O(1) random victim selection.
+  // Real EPC reclaim scans accessed bits imprecisely; a randomized victim
+  // models that and avoids the pathological 100%-miss cliff strict LRU shows
+  // on cyclic scans marginally larger than the EPC.
+  std::vector<std::pair<RegionId, std::uint32_t>> resident_list_;
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+  EpcStats stats_;
+};
+
+}  // namespace stf::tee

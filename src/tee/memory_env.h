@@ -1,0 +1,37 @@
+// Memory/compute environment abstraction.
+//
+// The ML executor (stf::ml) is agnostic to where it runs: natively, inside a
+// simulated SGX enclave in SIM mode, or in HW mode. It reports its memory
+// traffic and arithmetic through this interface; the concrete environment
+// decides what those cost. This is the single integration point between the
+// workload and the TEE cost simulation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace stf::tee {
+
+class MemoryEnv {
+ public:
+  virtual ~MemoryEnv() = default;
+
+  /// Registers a buffer of `bytes`; returns a region handle.
+  virtual std::uint64_t alloc(std::string_view label, std::uint64_t bytes) = 0;
+
+  /// Releases a region handle obtained from alloc().
+  virtual void release(std::uint64_t region) = 0;
+
+  /// Reports an access to [offset, offset+len) of a region.
+  virtual void access(std::uint64_t region, std::uint64_t offset,
+                      std::uint64_t len, bool write) = 0;
+
+  /// Reports `flops` floating-point operations of compute.
+  virtual void compute(double flops) = 0;
+};
+
+/// Environment used by native (untrusted) execution: charges baseline
+/// compute/DRAM cost into a clock but has no enclave semantics.
+class NativeEnv;
+
+}  // namespace stf::tee

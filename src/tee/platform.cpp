@@ -1,0 +1,36 @@
+#include "tee/platform.h"
+
+#include <stdexcept>
+
+namespace stf::tee {
+
+Platform::Platform(std::string name, TeeMode mode, const CostModel& model,
+                   ProvisioningAuthority& authority, unsigned cores)
+    : name_(std::move(name)),
+      mode_(mode),
+      model_(model),
+      cores_(cores),
+      epc_(model_, /*limited=*/mode == TeeMode::Hardware) {
+  auto secret = authority.register_platform(name_);
+  quoting_enclave_ = std::make_unique<QuotingEnclave>(name_, std::move(secret));
+}
+
+Platform::Platform(std::string name, TeeMode mode, const CostModel& model,
+                   unsigned cores)
+    : name_(std::move(name)),
+      mode_(mode),
+      model_(model),
+      cores_(cores),
+      epc_(model_, /*limited=*/mode == TeeMode::Hardware) {}
+
+Quote Platform::quote(const Report& report,
+                      const std::array<std::uint8_t, 16>& nonce) {
+  if (!quoting_enclave_) {
+    throw std::logic_error("Platform '" + name_ +
+                           "' has no provisioned quoting enclave");
+  }
+  clock().advance(model_.quote_generation_ns);
+  return quoting_enclave_->quote(report, nonce);
+}
+
+}  // namespace stf::tee

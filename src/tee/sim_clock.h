@@ -1,0 +1,61 @@
+// Virtual time for the TEE / network simulation.
+//
+// Every performance-relevant event in the reproduction (EPC page faults,
+// enclave transitions, crypto on shield boundaries, WAN round trips, model
+// FLOPs) charges virtual nanoseconds into a SimClock instead of relying on
+// wall-clock time. This makes every figure deterministic and lets the
+// benchmarks reproduce the *shape* of the paper's results without the
+// authors' hardware.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace stf::tee {
+
+/// Monotonic virtual clock, nanosecond resolution.
+class SimClock {
+ public:
+  using Ns = std::uint64_t;
+
+  void advance(Ns ns) { now_ns_ += ns; }
+  [[nodiscard]] Ns now_ns() const { return now_ns_; }
+  [[nodiscard]] double now_ms() const { return static_cast<double>(now_ns_) / 1e6; }
+  [[nodiscard]] double now_s() const { return static_cast<double>(now_ns_) / 1e9; }
+
+  /// Jumps forward to `t` if it is in the future (used when synchronizing
+  /// with another lane, e.g. after a network receive or a barrier).
+  void advance_to(Ns t) { now_ns_ = std::max(now_ns_, t); }
+
+  /// Simulation control: sets the clock to an absolute time, including
+  /// backwards. Used by orchestrators that replay logically-parallel work
+  /// (e.g. sharded parameter-server pushes) on one physical clock.
+  void set_ns(Ns t) { now_ns_ = t; }
+
+  void reset() { now_ns_ = 0; }
+
+ private:
+  Ns now_ns_ = 0;
+};
+
+/// Elapsed-time probe: measures the virtual time spent in a scope.
+class SimStopwatch {
+ public:
+  explicit SimStopwatch(const SimClock& clock)
+      : clock_(clock), start_(clock.now_ns()) {}
+  [[nodiscard]] SimClock::Ns elapsed_ns() const {
+    return clock_.now_ns() - start_;
+  }
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  const SimClock& clock_;
+  SimClock::Ns start_;
+};
+
+}  // namespace stf::tee

@@ -1,0 +1,269 @@
+// Tests for the CAS: the full attestation + provisioning protocol, policy
+// enforcement, freshness auditing, and the CAS-vs-IAS latency relationship
+// (the Figure 4 microbenchmark shape).
+#include <gtest/gtest.h>
+
+#include "cas/attest_client.h"
+#include "cas/cas_server.h"
+#include "cas/ias.h"
+#include "cas/wire.h"
+
+namespace stf::cas {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+struct CasFixture {
+  tee::CostModel model;
+  tee::ProvisioningAuthority authority;
+  tee::Platform cas_platform{"cas-host", tee::TeeMode::Hardware, model,
+                             authority};
+  tee::Platform worker_platform{"worker-host", tee::TeeMode::Hardware, model,
+                                authority};
+  net::SimNetwork net;
+  net::NodeId cas_node = net.add_node("cas", cas_platform.base_clock());
+  net::NodeId worker_node = net.add_node("worker",
+                                         worker_platform.base_clock());
+  CasServer cas{cas_platform, authority, to_bytes("cas-seed")};
+  crypto::HmacDrbg rng{to_bytes("fixture-rng")};
+
+  std::unique_ptr<tee::Enclave> launch_worker(const std::string& code = "v1") {
+    return worker_platform.launch_enclave(
+        {.name = "tf-worker",
+         .content = to_bytes("worker-code-" + code),
+         .binary_bytes = 2 << 20});
+  }
+
+  EnclavePolicy policy_for(const tee::Enclave& enclave) {
+    EnclavePolicy p;
+    p.expected_mrenclave = enclave.mrenclave();
+    p.secrets = {{"fs-key", crypto::HmacDrbg(to_bytes("fs")).generate(32)},
+                 {"tls-cert", to_bytes("---CERT---")}};
+    return p;
+  }
+};
+
+TEST(CasTest, SuccessfulProvisioning) {
+  CasFixture f;
+  auto worker = f.launch_worker();
+  f.cas.register_policy("training/worker-0", f.policy_for(*worker));
+
+  const auto outcome =
+      attest_with_cas(f.cas, f.worker_platform, *worker, f.net, f.worker_node,
+                      f.cas_node, f.rng, "training/worker-0");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.secrets.size(), 2u);
+  EXPECT_EQ(outcome.secrets.at("tls-cert"), to_bytes("---CERT---"));
+  EXPECT_EQ(f.cas.requests_served(), 1u);
+  EXPECT_GT(outcome.breakdown.total_ms, 0.0);
+}
+
+TEST(CasTest, WrongMeasurementRejected) {
+  CasFixture f;
+  auto good = f.launch_worker("v1");
+  f.cas.register_policy("svc", f.policy_for(*good));
+  // An attacker ships a modified binary: different measurement.
+  auto evil = f.launch_worker("v1-backdoored");
+  const auto outcome = attest_with_cas(f.cas, f.worker_platform, *evil, f.net,
+                                       f.worker_node, f.cas_node, f.rng, "svc");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("measurement"), std::string::npos);
+  EXPECT_EQ(f.cas.requests_rejected(), 1u);
+}
+
+TEST(CasTest, DebugEnclaveRejectedByStrictPolicy) {
+  CasFixture f;
+  auto worker = f.worker_platform.launch_enclave(
+      {.name = "tf-worker",
+       .content = to_bytes("worker-code-v1"),
+       .binary_bytes = 2 << 20,
+       .attributes = {.debug = true}});
+  EnclavePolicy policy = f.policy_for(*worker);
+  policy.allow_debug = false;
+  f.cas.register_policy("svc", policy);
+  const auto outcome = attest_with_cas(f.cas, f.worker_platform, *worker,
+                                       f.net, f.worker_node, f.cas_node, f.rng,
+                                       "svc");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("debug"), std::string::npos);
+}
+
+TEST(CasTest, StaleSvnRejected) {
+  CasFixture f;
+  auto worker = f.worker_platform.launch_enclave(
+      {.name = "tf-worker",
+       .content = to_bytes("worker-code-v1"),
+       .binary_bytes = 2 << 20,
+       .attributes = {.isv_svn = 1}});
+  EnclavePolicy policy = f.policy_for(*worker);
+  policy.min_isv_svn = 3;  // a vulnerability was patched in svn 3
+  f.cas.register_policy("svc", policy);
+  const auto outcome = attest_with_cas(f.cas, f.worker_platform, *worker,
+                                       f.net, f.worker_node, f.cas_node, f.rng,
+                                       "svc");
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(CasTest, UnknownSessionRejected) {
+  CasFixture f;
+  auto worker = f.launch_worker();
+  const auto outcome = attest_with_cas(f.cas, f.worker_platform, *worker,
+                                       f.net, f.worker_node, f.cas_node, f.rng,
+                                       "never-registered");
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(CasTest, UnprovisionedPlatformRejected) {
+  CasFixture f;
+  // A platform whose quoting enclave Intel never provisioned (e.g. an
+  // emulator) registers with a *different* authority.
+  tee::ProvisioningAuthority rogue_authority;
+  tee::Platform rogue("rogue-host", tee::TeeMode::Hardware, f.model,
+                      rogue_authority);
+  auto worker = rogue.launch_enclave({.name = "tf-worker",
+                                      .content = to_bytes("worker-code-v1"),
+                                      .binary_bytes = 2 << 20});
+  const auto rogue_node = f.net.add_node("rogue", rogue.base_clock());
+  f.cas.register_policy("svc", f.policy_for(*worker));
+  const auto outcome = attest_with_cas(f.cas, rogue, *worker, f.net,
+                                       rogue_node, f.cas_node, f.rng, "svc");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("verification"), std::string::npos);
+}
+
+TEST(CasTest, TamperedQuoteRejected) {
+  CasFixture f;
+  auto worker = f.launch_worker();
+  f.cas.register_policy("svc", f.policy_for(*worker));
+  // Dolev-Yao adversary flips bits in every in-flight message once the
+  // channel is up; the quote record fails authentication at the CAS.
+  int count = 0;
+  f.net.set_adversary([&count](Bytes& payload) {
+    ++count;
+    if (count >= 3) {  // let request + challenge pass, hit the quote record
+      payload[payload.size() / 2] ^= 1;
+      return net::AdversaryAction::Tamper;
+    }
+    return net::AdversaryAction::Pass;
+  });
+  const auto outcome = attest_with_cas(f.cas, f.worker_platform, *worker,
+                                       f.net, f.worker_node, f.cas_node, f.rng,
+                                       "svc");
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(CasTest, SecretsNotOnWireInPlaintext) {
+  CasFixture f;
+  auto worker = f.launch_worker();
+  EnclavePolicy policy = f.policy_for(*worker);
+  policy.secrets = {{"k", to_bytes("TOP-SECRET-KEY-MATERIAL")}};
+  f.cas.register_policy("svc", policy);
+
+  std::vector<Bytes> wire_capture;
+  f.net.set_adversary([&wire_capture](Bytes& payload) {
+    wire_capture.push_back(payload);
+    return net::AdversaryAction::Pass;
+  });
+  const auto outcome = attest_with_cas(f.cas, f.worker_platform, *worker,
+                                       f.net, f.worker_node, f.cas_node, f.rng,
+                                       "svc");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.secrets.at("k"), to_bytes("TOP-SECRET-KEY-MATERIAL"));
+  for (const auto& msg : wire_capture) {
+    const std::string s(msg.begin(), msg.end());
+    EXPECT_EQ(s.find("TOP-SECRET"), std::string::npos)
+        << "secret key material crossed the network in plaintext";
+  }
+}
+
+TEST(CasTest, ElasticScaleOutManyWorkers) {
+  // Elastic computing (challenge 4): spawning new attested containers must
+  // be cheap and require no per-worker reconfiguration.
+  CasFixture f;
+  auto reference = f.launch_worker();
+  f.cas.register_policy("svc", f.policy_for(*reference));
+  for (int i = 0; i < 8; ++i) {
+    auto worker = f.launch_worker();  // same image, same measurement
+    const auto outcome = attest_with_cas(f.cas, f.worker_platform, *worker,
+                                         f.net, f.worker_node, f.cas_node,
+                                         f.rng, "svc");
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+  }
+  EXPECT_EQ(f.cas.requests_served(), 8u);
+}
+
+TEST(CasTest, CasFasterThanIas) {
+  CasFixture f;
+  auto worker = f.launch_worker();
+  f.cas.register_policy("svc", f.policy_for(*worker));
+  const auto cas_outcome =
+      attest_with_cas(f.cas, f.worker_platform, *worker, f.net, f.worker_node,
+                      f.cas_node, f.rng, "svc");
+  ASSERT_TRUE(cas_outcome.ok) << cas_outcome.error;
+
+  IasVerifier ias(f.authority, f.model);
+  const auto ias_outcome =
+      attest_with_ias(ias, f.cas, f.worker_platform, *worker, f.net,
+                      f.worker_node, f.cas_node, f.rng, "svc");
+  ASSERT_TRUE(ias_outcome.ok) << ias_outcome.error;
+
+  // The paper: ~19x total speedup; quote verification <1ms vs ~280ms.
+  const double speedup =
+      ias_outcome.breakdown.total_ms / cas_outcome.breakdown.total_ms;
+  EXPECT_GT(speedup, 10.0) << "CAS=" << cas_outcome.breakdown.to_string()
+                           << " IAS=" << ias_outcome.breakdown.to_string();
+  EXPECT_LT(cas_outcome.breakdown.quote_verification_ms, 1.0);
+  EXPECT_GT(ias_outcome.breakdown.quote_verification_ms, 100.0);
+}
+
+TEST(CasTest, FreshnessAuditing) {
+  CasFixture f;
+  f.cas.record_freshness("/secure/model", to_bytes("gen=1"));
+  f.cas.record_freshness("/secure/model", to_bytes("gen=2"));
+  EXPECT_EQ(*f.cas.freshness("/secure/model"), to_bytes("gen=2"));
+  EXPECT_FALSE(f.cas.freshness("/other").has_value());
+}
+
+TEST(WireTest, QuoteRoundTrip) {
+  tee::Quote q;
+  q.report.mrenclave.fill(0xaa);
+  q.report.mrsigner.fill(0xbb);
+  q.report.attributes.debug = true;
+  q.report.attributes.isv_svn = 0x0102;
+  q.report.report_data.fill(0xcc);
+  q.platform_id = "host-7";
+  q.nonce.fill(0x11);
+  q.mac.fill(0x22);
+  const auto decoded = wire::decode_quote(wire::encode_quote(q));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->report.mrenclave, q.report.mrenclave);
+  EXPECT_EQ(decoded->report.attributes.debug, true);
+  EXPECT_EQ(decoded->report.attributes.isv_svn, 0x0102);
+  EXPECT_EQ(decoded->platform_id, "host-7");
+  EXPECT_EQ(decoded->nonce, q.nonce);
+  EXPECT_EQ(decoded->mac, q.mac);
+}
+
+TEST(WireTest, DecodersRejectGarbage) {
+  EXPECT_FALSE(wire::decode_quote(to_bytes("short")).has_value());
+  EXPECT_FALSE(wire::decode_request(to_bytes("x")).has_value());
+  EXPECT_FALSE(wire::decode_challenge(to_bytes("y")).has_value());
+  EXPECT_FALSE(wire::decode_secrets(to_bytes("z")).has_value());
+  // Truncated but structurally-prefixed input.
+  tee::Quote q;
+  auto blob = wire::encode_quote(q);
+  blob.pop_back();
+  EXPECT_FALSE(wire::decode_quote(blob).has_value());
+}
+
+TEST(WireTest, SecretsRoundTrip) {
+  const std::map<std::string, Bytes> secrets = {
+      {"a", to_bytes("1")}, {"empty", {}}, {"k", to_bytes("value")}};
+  const auto decoded = wire::decode_secrets(wire::encode_secrets(secrets));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, secrets);
+}
+
+}  // namespace
+}  // namespace stf::cas

@@ -1,0 +1,194 @@
+// Tests for the public secureTF API: context lifecycle, shielded model
+// storage, CAS attachment, and inference containers across modes.
+#include <gtest/gtest.h>
+
+#include "core/securetf.h"
+#include "ml/dataset.h"
+#include "ml/models.h"
+
+namespace stf::core {
+namespace {
+
+using crypto::to_bytes;
+
+ml::lite::FlatModel tiny_model() {
+  ml::Graph g = ml::mnist_mlp(16, 3);
+  ml::Session session(g);
+  return ml::lite::FlatModel::from_frozen(ml::freeze(g, session), "input",
+                                          "probs");
+}
+
+SecureTfConfig config_for(tee::TeeMode mode) {
+  SecureTfConfig cfg;
+  cfg.mode = mode;
+  return cfg;
+}
+
+TEST(SecureTfContextTest, RequiresKeyBeforeShieldedIo) {
+  SecureTfContext ctx(config_for(tee::TeeMode::Hardware));
+  EXPECT_THROW(ctx.write_file("/secure/x", to_bytes("d")), std::logic_error);
+  ctx.provision_fs_key(crypto::HmacDrbg(to_bytes("k")).generate(32));
+  EXPECT_NO_THROW(ctx.write_file("/secure/x", to_bytes("d")));
+  EXPECT_EQ(ctx.read_file("/secure/x"), to_bytes("d"));
+}
+
+TEST(SecureTfContextTest, ModelSavedEncryptedAndRestored) {
+  SecureTfContext ctx(config_for(tee::TeeMode::Hardware));
+  ctx.provision_fs_key(crypto::HmacDrbg(to_bytes("k")).generate(32));
+  const auto model = tiny_model();
+  ctx.save_lite_model("/secure/model.stflite", model);
+
+  // The host sees only ciphertext.
+  const auto raw = ctx.host_fs().read("/secure/model.stflite");
+  ASSERT_TRUE(raw.has_value());
+  const auto plain = model.serialize();
+  EXPECT_NE(*raw, plain);
+
+  const auto restored = ctx.load_lite_model("/secure/model.stflite");
+  EXPECT_EQ(restored.serialize(), plain);
+}
+
+TEST(SecureTfContextTest, TamperedModelFileRejected) {
+  SecureTfContext ctx(config_for(tee::TeeMode::Hardware));
+  ctx.provision_fs_key(crypto::HmacDrbg(to_bytes("k")).generate(32));
+  ctx.save_lite_model("/secure/model.stflite", tiny_model());
+  ASSERT_TRUE(ctx.host_fs().tamper("/secure/model.stflite", 100));
+  EXPECT_THROW((void)ctx.load_lite_model("/secure/model.stflite"),
+               runtime::SecurityError);
+}
+
+TEST(SecureTfContextTest, AttachCasProvisionsFsKey) {
+  tee::ProvisioningAuthority authority;
+  tee::CostModel model;
+  tee::Platform cas_platform("cas-host", tee::TeeMode::Hardware, model,
+                             authority);
+  cas::CasServer cas(cas_platform, authority, to_bytes("cas-seed"));
+
+  SecureTfContext ctx(config_for(tee::TeeMode::Hardware), &authority);
+  cas::EnclavePolicy policy;
+  policy.expected_mrenclave = ctx.service_measurement();
+  policy.secrets = {{"fs-key", crypto::HmacDrbg(to_bytes("prov")).generate(32)}};
+  cas.register_policy("digitization", policy);
+
+  const auto outcome = ctx.attach_cas(cas, "digitization");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  // The released key is installed: shielded I/O now works.
+  ctx.write_file("/secure/doc", to_bytes("handwritten page"));
+  EXPECT_EQ(ctx.read_file("/secure/doc"), to_bytes("handwritten page"));
+}
+
+TEST(SecureTfContextTest, AttachCasFailsClosedOnWrongMeasurement) {
+  tee::ProvisioningAuthority authority;
+  tee::CostModel model;
+  tee::Platform cas_platform("cas-host", tee::TeeMode::Hardware, model,
+                             authority);
+  cas::CasServer cas(cas_platform, authority, to_bytes("cas-seed"));
+
+  SecureTfContext ctx(config_for(tee::TeeMode::Hardware), &authority);
+  cas::EnclavePolicy policy;
+  policy.expected_mrenclave.fill(0xee);  // expects some other binary
+  policy.secrets = {{"fs-key", crypto::HmacDrbg(to_bytes("p")).generate(32)}};
+  cas.register_policy("svc", policy);
+
+  const auto outcome = ctx.attach_cas(cas, "svc");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_THROW(ctx.write_file("/secure/x", to_bytes("d")), std::logic_error)
+      << "no secrets means no shielded I/O";
+}
+
+TEST(InferenceServiceTest, ClassifiesIdenticallyInAllModes) {
+  const auto model = tiny_model();
+  const ml::Dataset data = ml::synthetic_mnist(3, 6);
+
+  std::optional<ml::Tensor> reference;
+  for (const auto mode : {tee::TeeMode::Native, tee::TeeMode::Simulation,
+                          tee::TeeMode::Hardware}) {
+    SecureTfContext ctx(config_for(mode));
+    auto service = ctx.create_lite_service(model);
+    const ml::Tensor probs = service->classify(data.sample(0));
+    if (!reference.has_value()) {
+      reference = probs;
+    } else {
+      EXPECT_EQ(probs, *reference)
+          << "mode must not change results (" << to_string(mode) << ")";
+    }
+  }
+}
+
+TEST(InferenceServiceTest, HardwareSlowerThanSimSlowerThanNative) {
+  const auto model = tiny_model();
+  const ml::Dataset data = ml::synthetic_mnist(1, 6);
+  auto latency = [&](tee::TeeMode mode) {
+    SecureTfContext ctx(config_for(mode));
+    auto service = ctx.create_lite_service(model);
+    (void)service->classify(data.sample(0));  // warm-up (faults the model in)
+    (void)service->classify(data.sample(0));
+    return service->last_latency_ms();
+  };
+  const double native = latency(tee::TeeMode::Native);
+  const double sim = latency(tee::TeeMode::Simulation);
+  const double hw = latency(tee::TeeMode::Hardware);
+  EXPECT_GT(sim, native);
+  EXPECT_GT(hw, sim);
+}
+
+TEST(InferenceServiceTest, FullTfPaysMoreThanLiteInHardware) {
+  // §5.3 #4: the 87.4 MB full-TF container vs the 1.9 MB Lite container.
+  ml::Graph g = ml::sized_classifier("m", 48ull << 20);
+  ml::Session session(g);
+  const ml::Graph frozen = ml::freeze(g, session);
+  const auto lite_model =
+      ml::lite::FlatModel::from_frozen(frozen, "input", "probs");
+  const ml::Dataset data = ml::synthetic_cifar10(1, 2);
+
+  // Shrink the EPC so the effect shows at test-sized models quickly.
+  SecureTfConfig cfg = config_for(tee::TeeMode::Hardware);
+  cfg.model.epc_bytes = 56ull << 20;
+
+  SecureTfContext lite_ctx(cfg);
+  auto lite = lite_ctx.create_lite_service(lite_model);
+  (void)lite->classify(data.sample(0));
+  (void)lite->classify(data.sample(0));
+  const double lite_ms = lite->last_latency_ms();
+
+  SecureTfContext full_ctx(cfg);
+  auto full = full_ctx.create_full_tf_service(frozen);
+  (void)full->classify(data.sample(0));
+  (void)full->classify(data.sample(0));
+  const double full_ms = full->last_latency_ms();
+
+  EXPECT_GT(full_ms, lite_ms * 3)
+      << "full-TF container must thrash where Lite fits (lite=" << lite_ms
+      << "ms full=" << full_ms << "ms)";
+}
+
+TEST(InferenceServiceTest, LabelHelperAgreesWithProbs) {
+  const auto model = tiny_model();
+  SecureTfContext ctx(config_for(tee::TeeMode::Simulation));
+  auto service = ctx.create_lite_service(model);
+  const ml::Dataset data = ml::synthetic_mnist(5, 6);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const auto probs = service->classify(data.sample(i));
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < probs.size(); ++j) {
+      if (probs.at(j) > probs.at(best)) best = j;
+    }
+    EXPECT_EQ(service->classify_label(data.sample(i)), best);
+  }
+}
+
+TEST(WorkloadsTest, SpecsMatchPaperSizes) {
+  EXPECT_EQ(densenet_spec().weight_bytes, 42ull << 20);
+  EXPECT_EQ(inception_v3_spec().weight_bytes, 91ull << 20);
+  EXPECT_EQ(inception_v4_spec().weight_bytes, 163ull << 20);
+  EXPECT_EQ(kLiteBinaryBytes, 1'900'000u);
+  EXPECT_EQ(kFullTfBinaryBytes, 87'400'000u);
+  // The stand-in graphs hit their byte budgets.
+  const auto g = densenet_spec().build_graph();
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) /
+                  static_cast<double>(42ull << 20),
+              1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace stf::core

@@ -1,0 +1,295 @@
+// End-to-end integration tests: whole-system flows crossing every module,
+// exactly like the production deployments of §6.
+#include <gtest/gtest.h>
+
+#include "cas/attest_client.h"
+#include "core/classifier_server.h"
+#include "core/securetf.h"
+#include "distributed/training.h"
+#include "ml/dataset.h"
+#include "ml/models.h"
+#include "ml/optimize.h"
+#include "ml/serialize.h"
+
+namespace stf {
+namespace {
+
+using crypto::to_bytes;
+
+// Train -> checkpoint -> restore -> freeze -> optimize -> Lite -> shielded
+// store -> attest -> serve. The full §4.1/§4.2 pipeline, with accuracy parity
+// asserted between the trusted trainer and the HW-mode enclave service.
+TEST(EndToEndTest, FullModelLifecycle) {
+  // 1. Train in a trusted environment.
+  ml::Graph graph = ml::mnist_mlp(48, 3);
+  ml::Session trainer(graph);
+  const ml::Dataset train = ml::synthetic_mnist(500, 21);
+  for (int e = 0; e < 6; ++e) {
+    for (std::int64_t b = 0; b < train.size() / 100; ++b) {
+      trainer.train_step("loss", train.batch_feeds(b, 100), 0.15f);
+    }
+  }
+
+  // 2. Checkpoint round trip (the §4.1 export/import workflow).
+  const auto checkpoint = ml::serialize_checkpoint(trainer);
+  ml::Session restored(graph);
+  ml::restore_checkpoint(restored, checkpoint);
+
+  // 3. Freeze + optimize + lower to Lite.
+  ml::OptimizeReport report;
+  const ml::Graph deployable =
+      ml::optimize(ml::freeze(graph, restored), {"probs"}, &report);
+  EXPECT_LE(report.nodes_after, report.nodes_before);
+  const auto model =
+      ml::lite::FlatModel::from_frozen(deployable, "input", "probs");
+
+  // 4. Deploy to an HW-mode cloud node, keys via CAS.
+  tee::ProvisioningAuthority intel;
+  core::SecureTfConfig cfg;
+  cfg.mode = tee::TeeMode::Hardware;
+  core::SecureTfContext cloud(cfg, &intel);
+  tee::Platform cas_host("cas", tee::TeeMode::Hardware, cfg.model, intel);
+  cas::CasServer cas(cas_host, intel, to_bytes("e2e"));
+  cas::EnclavePolicy policy;
+  policy.expected_mrenclave = cloud.service_measurement();
+  policy.secrets = {{"fs-key",
+                     crypto::HmacDrbg(to_bytes("deploy-key")).generate(32)}};
+  cas.register_policy("e2e", policy);
+  ASSERT_TRUE(cloud.attach_cas(cas, "e2e").ok);
+  cloud.save_lite_model("/secure/model.stflite", model);
+
+  // 5. Serve and compare against the trusted trainer, sample by sample.
+  auto service = cloud.create_lite_service(
+      cloud.load_lite_model("/secure/model.stflite"));
+  const ml::Dataset test = ml::synthetic_mnist(30, 77);
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    const ml::Tensor trusted =
+        trainer.run1("probs", {{"input", test.sample(i)}});
+    const ml::Tensor served = service->classify(test.sample(i));
+    ASSERT_EQ(served.shape(), trusted.shape());
+    for (std::int64_t j = 0; j < served.size(); ++j) {
+      ASSERT_NEAR(served.at(j), trusted.at(j), 1e-5f)
+          << "sample " << i << " class " << j;
+    }
+  }
+}
+
+// The classifier service across an adversarial network: honest clients get
+// correct answers; a tampering adversary kills the session without wrong
+// results; malformed requests are refused.
+TEST(EndToEndTest, ClassifierServiceUnderAttack) {
+  ml::Graph graph = ml::mnist_mlp(32, 5);
+  ml::Session trainer(graph);
+  const ml::Dataset data = ml::synthetic_mnist(300, 8);
+  for (int e = 0; e < 5; ++e) {
+    trainer.train_step("loss", data.batch_feeds(0, 100), 0.15f);
+  }
+  const auto model = ml::lite::FlatModel::from_frozen(
+      ml::freeze(graph, trainer), "input", "probs");
+
+  core::SecureTfConfig cfg;
+  cfg.mode = tee::TeeMode::Hardware;
+  core::SecureTfContext cloud(cfg);
+  auto inference = cloud.create_lite_service(model);
+  crypto::HmacDrbg rng(to_bytes("svc"));
+  core::ClassifierServer server(*inference, rng, 784);
+
+  // --- honest session -----------------------------------------------------
+  {
+    net::SimNetwork net;
+    tee::SimClock client_clock;
+    const auto client_node = net.add_node("client", client_clock);
+    const auto cloud_node = net.add_node("cloud",
+                                         cloud.platform().base_clock());
+    auto [client_conn, cloud_conn] = net.connect(client_node, cloud_node);
+    crypto::HmacDrbg client_rng(to_bytes("client"));
+    core::ClassifierClient client(client_rng, cfg.model, client_clock);
+    client_conn.send(client.hello());
+    server.serve_connection(cloud_conn, [&] {
+      client.finish(*client_conn.recv(), client_conn);
+      for (int i = 0; i < 4; ++i) client.send_image(data.sample(i));
+    });
+    for (int i = 0; i < 4; ++i) {
+      const auto reply = client.recv_reply();
+      ASSERT_TRUE(reply.has_value());
+      ASSERT_TRUE(reply->ok);
+      EXPECT_EQ(reply->label,
+                inference->classify_label(data.sample(i)));
+    }
+  }
+  EXPECT_EQ(server.requests_served(), 4u);
+
+  // --- tampering adversary --------------------------------------------------
+  {
+    net::SimNetwork net;
+    tee::SimClock client_clock;
+    const auto client_node = net.add_node("client", client_clock);
+    const auto cloud_node = net.add_node("cloud",
+                                         cloud.platform().base_clock());
+    auto [client_conn, cloud_conn] = net.connect(client_node, cloud_node);
+    crypto::HmacDrbg client_rng(to_bytes("client2"));
+    core::ClassifierClient client(client_rng, cfg.model, client_clock);
+    client_conn.send(client.hello());
+    int message_count = 0;
+    net.set_adversary([&message_count](crypto::Bytes& payload) {
+      if (++message_count >= 2) {  // let the server hello through
+        payload[payload.size() / 2] ^= 1;
+        return net::AdversaryAction::Tamper;
+      }
+      return net::AdversaryAction::Pass;
+    });
+    const auto rejected_before = server.requests_rejected();
+    server.serve_connection(cloud_conn, [&] {
+      client.finish(*client_conn.recv(), client_conn);
+      client.send_image(data.sample(0));
+    });
+    EXPECT_GT(server.requests_rejected(), rejected_before);
+    EXPECT_EQ(server.requests_served(), 4u) << "no tampered request served";
+  }
+}
+
+// Federated-learning round trip with accuracy improvement and attestation of
+// the aggregator (deployment #2, §6.2) — compact version of the example.
+TEST(EndToEndTest, FederatedAveragingImprovesGlobalModel) {
+  const ml::Graph graph = ml::mnist_mlp(32, 13);
+  ml::Session global(graph);
+  std::vector<ml::Dataset> hospital_data;
+  std::vector<std::unique_ptr<ml::Session>> hospitals;
+  for (int h = 0; h < 3; ++h) {
+    hospital_data.push_back(
+        ml::synthetic_mnist(200, 41 + static_cast<unsigned>(h)));
+    hospitals.push_back(std::make_unique<ml::Session>(graph));
+  }
+  const ml::Dataset held_out = ml::synthetic_mnist(150, 99);
+  auto accuracy = [&] {
+    const auto feeds = held_out.batch_feeds(0, held_out.size());
+    const ml::Tensor pred = global.run1("pred", feeds);
+    int correct = 0;
+    for (std::int64_t i = 0; i < held_out.size(); ++i) {
+      if (static_cast<std::int64_t>(pred.at(i)) == held_out.label_of(i)) {
+        ++correct;
+      }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(held_out.size());
+  };
+
+  const double before = accuracy();
+  for (int round = 0; round < 6; ++round) {
+    const auto params = global.variable_snapshot();
+    std::map<std::string, ml::Tensor> sum;
+    for (int h = 0; h < 3; ++h) {
+      hospitals[static_cast<std::size_t>(h)]->restore_variables(params);
+      for (std::int64_t b = 0;
+           b < hospital_data[static_cast<std::size_t>(h)].size() / 100; ++b) {
+        hospitals[static_cast<std::size_t>(h)]->train_step(
+            "loss",
+            hospital_data[static_cast<std::size_t>(h)].batch_feeds(b, 100),
+            0.1f);
+      }
+      for (const auto& [name, value] :
+           hospitals[static_cast<std::size_t>(h)]->variable_snapshot()) {
+        auto it = sum.find(name);
+        if (it == sum.end()) {
+          sum.emplace(name, value);
+        } else {
+          for (std::int64_t i = 0; i < value.size(); ++i) {
+            it->second.at(i) += value.at(i);
+          }
+        }
+      }
+    }
+    for (auto& [name, value] : sum) {
+      for (std::int64_t i = 0; i < value.size(); ++i) value.at(i) /= 3.0f;
+    }
+    global.restore_variables(sum);
+  }
+  EXPECT_GT(accuracy(), before + 0.3)
+      << "FedAvg over 3 silos must lift global accuracy";
+}
+
+// Distributed training through CAS with a mid-run failure, then checkpoint
+// hand-off to a serving context: training meets serving.
+TEST(EndToEndTest, TrainFailoverThenServe) {
+  tee::CostModel model;
+  tee::ProvisioningAuthority intel;
+  tee::Platform cas_host("cas", tee::TeeMode::Hardware, model, intel);
+  cas::CasServer cas(cas_host, intel, to_bytes("tfts"));
+
+  const ml::Graph graph = ml::mnist_mlp(32, 7);
+  distributed::ClusterConfig cfg;
+  cfg.mode = tee::TeeMode::Hardware;
+  cfg.num_workers = 2;
+  cfg.batch_size = 50;
+  cfg.learning_rate = 0.1f;
+  cfg.worker_binary_bytes = 8ull << 20;
+  cfg.framework_scratch_bytes = 1ull << 20;
+  distributed::TrainingCluster cluster(graph, cfg, &cas, &intel);
+  const ml::Dataset data = ml::synthetic_mnist(400, 12);
+
+  (void)cluster.train(data, 400);
+  cluster.fail_worker(1);
+  const auto stats = cluster.train(data, 400);  // respawn + re-attest
+  EXPECT_EQ(stats.samples_processed, 400u);
+  EXPECT_EQ(cas.requests_served(), 3u);
+
+  // Freeze the trained master model and serve it.
+  const auto served_model = ml::lite::FlatModel::from_frozen(
+      ml::freeze(graph, cluster.master_session()), "input", "probs");
+  core::SecureTfConfig serve_cfg;
+  serve_cfg.mode = tee::TeeMode::Hardware;
+  core::SecureTfContext ctx(serve_cfg);
+  auto service = ctx.create_lite_service(served_model);
+  const ml::Tensor probs = service->classify(data.sample(0));
+  float sum = 0;
+  for (std::int64_t i = 0; i < probs.size(); ++i) sum += probs.at(i);
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+// Rollback protection across the whole stack: a host rolls back the shielded
+// model file after a (simulated) service restart whose freshness table was
+// anchored in the CAS audit log.
+TEST(EndToEndTest, RollbackAcrossRestartDetectedViaCas) {
+  tee::CostModel model;
+  tee::ProvisioningAuthority intel;
+  tee::Platform cas_host("cas", tee::TeeMode::Hardware, model, intel);
+  cas::CasServer cas(cas_host, intel, to_bytes("rollback"));
+
+  tee::SimClock clock;
+  runtime::UntrustedFs host;
+  crypto::HmacDrbg rng(to_bytes("ctx"));
+  const auto key = crypto::HmacDrbg(to_bytes("key")).generate(32);
+  runtime::FsShieldConfig shield_cfg{
+      .prefixes = {{"/secure/", runtime::ShieldPolicy::Encrypt}}};
+
+  // First service generation: writes v1 then v2, anchoring freshness at CAS.
+  {
+    runtime::FsShield shield(shield_cfg, key, host, model, clock, rng);
+    shield.write("/secure/model", to_bytes("model-v1"));
+    shield.write("/secure/model", to_bytes("model-v2"));
+    const auto meta = shield.export_meta();
+    crypto::Bytes generation(8);
+    crypto::store_be64(generation.data(), meta.at("/secure/model").generation);
+    cas.record_freshness("fs-meta//secure/model", generation);
+  }
+
+  // Host rolls the file back to v1 while the service is down.
+  ASSERT_TRUE(host.rollback("/secure/model"));
+
+  // Second generation restores its freshness table from the CAS.
+  {
+    runtime::FsShield shield(shield_cfg, key, host, model, clock, rng);
+    const auto anchored = cas.freshness("fs-meta//secure/model");
+    ASSERT_TRUE(anchored.has_value());
+    std::map<std::string, runtime::ShieldedFileMeta> meta;
+    meta["/secure/model"] = {.generation = crypto::load_be64(anchored->data()),
+                             .size = 8,
+                             .policy = runtime::ShieldPolicy::Encrypt};
+    shield.import_meta(meta);
+    EXPECT_THROW((void)shield.read("/secure/model"), runtime::SecurityError)
+        << "v1 content must not verify against the anchored generation 2";
+  }
+}
+
+}  // namespace
+}  // namespace stf

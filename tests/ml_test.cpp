@@ -1,0 +1,605 @@
+// Tests for the ML framework: tensor/graph mechanics, kernel numerics,
+// autodiff (checked against numerical gradients), training convergence,
+// serialization/freeze round trips, and Lite converter/interpreter parity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.h"
+#include "ml/graph.h"
+#include "ml/lite/flat_model.h"
+#include "ml/models.h"
+#include "ml/ops.h"
+#include "ml/serialize.h"
+#include "ml/session.h"
+
+namespace stf::ml {
+namespace {
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.byte_size(), 24u);
+  t.at2(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(5), 5.0f);
+  EXPECT_THROW(Tensor({2, 2}, {1.0f}), std::invalid_argument);
+  EXPECT_THROW((void)num_elements({2, -1}), std::invalid_argument);
+}
+
+TEST(TensorTest, Reshape) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_THROW((void)t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsDuplicatesAndBadInputs) {
+  Graph g;
+  GraphBuilder b(g);
+  const NodeId x = b.placeholder("x");
+  EXPECT_THROW(b.placeholder("x"), std::invalid_argument);
+  EXPECT_THROW(g.add_node(OpType::Relu, "r", {42}), std::invalid_argument);
+  EXPECT_THROW(g.add_node(OpType::Relu, "", {x}), std::invalid_argument);
+  EXPECT_THROW((void)g.find("nope"), std::invalid_argument);
+}
+
+TEST(GraphTest, TopologicalOrderRespectsDependencies) {
+  Graph g;
+  GraphBuilder b(g);
+  const NodeId x = b.placeholder("x");
+  const NodeId w = b.constant("w", Tensor({2, 2}, {1, 0, 0, 1}));
+  const NodeId mm = b.matmul("mm", x, w);
+  const NodeId r = b.relu("r", mm);
+  const auto order = g.topological_order({r});
+  auto pos = [&](NodeId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(x), pos(mm));
+  EXPECT_LT(pos(w), pos(mm));
+  EXPECT_LT(pos(mm), pos(r));
+}
+
+TEST(GraphTest, TopologicalOrderOnlyVisitsReachable) {
+  Graph g;
+  GraphBuilder b(g);
+  const NodeId x = b.placeholder("x");
+  b.placeholder("unused");
+  const NodeId r = b.relu("r", x);
+  const auto order = g.topological_order({r});
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(GraphTest, ParameterBytes) {
+  Graph g;
+  GraphBuilder b(g);
+  b.constant("c", Tensor({4, 4}));     // 64 bytes
+  b.variable("v", Tensor({2, 2}));     // 16 bytes
+  b.placeholder("p");
+  EXPECT_EQ(g.parameter_bytes(), 80u);
+}
+
+// --- kernel numerics -------------------------------------------------------
+
+TEST(OpsTest, MatMulKnownValues) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const auto r = ops::matmul(a, b);
+  EXPECT_EQ(r.output.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(r.output.at2(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(r.output.at2(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(r.output.at2(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(r.output.at2(1, 1), 154.0f);
+  EXPECT_DOUBLE_EQ(r.flops, 2.0 * 2 * 3 * 2);
+  EXPECT_THROW(ops::matmul(a, a), std::invalid_argument);
+}
+
+TEST(OpsTest, AddElementwiseAndBias) {
+  const Tensor a({2, 2}, {1, 2, 3, 4});
+  const Tensor b({2, 2}, {10, 20, 30, 40});
+  EXPECT_FLOAT_EQ(ops::add(a, b).output.at2(1, 1), 44.0f);
+  const Tensor bias({2}, {100, 200});
+  const auto r = ops::add(a, bias);
+  EXPECT_FLOAT_EQ(r.output.at2(0, 0), 101.0f);
+  EXPECT_FLOAT_EQ(r.output.at2(1, 1), 204.0f);
+  const Tensor bad({3}, {1, 2, 3});
+  EXPECT_THROW(ops::add(a, bad), std::invalid_argument);
+}
+
+TEST(OpsTest, Relu) {
+  const Tensor x({4}, {-1, 0, 2, -3});
+  const auto r = ops::relu(x);
+  EXPECT_FLOAT_EQ(r.output.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(r.output.at(2), 2.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  const Tensor x({2, 3}, {1, 2, 3, 1000, 1000, 1000});
+  const auto r = ops::softmax(x);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    float sum = 0;
+    for (std::int64_t j = 0; j < 3; ++j) sum += r.output.at2(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Large logits must not overflow (max-subtraction).
+  EXPECT_NEAR(r.output.at2(1, 0), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(OpsTest, SoftmaxCrossEntropyUniformIsLogN) {
+  const Tensor logits({1, 4}, {0, 0, 0, 0});
+  const Tensor labels({1, 4}, {0, 1, 0, 0});
+  const auto r = ops::softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.output.at(0), std::log(4.0f), 1e-5f);
+}
+
+TEST(OpsTest, Conv2DIdentityFilter) {
+  // 1x3x3x1 input, 1x1 filter with weight 2: output = 2 * input.
+  Tensor input({1, 3, 3, 1});
+  for (std::int64_t i = 0; i < 9; ++i) input.at(i) = static_cast<float>(i);
+  const Tensor filter({1, 1, 1, 1}, {2.0f});
+  const auto r = ops::conv2d(input, filter, 1);
+  EXPECT_EQ(r.output.shape(), (Shape{1, 3, 3, 1}));
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(r.output.at(i), 2.0f * static_cast<float>(i));
+  }
+}
+
+TEST(OpsTest, Conv2DSumFilterCenterPixel) {
+  // 3x3 all-ones filter on all-ones 3x3 input: center output = 9 (full
+  // overlap), corner = 4 (padding).
+  Tensor input({1, 3, 3, 1});
+  for (std::int64_t i = 0; i < 9; ++i) input.at(i) = 1.0f;
+  Tensor filter({3, 3, 1, 1});
+  for (std::int64_t i = 0; i < 9; ++i) filter.at(i) = 1.0f;
+  const auto r = ops::conv2d(input, filter, 1);
+  EXPECT_FLOAT_EQ(r.output.at(4), 9.0f);
+  EXPECT_FLOAT_EQ(r.output.at(0), 4.0f);
+}
+
+TEST(OpsTest, Conv2DStrideHalvesOutput) {
+  Tensor input({1, 4, 4, 1});
+  const Tensor filter({1, 1, 1, 1}, {1.0f});
+  const auto r = ops::conv2d(input, filter, 2);
+  EXPECT_EQ(r.output.shape(), (Shape{1, 2, 2, 1}));
+}
+
+TEST(OpsTest, Pooling) {
+  Tensor input({1, 2, 2, 1}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(ops::max_pool2d(input, 2, 2).output.at(0), 4.0f);
+  EXPECT_FLOAT_EQ(ops::avg_pool2d(input, 2, 2).output.at(0), 2.5f);
+  const auto g = ops::global_avg_pool(input);
+  EXPECT_EQ(g.output.shape(), (Shape{1, 1}));
+  EXPECT_FLOAT_EQ(g.output.at(0), 2.5f);
+}
+
+TEST(OpsTest, ArgMaxAndScale) {
+  const Tensor x({2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto am = ops::argmax(x);
+  EXPECT_FLOAT_EQ(am.output.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(am.output.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(ops::scale(x, 0.5f).output.at2(1, 0), 4.5f);
+}
+
+// --- session ---------------------------------------------------------------
+
+TEST(SessionTest, RunSimpleGraph) {
+  Graph g;
+  GraphBuilder b(g);
+  const NodeId x = b.placeholder("x");
+  const NodeId w = b.constant("w", Tensor({2, 2}, {1, 2, 3, 4}));
+  const NodeId mm = b.matmul("mm", x, w);
+  b.relu("out", mm);
+  Session session(g);
+  const Tensor result =
+      session.run1("out", {{"x", Tensor({1, 2}, {1, -1})}});
+  EXPECT_FLOAT_EQ(result.at2(0, 0), 0.0f);   // 1-3 = -2 -> relu 0
+  EXPECT_FLOAT_EQ(result.at2(0, 1), 0.0f);   // 2-4 = -2 -> relu 0
+  EXPECT_GT(session.last_run_flops(), 0.0);
+}
+
+TEST(SessionTest, MissingFeedThrows) {
+  Graph g;
+  GraphBuilder b(g);
+  const NodeId x = b.placeholder("x");
+  b.relu("out", x);
+  Session session(g);
+  EXPECT_THROW((void)session.run1("out"), std::invalid_argument);
+}
+
+TEST(SessionTest, VariableAssignment) {
+  Graph g;
+  GraphBuilder b(g);
+  b.variable("v", Tensor({2}, {1, 2}));
+  Session session(g);
+  EXPECT_FLOAT_EQ(session.variable("v").at(0), 1.0f);
+  session.assign("v", Tensor({2}, {9, 9}));
+  EXPECT_FLOAT_EQ(session.variable("v").at(0), 9.0f);
+  EXPECT_THROW(session.assign("v", Tensor({3})), std::invalid_argument);
+  EXPECT_THROW((void)session.variable("nope"), std::invalid_argument);
+}
+
+// Numerical gradient check: autodiff against central differences.
+TEST(SessionTest, GradientsMatchNumericalDifferentiation) {
+  Graph g;
+  GraphBuilder b(g);
+  const NodeId x = b.placeholder("input");
+  const NodeId labels = b.placeholder("labels");
+  const NodeId h = b.dense("fc1", x, 4, 5, /*with_relu=*/true, 3);
+  const NodeId logits = b.dense("fc2", h, 5, 3, /*with_relu=*/false, 4);
+  b.softmax_cross_entropy("loss", logits, labels);
+
+  Session session(g);
+  const std::map<std::string, Tensor> feeds = {
+      {"input", Tensor({2, 4}, {0.5f, -0.2f, 0.8f, 0.1f,
+                                -0.4f, 0.9f, 0.3f, -0.7f})},
+      {"labels", Tensor({2, 3}, {1, 0, 0, 0, 0, 1})}};
+  const auto grads = session.gradients("loss", feeds);
+
+  for (const std::string var : {"fc1/W", "fc1/b", "fc2/W", "fc2/b"}) {
+    ASSERT_TRUE(grads.contains(var)) << var;
+    const Tensor analytic = grads.at(var);
+    Tensor value = session.variable(var);
+    // Spot-check a handful of coordinates per variable.
+    const std::int64_t step =
+        std::max<std::int64_t>(1, value.size() / 5);
+    for (std::int64_t i = 0; i < value.size(); i += step) {
+      const float eps = 1e-3f;
+      Tensor plus = value, minus = value;
+      plus.at(i) += eps;
+      minus.at(i) -= eps;
+      session.assign(var, plus);
+      const float lp = session.run1("loss", feeds).at(0);
+      session.assign(var, minus);
+      const float lm = session.run1("loss", feeds).at(0);
+      session.assign(var, value);
+      const float numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(analytic.at(i), numeric, 5e-3f)
+          << var << "[" << i << "]";
+    }
+  }
+}
+
+TEST(SessionTest, TrainingReducesLoss) {
+  Graph g = mnist_mlp(/*hidden=*/32, /*seed=*/5);
+  Session session(g);
+  const Dataset data = synthetic_mnist(200, 11);
+  const auto feeds = data.batch_feeds(0, 100);
+  const float initial = session.run1("loss", feeds).at(0);
+  float final_loss = initial;
+  for (int step = 0; step < 30; ++step) {
+    final_loss = session.train_step("loss", feeds, 0.1f);
+  }
+  EXPECT_LT(final_loss, initial * 0.5f)
+      << "30 SGD steps must at least halve the loss on a fixed batch";
+}
+
+TEST(SessionTest, TrainingImprovesHeldOutAccuracy) {
+  Graph g = mnist_mlp(64, 7);
+  Session session(g);
+  const Dataset train = synthetic_mnist(600, 21);
+  const Dataset test = synthetic_mnist(200, 22);
+
+  auto accuracy = [&]() {
+    const auto feeds = test.batch_feeds(0, test.size());
+    const Tensor pred = session.run1("pred", feeds);
+    int correct = 0;
+    for (std::int64_t i = 0; i < test.size(); ++i) {
+      if (static_cast<std::int64_t>(pred.at(i)) == test.label_of(i)) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(test.size());
+  };
+
+  const double before = accuracy();
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    for (std::int64_t batch = 0; batch < train.size() / 100; ++batch) {
+      session.train_step("loss", train.batch_feeds(batch, 100), 0.15f);
+    }
+  }
+  const double after = accuracy();
+  EXPECT_GT(after, before + 0.2) << "before=" << before << " after=" << after;
+  EXPECT_GT(after, 0.8) << "synthetic classes are separable";
+}
+
+TEST(SessionTest, ApplyGradientsValidatesShapes) {
+  Graph g;
+  GraphBuilder b(g);
+  b.variable("v", Tensor({2}, {1, 2}));
+  Session session(g);
+  EXPECT_THROW(session.apply_gradients({{"nope", Tensor({2})}}, 0.1f),
+               std::invalid_argument);
+  EXPECT_THROW(session.apply_gradients({{"v", Tensor({3})}}, 0.1f),
+               std::invalid_argument);
+  session.apply_gradients({{"v", Tensor({2}, {1, 1})}}, 0.5f);
+  EXPECT_FLOAT_EQ(session.variable("v").at(0), 0.5f);
+}
+
+TEST(SessionTest, BackwardRejectsInferenceOnlyOps) {
+  // ArgMax is non-differentiable: a loss built on it must be rejected.
+  Graph g;
+  GraphBuilder b(g);
+  const NodeId x = b.placeholder("input");
+  const NodeId v = b.variable("v", Tensor({4, 4}));
+  const NodeId mm = b.matmul("mm", x, v);
+  const NodeId am = b.argmax("am", mm);
+  const NodeId labels = b.placeholder("labels");
+  const NodeId am2 = b.reshape("am2", am, {-1, 1});
+  b.softmax_cross_entropy("loss", am2, labels);
+  Session session(g);
+  const std::map<std::string, Tensor> feeds = {
+      {"input", Tensor({2, 4})}, {"labels", Tensor({2, 1})}};
+  EXPECT_THROW((void)session.gradients("loss", feeds), std::logic_error);
+}
+
+TEST(SessionTest, ConvAndPoolGradientsMatchNumerical) {
+  Graph g;
+  GraphBuilder b(g);
+  const NodeId x = b.placeholder("input");  // [1, 36]
+  const NodeId labels = b.placeholder("labels");
+  Tensor filter({3, 3, 1, 2});
+  for (std::int64_t i = 0; i < filter.size(); ++i) {
+    filter.at(i) = 0.1f * static_cast<float>((i % 7) - 3);
+  }
+  const NodeId f = b.variable("filter", std::move(filter));
+  const NodeId img = b.reshape("img", x, {-1, 6, 6, 1});
+  const NodeId conv = b.conv2d("conv", img, f);
+  const NodeId act = b.relu("act", conv);
+  const NodeId pooled = b.max_pool("pool", act, 2, 2);   // [1,3,3,2]
+  const NodeId gap = b.global_avg_pool("gap", pooled);   // [1,2]
+  b.softmax_cross_entropy("loss", gap, labels);
+
+  Session session(g);
+  Tensor input({1, 36});
+  for (std::int64_t i = 0; i < 36; ++i) {
+    input.at(i) = 0.05f * static_cast<float>((i * 5) % 13) - 0.2f;
+  }
+  const std::map<std::string, Tensor> feeds = {
+      {"input", input}, {"labels", Tensor({1, 2}, {1, 0})}};
+  const auto grads = session.gradients("loss", feeds);
+  const Tensor analytic = grads.at("filter");
+
+  Tensor value = session.variable("filter");
+  for (std::int64_t i = 0; i < value.size(); ++i) {
+    const float eps = 1e-3f;
+    Tensor plus = value, minus = value;
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    session.assign("filter", plus);
+    const float lp = session.run1("loss", feeds).at(0);
+    session.assign("filter", minus);
+    const float lm = session.run1("loss", feeds).at(0);
+    session.assign("filter", value);
+    EXPECT_NEAR(analytic.at(i), (lp - lm) / (2 * eps), 3e-3f)
+        << "filter[" << i << "]";
+  }
+}
+
+TEST(SessionTest, ConvnetTrainsEndToEnd) {
+  const Graph g = mnist_convnet(4);
+  Session session(g);
+  const Dataset data = synthetic_mnist(120, 19);
+  const auto feeds = data.batch_feeds(0, 60);
+  const float initial = session.run1("loss", feeds).at(0);
+  float loss = initial;
+  for (int step = 0; step < 40; ++step) {
+    loss = session.train_step("loss", feeds, 0.3f);
+  }
+  EXPECT_LT(loss, initial * 0.7f)
+      << "convolution gradients must let the convnet learn";
+}
+
+// --- serialization ---------------------------------------------------------
+
+TEST(SerializeTest, GraphRoundTrip) {
+  Graph g = mnist_mlp(16, 3);
+  const auto blob = serialize_graph(g);
+  const Graph restored = deserialize_graph(blob);
+  ASSERT_EQ(restored.node_count(), g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const Node& a = g.nodes()[i];
+    const Node& b = restored.nodes()[i];
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.inputs, b.inputs);
+    EXPECT_EQ(a.value.has_value(), b.value.has_value());
+    if (a.value.has_value()) {
+      EXPECT_EQ(*a.value, *b.value);
+    }
+  }
+}
+
+TEST(SerializeTest, RestoredGraphComputesSameResult) {
+  Graph g = mnist_mlp(16, 3);
+  const Graph restored = deserialize_graph(serialize_graph(g));
+  Session s1(g), s2(restored);
+  const Dataset data = synthetic_mnist(4, 9);
+  const auto feeds = data.batch_feeds(0, 4);
+  EXPECT_EQ(s1.run1("probs", feeds), s2.run1("probs", feeds));
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  EXPECT_THROW((void)deserialize_graph(crypto::to_bytes("not a graph")),
+               std::runtime_error);
+  auto blob = serialize_graph(mnist_mlp(8, 1));
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW((void)deserialize_graph(blob), std::runtime_error);
+}
+
+TEST(SerializeTest, CheckpointRoundTrip) {
+  Graph g = mnist_mlp(16, 3);
+  Session trained(g);
+  const Dataset data = synthetic_mnist(100, 5);
+  for (int i = 0; i < 5; ++i) {
+    trained.train_step("loss", data.batch_feeds(0, 100), 0.1f);
+  }
+  const auto ckpt = serialize_checkpoint(trained);
+
+  Session fresh(g);
+  restore_checkpoint(fresh, ckpt);
+  const auto feeds = data.batch_feeds(0, 100);
+  EXPECT_EQ(fresh.run1("probs", feeds), trained.run1("probs", feeds));
+}
+
+TEST(SerializeTest, FreezeFoldsVariables) {
+  Graph g = mnist_mlp(16, 3);
+  Session session(g);
+  const Graph frozen = freeze(g, session);
+  EXPECT_TRUE(frozen.variables().empty());
+  // Frozen graph computes identically without a variable store.
+  Session fs(frozen);
+  const Dataset data = synthetic_mnist(2, 13);
+  const auto feeds = data.batch_feeds(0, 2);
+  EXPECT_EQ(fs.run1("probs", feeds), session.run1("probs", feeds));
+}
+
+// --- datasets ----------------------------------------------------------------
+
+TEST(DatasetTest, ShapesAndDeterminism) {
+  const Dataset a = synthetic_mnist(50, 4);
+  EXPECT_EQ(a.images.shape(), (Shape{50, 784}));
+  EXPECT_EQ(a.labels.shape(), (Shape{50, 10}));
+  const Dataset b = synthetic_mnist(50, 4);
+  EXPECT_EQ(a.images, b.images);
+  const Dataset c = synthetic_mnist(50, 5);
+  EXPECT_NE(c.images, a.images);
+  const Dataset cifar = synthetic_cifar10(10, 1);
+  EXPECT_EQ(cifar.images.shape(), (Shape{10, 3072}));
+}
+
+TEST(DatasetTest, LabelsAreOneHot) {
+  const Dataset d = synthetic_mnist(20, 2);
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    float sum = 0;
+    for (std::int64_t c = 0; c < 10; ++c) sum += d.labels.at2(i, c);
+    EXPECT_FLOAT_EQ(sum, 1.0f);
+    EXPECT_GE(d.label_of(i), 0);
+  }
+}
+
+TEST(DatasetTest, BatchBoundsChecked) {
+  const Dataset d = synthetic_mnist(10, 2);
+  EXPECT_NO_THROW((void)d.batch_feeds(0, 10));
+  EXPECT_THROW((void)d.batch_feeds(1, 10), std::out_of_range);
+}
+
+TEST(DatasetTest, PixelsInUnitRange) {
+  const Dataset d = synthetic_cifar10(20, 3);
+  for (std::int64_t i = 0; i < d.images.size(); ++i) {
+    EXPECT_GE(d.images.at(i), 0.0f);
+    EXPECT_LE(d.images.at(i), 1.0f);
+  }
+}
+
+// --- model zoo ---------------------------------------------------------------
+
+TEST(ModelsTest, SizedClassifierHitsTargetBytes) {
+  for (const std::uint64_t target :
+       {16ull << 20, 42ull << 20, 91ull << 20}) {
+    const Graph g = sized_classifier("m", target);
+    const double actual = static_cast<double>(g.parameter_bytes());
+    EXPECT_NEAR(actual / static_cast<double>(target), 1.0, 0.25)
+        << "target=" << (target >> 20) << "MB actual="
+        << (g.parameter_bytes() >> 20) << "MB";
+  }
+}
+
+TEST(ModelsTest, ConvnetClassifiesBatch) {
+  const Graph g = mnist_convnet(3);
+  Session session(g);
+  const Dataset d = synthetic_mnist(4, 8);
+  const Tensor pred = session.run1("pred", d.batch_feeds(0, 4));
+  EXPECT_EQ(pred.shape(), (Shape{4}));
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_GE(pred.at(i), 0.0f);
+    EXPECT_LT(pred.at(i), 10.0f);
+  }
+}
+
+// --- Lite --------------------------------------------------------------------
+
+TEST(LiteTest, ConverterRejectsUnfrozenAndTrainingGraphs) {
+  Graph g = mnist_mlp(8, 2);
+  EXPECT_THROW((void)lite::FlatModel::from_frozen(g, "input", "probs"),
+               std::invalid_argument);  // still has variables
+  Session session(g);
+  const Graph frozen = freeze(g, session);
+  EXPECT_THROW((void)lite::FlatModel::from_frozen(frozen, "input", "loss"),
+               std::invalid_argument);  // training op in subgraph
+  EXPECT_NO_THROW((void)lite::FlatModel::from_frozen(frozen, "input", "probs"));
+}
+
+TEST(LiteTest, InterpreterMatchesSession) {
+  Graph g = mnist_mlp(24, 6);
+  Session session(g);
+  const Dataset d = synthetic_mnist(100, 17);
+  for (int i = 0; i < 5; ++i) {
+    session.train_step("loss", d.batch_feeds(0, 100), 0.1f);
+  }
+  const Graph frozen = freeze(g, session);
+  const auto model = lite::FlatModel::from_frozen(frozen, "input", "probs");
+  lite::LiteInterpreter interp(model);
+
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const Tensor x = d.sample(i);
+    const Tensor expected = session.run1("probs", {{"input", x}});
+    const Tensor got = interp.invoke(x);
+    ASSERT_EQ(got.shape(), expected.shape());
+    for (std::int64_t j = 0; j < got.size(); ++j) {
+      EXPECT_NEAR(got.at(j), expected.at(j), 1e-5f);
+    }
+  }
+}
+
+TEST(LiteTest, SerializeRoundTrip) {
+  Graph g = mnist_mlp(16, 4);
+  Session session(g);
+  const auto model = lite::FlatModel::from_frozen(freeze(g, session), "input",
+                                                  "probs");
+  const auto blob = model.serialize();
+  const auto restored = lite::FlatModel::deserialize(blob);
+  EXPECT_EQ(restored.weight_bytes(), model.weight_bytes());
+  EXPECT_EQ(restored.ops().size(), model.ops().size());
+
+  lite::LiteInterpreter a(model), b(restored);
+  const Dataset d = synthetic_mnist(2, 30);
+  EXPECT_EQ(a.invoke(d.sample(0)), b.invoke(d.sample(0)));
+}
+
+TEST(LiteTest, DeserializeRejectsGarbage) {
+  EXPECT_THROW((void)lite::FlatModel::deserialize(crypto::to_bytes("xx")),
+               std::runtime_error);
+  Graph g = mnist_mlp(8, 4);
+  Session session(g);
+  auto blob = lite::FlatModel::from_frozen(freeze(g, session), "input", "probs")
+                  .serialize();
+  blob.pop_back();
+  EXPECT_THROW((void)lite::FlatModel::deserialize(blob), std::runtime_error);
+}
+
+TEST(LiteTest, ConvnetLowersAndRuns) {
+  const Graph g = mnist_convnet(9);
+  Session session(g);  // the dense head holds variables: freeze them
+  const auto model =
+      lite::FlatModel::from_frozen(freeze(g, session), "input", "probs");
+  lite::LiteInterpreter interp(model);
+  const Dataset d = synthetic_mnist(1, 5);
+  const Tensor probs = interp.invoke(d.sample(0));
+  EXPECT_EQ(probs.shape(), (Shape{1, 10}));
+  float sum = 0;
+  for (std::int64_t i = 0; i < 10; ++i) sum += probs.at(i);
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST(LiteTest, ActivationFootprintSmallerThanWeights) {
+  Graph g = sized_classifier("m", 8ull << 20);
+  Session session(g);
+  const auto model =
+      lite::FlatModel::from_frozen(freeze(g, session), "input", "probs");
+  lite::LiteInterpreter interp(model);
+  const Dataset d = synthetic_cifar10(1, 2);
+  (void)interp.invoke(d.sample(0));
+  EXPECT_LT(interp.activation_bytes(), model.weight_bytes() / 100)
+      << "Lite keeps a tiny activation footprint next to the weights";
+}
+
+}  // namespace
+}  // namespace stf::ml

@@ -1,0 +1,153 @@
+// Tests for the simulated network: latency/bandwidth accounting, link
+// overrides, and the Dolev-Yao adversary hooks.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "tee/sim_clock.h"
+
+namespace stf::net {
+namespace {
+
+using tee::SimClock;
+
+TEST(SimNetworkTest, DeliversInOrder) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  conn_a.send(crypto::to_bytes("first"));
+  conn_a.send(crypto::to_bytes("second"));
+  EXPECT_EQ(conn_b.pending(), 2u);
+  EXPECT_EQ(*conn_b.recv(), crypto::to_bytes("first"));
+  EXPECT_EQ(*conn_b.recv(), crypto::to_bytes("second"));
+  EXPECT_FALSE(conn_b.recv().has_value());
+}
+
+TEST(SimNetworkTest, BidirectionalTraffic) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  conn_a.send(crypto::to_bytes("ping"));
+  ASSERT_TRUE(conn_b.recv().has_value());
+  conn_b.send(crypto::to_bytes("pong"));
+  EXPECT_EQ(*conn_a.recv(), crypto::to_bytes("pong"));
+}
+
+TEST(SimNetworkTest, LatencyChargesReceiverClock) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  const auto send_time = ca.now_ns();
+  conn_a.send(crypto::Bytes(1000));
+  ASSERT_TRUE(conn_b.recv().has_value());
+  // The receiver waited for at least half an RTT past the send time.
+  EXPECT_GE(cb.now_ns(), send_time + LinkSpec::lan().rtt_ns / 2);
+}
+
+TEST(SimNetworkTest, BandwidthChargesSenderClock) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  const auto t0 = ca.now_ns();
+  conn_a.send(crypto::Bytes(125'000'000));  // 1 s at 1 Gb/s
+  EXPECT_NEAR(static_cast<double>(ca.now_ns() - t0), 1e9, 1e7);
+}
+
+TEST(SimNetworkTest, WanLinkSlowerThanLan) {
+  SimNetwork net;
+  SimClock c_lan_client, c_wan_client, cb, cc;
+  const auto lan_client = net.add_node("lan-client", c_lan_client);
+  const auto wan_client = net.add_node("wan-client", c_wan_client);
+  const auto b = net.add_node("lan-peer", cb);
+  const auto c = net.add_node("ias-wan", cc);
+  net.set_link(wan_client, c, LinkSpec::wan());
+  auto [la, lb] = net.connect(lan_client, b);
+  auto [wa, wc] = net.connect(wan_client, c);
+  la.send(crypto::Bytes(10'000));
+  wa.send(crypto::Bytes(10'000));
+  ASSERT_TRUE(lb.recv().has_value());
+  ASSERT_TRUE(wc.recv().has_value());
+  EXPECT_GT(cc.now_ns(), cb.now_ns() * 10);
+}
+
+TEST(SimNetworkTest, AdversaryDropsMessage) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  net.set_adversary([](crypto::Bytes&) { return AdversaryAction::Drop; });
+  conn_a.send(crypto::to_bytes("gone"));
+  EXPECT_FALSE(conn_b.recv().has_value());
+}
+
+TEST(SimNetworkTest, AdversaryTampersPayload) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  net.set_adversary([](crypto::Bytes& payload) {
+    payload[0] ^= 0xff;
+    return AdversaryAction::Tamper;
+  });
+  conn_a.send(crypto::to_bytes("x-original"));
+  const auto got = conn_b.recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NE(*got, crypto::to_bytes("x-original"));
+}
+
+TEST(SimNetworkTest, AdversaryReplaysMessage) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  net.set_adversary([](crypto::Bytes&) { return AdversaryAction::Replay; });
+  conn_a.send(crypto::to_bytes("dup"));
+  EXPECT_EQ(conn_b.pending(), 2u);
+  EXPECT_EQ(*conn_b.recv(), crypto::to_bytes("dup"));
+  EXPECT_EQ(*conn_b.recv(), crypto::to_bytes("dup"));
+}
+
+TEST(SimNetworkTest, AdversaryDelaysMessage) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  net.set_adversary([](crypto::Bytes&) { return AdversaryAction::Delay; });
+  conn_a.send(crypto::to_bytes("late"));
+  ASSERT_TRUE(conn_b.recv().has_value());
+  EXPECT_GT(cb.now_ns(), LinkSpec::lan().rtt_ns * 5);
+}
+
+TEST(SimNetworkTest, ConnectUnknownNodeThrows) {
+  SimNetwork net;
+  SimClock ca;
+  const auto a = net.add_node("a", ca);
+  EXPECT_THROW(net.connect(a, 99), std::invalid_argument);
+}
+
+TEST(SimNetworkTest, CountsTraffic) {
+  SimNetwork net;
+  SimClock ca, cb;
+  const auto a = net.add_node("a", ca);
+  const auto b = net.add_node("b", cb);
+  auto [conn_a, conn_b] = net.connect(a, b);
+  conn_a.send(crypto::Bytes(100));
+  conn_a.send(crypto::Bytes(50));
+  (void)conn_b.recv();
+  EXPECT_EQ(net.bytes_sent(), 150u);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+}  // namespace
+}  // namespace stf::net

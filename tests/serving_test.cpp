@@ -1,0 +1,100 @@
+// Tests for the multi-threaded serving node / fleet (the Figure 7 machinery
+// as library code).
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+#include "ml/dataset.h"
+#include "ml/models.h"
+#include "ml/serialize.h"
+
+namespace stf::core {
+namespace {
+
+struct ServingFixture {
+  ml::lite::FlatModel model = [] {
+    ml::Graph g = ml::sized_classifier("svc", 24ull << 20);
+    ml::Session s(g);
+    return ml::lite::FlatModel::from_frozen(ml::freeze(g, s), "input",
+                                            "probs");
+  }();
+  ml::Tensor image = ml::synthetic_cifar10(1, 3).sample(0);
+
+  ServingConfig config(tee::TeeMode mode, unsigned threads) {
+    ServingConfig cfg;
+    cfg.mode = mode;
+    cfg.threads = threads;
+    cfg.per_thread_scratch = 2ull << 20;
+    cfg.inference.container_name = "svc";
+    return cfg;
+  }
+};
+
+TEST(ServingNodeTest, MoreThreadsFasterInSim) {
+  ServingFixture f;
+  double prev = 0;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ServingNode node(f.model, f.config(tee::TeeMode::Simulation, threads));
+    const double seconds = node.classify_stream(f.image, 16);
+    if (threads > 1) {
+      EXPECT_LT(seconds, prev);
+    }
+    prev = seconds;
+  }
+}
+
+TEST(ServingNodeTest, SimScalesNearLinearlyToPhysicalCores) {
+  ServingFixture f;
+  ServingNode one(f.model, f.config(tee::TeeMode::Simulation, 1));
+  ServingNode four(f.model, f.config(tee::TeeMode::Simulation, 4));
+  const double t1 = one.estimate_stream_seconds(f.image, 400);
+  const double t4 = four.estimate_stream_seconds(f.image, 400);
+  EXPECT_NEAR(t1 / t4, 4.0, 0.4);
+}
+
+TEST(ServingNodeTest, HyperthreadsSubLinear) {
+  ServingFixture f;
+  ServingNode four(f.model, f.config(tee::TeeMode::Simulation, 4));
+  ServingNode eight(f.model, f.config(tee::TeeMode::Simulation, 8));
+  const double t4 = four.estimate_stream_seconds(f.image, 400);
+  const double t8 = eight.estimate_stream_seconds(f.image, 400);
+  const double speedup = t4 / t8;
+  EXPECT_GT(speedup, 1.0);
+  // Only the compute share scales with threads and hyperthreads deliver a
+  // fraction of a core, so doubling threads must stay visibly below 2x.
+  EXPECT_LT(speedup, 1.95) << "8 hyperthreads are not 8 cores";
+}
+
+TEST(ServingNodeTest, EpcPressureShowsInHardwareWithBigScratch) {
+  ServingFixture f;
+  // Shrink the EPC so 4 threads' scratch + model overflow it.
+  ServingConfig cfg = f.config(tee::TeeMode::Hardware, 4);
+  cfg.model.epc_bytes = 30ull << 20;
+  cfg.per_thread_scratch = 4ull << 20;
+  ServingNode node(f.model, cfg);
+  (void)node.classify_stream(f.image, 16);
+  EXPECT_GT(node.epc_faults(), 1000u);
+}
+
+TEST(ServingNodeTest, EstimateConsistentWithDirectRun) {
+  ServingFixture f;
+  ServingNode direct(f.model, f.config(tee::TeeMode::Simulation, 2));
+  ServingNode estimated(f.model, f.config(tee::TeeMode::Simulation, 2));
+  // Warm both equally, then compare a 32-image stream against the estimate.
+  (void)direct.classify_stream(f.image, 4);
+  const double direct_s = direct.classify_stream(f.image, 32);
+  const double estimate_s = estimated.estimate_stream_seconds(f.image, 32);
+  EXPECT_NEAR(estimate_s / direct_s, 1.0, 0.05);
+}
+
+TEST(ServingFleetTest, ScaleOutNearLinear) {
+  ServingFixture f;
+  ServingFleet one(f.model, f.config(tee::TeeMode::Simulation, 2), 1);
+  ServingFleet three(f.model, f.config(tee::TeeMode::Simulation, 2), 3);
+  EXPECT_EQ(three.node_count(), 3u);
+  const double t1 = one.estimate_stream_seconds(f.image, 300);
+  const double t3 = three.estimate_stream_seconds(f.image, 300);
+  EXPECT_NEAR(t1 / t3, 3.0, 0.35);
+}
+
+}  // namespace
+}  // namespace stf::core

@@ -1,0 +1,171 @@
+// Tests for rollback-protection primitives: monotonic counters, the audit
+// hash chain, and the encrypted KV store.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "storage/audit_log.h"
+#include "storage/kv_store.h"
+#include "storage/monotonic_counter.h"
+
+namespace stf::storage {
+namespace {
+
+using crypto::to_bytes;
+
+TEST(MonotonicCounterTest, IncrementOnly) {
+  MonotonicCounterService svc;
+  svc.create("fs/worker-1");
+  EXPECT_EQ(svc.read("fs/worker-1"), 0u);
+  EXPECT_EQ(svc.increment("fs/worker-1"), 1u);
+  EXPECT_EQ(svc.increment("fs/worker-1"), 2u);
+  EXPECT_TRUE(svc.is_current("fs/worker-1", 2));
+  EXPECT_FALSE(svc.is_current("fs/worker-1", 1)) << "stale value = rollback";
+}
+
+TEST(MonotonicCounterTest, Errors) {
+  MonotonicCounterService svc;
+  svc.create("c");
+  EXPECT_THROW(svc.create("c"), std::invalid_argument);
+  EXPECT_THROW((void)svc.read("missing"), std::invalid_argument);
+  EXPECT_THROW((void)svc.increment("missing"), std::invalid_argument);
+}
+
+TEST(AuditLogTest, AppendAndVerify) {
+  AuditLog log(to_bytes("audit-key"));
+  log.append("/secure/model", to_bytes("gen=1"));
+  log.append("/secure/model", to_bytes("gen=2"));
+  log.append("/secure/data", to_bytes("gen=1"));
+  EXPECT_TRUE(log.verify_chain());
+  EXPECT_EQ(*log.latest("/secure/model"), to_bytes("gen=2"));
+  EXPECT_EQ(*log.latest("/secure/data"), to_bytes("gen=1"));
+  EXPECT_FALSE(log.latest("/unknown").has_value());
+}
+
+TEST(AuditLogTest, DetectsEntryTamper) {
+  AuditLog log(to_bytes("audit-key"));
+  log.append("s", to_bytes("v1"));
+  log.append("s", to_bytes("v2"));
+  log.mutable_entries()[0].payload = to_bytes("v9");
+  EXPECT_FALSE(log.verify_chain());
+  EXPECT_FALSE(log.latest("s").has_value()) << "corrupt chain answers nothing";
+}
+
+TEST(AuditLogTest, DetectsTruncation) {
+  AuditLog log(to_bytes("audit-key"));
+  log.append("s", to_bytes("v1"));
+  log.append("s", to_bytes("v2"));
+  log.mutable_entries().pop_back();
+  // Truncation leaves a valid prefix chain; the *sequence* check against an
+  // external anchor catches it. Internally the prefix still verifies:
+  EXPECT_TRUE(log.verify_chain());
+  // ... which is why secureTF anchors the chain head in a monotonic counter:
+  MonotonicCounterService counters;
+  counters.create("audit-head");
+  counters.increment("audit-head");
+  counters.increment("audit-head");                 // two appends happened
+  EXPECT_FALSE(counters.is_current("audit-head", log.size()));
+}
+
+TEST(AuditLogTest, DetectsReorder) {
+  AuditLog log(to_bytes("audit-key"));
+  log.append("s", to_bytes("v1"));
+  log.append("s", to_bytes("v2"));
+  std::swap(log.mutable_entries()[0], log.mutable_entries()[1]);
+  EXPECT_FALSE(log.verify_chain());
+}
+
+TEST(AuditLogTest, DetectsForgedEntry) {
+  AuditLog log(to_bytes("audit-key"));
+  log.append("s", to_bytes("v1"));
+  AuditLog forger(to_bytes("wrong-key"));
+  forger.append("s", to_bytes("v1"));
+  forger.append("s", to_bytes("forged"));
+  log.mutable_entries().push_back(forger.entries()[1]);
+  EXPECT_FALSE(log.verify_chain());
+}
+
+struct KvFixture {
+  MonotonicCounterService counters;
+  crypto::HmacDrbg rng{to_bytes("kv-rng")};
+  crypto::Bytes key = crypto::HmacDrbg(to_bytes("kv-key")).generate(32);
+};
+
+TEST(KvStoreTest, PutGetErase) {
+  KvFixture f;
+  EncryptedKvStore store(f.key, f.counters, "cas-db", f.rng);
+  store.put("tls/cert", to_bytes("cert-bytes"));
+  store.put("fs/key", to_bytes("key-bytes"));
+  EXPECT_EQ(*store.get("tls/cert"), to_bytes("cert-bytes"));
+  EXPECT_FALSE(store.get("missing").has_value());
+  store.erase("tls/cert");
+  EXPECT_FALSE(store.get("tls/cert").has_value());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, SealLoadRoundTrip) {
+  KvFixture f;
+  EncryptedKvStore store(f.key, f.counters, "cas-db", f.rng);
+  store.put("a", to_bytes("1"));
+  store.put("b", to_bytes("2"));
+  const auto sealed = store.seal();
+
+  EncryptedKvStore restored(f.key, f.counters, "cas-db", f.rng);
+  ASSERT_TRUE(restored.load(sealed));
+  EXPECT_EQ(*restored.get("a"), to_bytes("1"));
+  EXPECT_EQ(*restored.get("b"), to_bytes("2"));
+}
+
+TEST(KvStoreTest, SealedBlobHidesContent) {
+  KvFixture f;
+  EncryptedKvStore store(f.key, f.counters, "cas-db", f.rng);
+  store.put("secret-name", to_bytes("SECRET-VALUE"));
+  const auto sealed = store.seal();
+  const std::string blob(sealed.begin(), sealed.end());
+  EXPECT_EQ(blob.find("SECRET"), std::string::npos);
+  EXPECT_EQ(blob.find("secret-name"), std::string::npos);
+}
+
+TEST(KvStoreTest, TamperedBlobRejected) {
+  KvFixture f;
+  EncryptedKvStore store(f.key, f.counters, "cas-db", f.rng);
+  store.put("a", to_bytes("1"));
+  auto sealed = store.seal();
+  sealed[sealed.size() / 2] ^= 1;
+  EncryptedKvStore restored(f.key, f.counters, "cas-db", f.rng);
+  EXPECT_FALSE(restored.load(sealed));
+  EXPECT_EQ(restored.size(), 0u) << "failed load must not leak partial state";
+}
+
+TEST(KvStoreTest, RollbackRejected) {
+  KvFixture f;
+  EncryptedKvStore store(f.key, f.counters, "cas-db", f.rng);
+  store.put("balance", to_bytes("100"));
+  const auto old_blob = store.seal();
+  store.put("balance", to_bytes("50"));
+  const auto new_blob = store.seal();
+
+  EncryptedKvStore restored(f.key, f.counters, "cas-db", f.rng);
+  EXPECT_FALSE(restored.load(old_blob)) << "old blob must fail (rollback)";
+  EXPECT_TRUE(restored.load(new_blob));
+  EXPECT_EQ(*restored.get("balance"), to_bytes("50"));
+}
+
+TEST(KvStoreTest, WrongKeyRejected) {
+  KvFixture f;
+  EncryptedKvStore store(f.key, f.counters, "cas-db", f.rng);
+  store.put("a", to_bytes("1"));
+  const auto sealed = store.seal();
+  const auto other_key = crypto::HmacDrbg(to_bytes("other")).generate(32);
+  EncryptedKvStore other(other_key, f.counters, "cas-db", f.rng);
+  EXPECT_FALSE(other.load(sealed));
+}
+
+TEST(KvStoreTest, RequiresProperKeySize) {
+  KvFixture f;
+  const crypto::Bytes short_key(16, 0x11);
+  EXPECT_THROW(EncryptedKvStore(short_key, f.counters, "x", f.rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stf::storage
