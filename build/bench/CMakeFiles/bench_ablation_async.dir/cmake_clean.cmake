@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_async.dir/bench_ablation_async.cpp.o"
+  "CMakeFiles/bench_ablation_async.dir/bench_ablation_async.cpp.o.d"
+  "bench_ablation_async"
+  "bench_ablation_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

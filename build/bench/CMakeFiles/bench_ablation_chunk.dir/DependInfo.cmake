@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_chunk.cpp" "bench/CMakeFiles/bench_ablation_chunk.dir/bench_ablation_chunk.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_chunk.dir/bench_ablation_chunk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/stf_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/stf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cas/CMakeFiles/stf_cas.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/stf_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stf_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunk.dir/bench_ablation_chunk.cpp.o"
+  "CMakeFiles/bench_ablation_chunk.dir/bench_ablation_chunk.cpp.o.d"
+  "bench_ablation_chunk"
+  "bench_ablation_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_epc.dir/bench_ablation_epc.cpp.o"
+  "CMakeFiles/bench_ablation_epc.dir/bench_ablation_epc.cpp.o.d"
+  "bench_ablation_epc"
+  "bench_ablation_epc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_normalization.dir/bench_ablation_normalization.cpp.o"
+  "CMakeFiles/bench_ablation_normalization.dir/bench_ablation_normalization.cpp.o.d"
+  "bench_ablation_normalization"
+  "bench_ablation_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

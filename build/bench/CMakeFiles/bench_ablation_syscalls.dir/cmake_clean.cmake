@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_syscalls.dir/bench_ablation_syscalls.cpp.o"
+  "CMakeFiles/bench_ablation_syscalls.dir/bench_ablation_syscalls.cpp.o.d"
+  "bench_ablation_syscalls"
+  "bench_ablation_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

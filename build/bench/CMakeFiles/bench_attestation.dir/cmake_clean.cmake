@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attestation.dir/bench_attestation.cpp.o"
+  "CMakeFiles/bench_attestation.dir/bench_attestation.cpp.o.d"
+  "bench_attestation"
+  "bench_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classification.dir/bench_classification.cpp.o"
+  "CMakeFiles/bench_classification.dir/bench_classification.cpp.o.d"
+  "bench_classification"
+  "bench_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fsshield.dir/bench_fsshield.cpp.o"
+  "CMakeFiles/bench_fsshield.dir/bench_fsshield.cpp.o.d"
+  "bench_fsshield"
+  "bench_fsshield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fsshield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tf_vs_lite.dir/bench_tf_vs_lite.cpp.o"
+  "CMakeFiles/bench_tf_vs_lite.dir/bench_tf_vs_lite.cpp.o.d"
+  "bench_tf_vs_lite"
+  "bench_tf_vs_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tf_vs_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_inference.dir/elastic_inference.cpp.o"
+  "CMakeFiles/elastic_inference.dir/elastic_inference.cpp.o.d"
+  "elastic_inference"
+  "elastic_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_learning.dir/federated_learning.cpp.o"
+  "CMakeFiles/federated_learning.dir/federated_learning.cpp.o.d"
+  "federated_learning"
+  "federated_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tool.dir/model_tool.cpp.o"
+  "CMakeFiles/model_tool.dir/model_tool.cpp.o.d"
+  "model_tool"
+  "model_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_document_digitization.dir/secure_document_digitization.cpp.o"
+  "CMakeFiles/secure_document_digitization.dir/secure_document_digitization.cpp.o.d"
+  "secure_document_digitization"
+  "secure_document_digitization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_document_digitization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for secure_document_digitization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cas/attest_client.cpp" "src/cas/CMakeFiles/stf_cas.dir/attest_client.cpp.o" "gcc" "src/cas/CMakeFiles/stf_cas.dir/attest_client.cpp.o.d"
+  "/root/repo/src/cas/cas_server.cpp" "src/cas/CMakeFiles/stf_cas.dir/cas_server.cpp.o" "gcc" "src/cas/CMakeFiles/stf_cas.dir/cas_server.cpp.o.d"
+  "/root/repo/src/cas/ias.cpp" "src/cas/CMakeFiles/stf_cas.dir/ias.cpp.o" "gcc" "src/cas/CMakeFiles/stf_cas.dir/ias.cpp.o.d"
+  "/root/repo/src/cas/wire.cpp" "src/cas/CMakeFiles/stf_cas.dir/wire.cpp.o" "gcc" "src/cas/CMakeFiles/stf_cas.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/stf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/stf_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stf_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_cas.dir/attest_client.cpp.o"
+  "CMakeFiles/stf_cas.dir/attest_client.cpp.o.d"
+  "CMakeFiles/stf_cas.dir/cas_server.cpp.o"
+  "CMakeFiles/stf_cas.dir/cas_server.cpp.o.d"
+  "CMakeFiles/stf_cas.dir/ias.cpp.o"
+  "CMakeFiles/stf_cas.dir/ias.cpp.o.d"
+  "CMakeFiles/stf_cas.dir/wire.cpp.o"
+  "CMakeFiles/stf_cas.dir/wire.cpp.o.d"
+  "libstf_cas.a"
+  "libstf_cas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_core.dir/classifier_server.cpp.o"
+  "CMakeFiles/stf_core.dir/classifier_server.cpp.o.d"
+  "CMakeFiles/stf_core.dir/inference.cpp.o"
+  "CMakeFiles/stf_core.dir/inference.cpp.o.d"
+  "CMakeFiles/stf_core.dir/securetf.cpp.o"
+  "CMakeFiles/stf_core.dir/securetf.cpp.o.d"
+  "CMakeFiles/stf_core.dir/serving.cpp.o"
+  "CMakeFiles/stf_core.dir/serving.cpp.o.d"
+  "libstf_core.a"
+  "libstf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/stf_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/stf_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/stf_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/stf_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/gcm.cpp" "src/crypto/CMakeFiles/stf_crypto.dir/gcm.cpp.o" "gcc" "src/crypto/CMakeFiles/stf_crypto.dir/gcm.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/stf_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/stf_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/stf_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/stf_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/crypto/CMakeFiles/stf_crypto.dir/x25519.cpp.o" "gcc" "src/crypto/CMakeFiles/stf_crypto.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

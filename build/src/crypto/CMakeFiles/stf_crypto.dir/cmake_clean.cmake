@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_crypto.dir/aes.cpp.o"
+  "CMakeFiles/stf_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/stf_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/stf_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/stf_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/stf_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/stf_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/stf_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/stf_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/stf_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/stf_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/stf_crypto.dir/x25519.cpp.o.d"
+  "libstf_crypto.a"
+  "libstf_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

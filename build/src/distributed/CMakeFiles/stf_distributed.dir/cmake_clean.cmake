@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_distributed.dir/training.cpp.o"
+  "CMakeFiles/stf_distributed.dir/training.cpp.o.d"
+  "libstf_distributed.a"
+  "libstf_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

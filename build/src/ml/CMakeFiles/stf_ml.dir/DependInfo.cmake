@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/stf_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/graph.cpp" "src/ml/CMakeFiles/stf_ml.dir/graph.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/graph.cpp.o.d"
+  "/root/repo/src/ml/lite/flat_model.cpp" "src/ml/CMakeFiles/stf_ml.dir/lite/flat_model.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/lite/flat_model.cpp.o.d"
+  "/root/repo/src/ml/models.cpp" "src/ml/CMakeFiles/stf_ml.dir/models.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/models.cpp.o.d"
+  "/root/repo/src/ml/ops.cpp" "src/ml/CMakeFiles/stf_ml.dir/ops.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/ops.cpp.o.d"
+  "/root/repo/src/ml/optimize.cpp" "src/ml/CMakeFiles/stf_ml.dir/optimize.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/optimize.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/stf_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/session.cpp" "src/ml/CMakeFiles/stf_ml.dir/session.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/session.cpp.o.d"
+  "/root/repo/src/ml/slalom.cpp" "src/ml/CMakeFiles/stf_ml.dir/slalom.cpp.o" "gcc" "src/ml/CMakeFiles/stf_ml.dir/slalom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/stf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/stf_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_ml.dir/dataset.cpp.o"
+  "CMakeFiles/stf_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/stf_ml.dir/graph.cpp.o"
+  "CMakeFiles/stf_ml.dir/graph.cpp.o.d"
+  "CMakeFiles/stf_ml.dir/lite/flat_model.cpp.o"
+  "CMakeFiles/stf_ml.dir/lite/flat_model.cpp.o.d"
+  "CMakeFiles/stf_ml.dir/models.cpp.o"
+  "CMakeFiles/stf_ml.dir/models.cpp.o.d"
+  "CMakeFiles/stf_ml.dir/ops.cpp.o"
+  "CMakeFiles/stf_ml.dir/ops.cpp.o.d"
+  "CMakeFiles/stf_ml.dir/optimize.cpp.o"
+  "CMakeFiles/stf_ml.dir/optimize.cpp.o.d"
+  "CMakeFiles/stf_ml.dir/serialize.cpp.o"
+  "CMakeFiles/stf_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/stf_ml.dir/session.cpp.o"
+  "CMakeFiles/stf_ml.dir/session.cpp.o.d"
+  "CMakeFiles/stf_ml.dir/slalom.cpp.o"
+  "CMakeFiles/stf_ml.dir/slalom.cpp.o.d"
+  "libstf_ml.a"
+  "libstf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_net.dir/network.cpp.o"
+  "CMakeFiles/stf_net.dir/network.cpp.o.d"
+  "libstf_net.a"
+  "libstf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/fs_shield.cpp" "src/runtime/CMakeFiles/stf_runtime.dir/fs_shield.cpp.o" "gcc" "src/runtime/CMakeFiles/stf_runtime.dir/fs_shield.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/stf_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/stf_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/secure_channel.cpp" "src/runtime/CMakeFiles/stf_runtime.dir/secure_channel.cpp.o" "gcc" "src/runtime/CMakeFiles/stf_runtime.dir/secure_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/stf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/stf_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

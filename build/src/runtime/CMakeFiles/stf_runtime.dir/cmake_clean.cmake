@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_runtime.dir/fs_shield.cpp.o"
+  "CMakeFiles/stf_runtime.dir/fs_shield.cpp.o.d"
+  "CMakeFiles/stf_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/stf_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/stf_runtime.dir/secure_channel.cpp.o"
+  "CMakeFiles/stf_runtime.dir/secure_channel.cpp.o.d"
+  "libstf_runtime.a"
+  "libstf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

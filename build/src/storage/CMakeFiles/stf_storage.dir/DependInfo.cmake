@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/audit_log.cpp" "src/storage/CMakeFiles/stf_storage.dir/audit_log.cpp.o" "gcc" "src/storage/CMakeFiles/stf_storage.dir/audit_log.cpp.o.d"
+  "/root/repo/src/storage/kv_store.cpp" "src/storage/CMakeFiles/stf_storage.dir/kv_store.cpp.o" "gcc" "src/storage/CMakeFiles/stf_storage.dir/kv_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/stf_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_storage.dir/audit_log.cpp.o"
+  "CMakeFiles/stf_storage.dir/audit_log.cpp.o.d"
+  "CMakeFiles/stf_storage.dir/kv_store.cpp.o"
+  "CMakeFiles/stf_storage.dir/kv_store.cpp.o.d"
+  "libstf_storage.a"
+  "libstf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/attestation.cpp" "src/tee/CMakeFiles/stf_tee.dir/attestation.cpp.o" "gcc" "src/tee/CMakeFiles/stf_tee.dir/attestation.cpp.o.d"
+  "/root/repo/src/tee/enclave.cpp" "src/tee/CMakeFiles/stf_tee.dir/enclave.cpp.o" "gcc" "src/tee/CMakeFiles/stf_tee.dir/enclave.cpp.o.d"
+  "/root/repo/src/tee/epc.cpp" "src/tee/CMakeFiles/stf_tee.dir/epc.cpp.o" "gcc" "src/tee/CMakeFiles/stf_tee.dir/epc.cpp.o.d"
+  "/root/repo/src/tee/platform.cpp" "src/tee/CMakeFiles/stf_tee.dir/platform.cpp.o" "gcc" "src/tee/CMakeFiles/stf_tee.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/stf_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_tee.dir/attestation.cpp.o"
+  "CMakeFiles/stf_tee.dir/attestation.cpp.o.d"
+  "CMakeFiles/stf_tee.dir/enclave.cpp.o"
+  "CMakeFiles/stf_tee.dir/enclave.cpp.o.d"
+  "CMakeFiles/stf_tee.dir/epc.cpp.o"
+  "CMakeFiles/stf_tee.dir/epc.cpp.o.d"
+  "CMakeFiles/stf_tee.dir/platform.cpp.o"
+  "CMakeFiles/stf_tee.dir/platform.cpp.o.d"
+  "libstf_tee.a"
+  "libstf_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

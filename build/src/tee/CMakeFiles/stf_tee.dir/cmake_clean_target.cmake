@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstf_tee.a"
+)

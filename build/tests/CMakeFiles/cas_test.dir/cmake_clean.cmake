@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cas_test.dir/cas_test.cpp.o"
+  "CMakeFiles/cas_test.dir/cas_test.cpp.o.d"
+  "cas_test"
+  "cas_test.pdb"
+  "cas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

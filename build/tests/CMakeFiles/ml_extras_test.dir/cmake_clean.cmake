@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_extras_test.dir/ml_extras_test.cpp.o"
+  "CMakeFiles/ml_extras_test.dir/ml_extras_test.cpp.o.d"
+  "ml_extras_test"
+  "ml_extras_test.pdb"
+  "ml_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tee_test.dir/tee_test.cpp.o"
+  "CMakeFiles/tee_test.dir/tee_test.cpp.o.d"
+  "tee_test"
+  "tee_test.pdb"
+  "tee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
