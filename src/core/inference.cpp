@@ -30,7 +30,8 @@ InferenceService::InferenceService(tee::Platform& platform,
     enclave_env_ = std::make_unique<tee::EnclaveEnv>(*enclave_);
     env = enclave_env_.get();
   }
-  interpreter_ = std::make_unique<ml::lite::LiteInterpreter>(*model_, env);
+  interpreter_ = std::make_unique<ml::lite::LiteInterpreter>(*model_, env,
+                                                             options_.kernels);
 }
 
 InferenceService::InferenceService(tee::Platform& platform,
@@ -55,7 +56,7 @@ InferenceService::InferenceService(tee::Platform& platform,
                                             options_.framework_heap_bytes);
     }
   }
-  session_ = std::make_unique<ml::Session>(*graph_, env);
+  session_ = std::make_unique<ml::Session>(*graph_, env, options_.kernels);
 }
 
 InferenceService::~InferenceService() = default;

@@ -48,6 +48,9 @@ struct InferenceOptions {
   /// TF-Lite plans memory statically and has none of this.
   std::uint64_t framework_heap_bytes = 0;
   unsigned heap_passes_per_inference = 2;
+  /// Thread pool the real ML kernels execute on (wall time only; virtual
+  /// time and results are thread-count independent).
+  ml::kernels::KernelContext kernels = ml::kernels::KernelContext::shared();
 };
 
 class InferenceService {

@@ -21,6 +21,14 @@ ServingNode::ServingNode(const ml::lite::FlatModel& model,
     cost.page_evict_ns =
         static_cast<std::uint64_t>(cost.page_evict_ns * contention);
   }
+  if (config_.kernel_threads == 1) {
+    config_.inference.kernels = ml::kernels::KernelContext{};  // serial
+  } else if (config_.kernel_threads > 1) {
+    kernel_pool_ =
+        std::make_unique<runtime::ThreadPool>(config_.kernel_threads);
+    config_.inference.kernels = ml::kernels::KernelContext{
+        kernel_pool_.get(), kernel_pool_->thread_count()};
+  }  // 0: keep the shared-pool default from InferenceOptions
   platform_ = std::make_unique<tee::Platform>("serving-node", config_.mode,
                                               cost, config_.threads);
   service_ = std::make_unique<InferenceService>(*platform_, model,

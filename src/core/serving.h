@@ -13,6 +13,7 @@
 
 #include "core/inference.h"
 #include "ml/lite/flat_model.h"
+#include "runtime/thread_pool.h"
 #include "tee/platform.h"
 
 namespace stf::core {
@@ -29,6 +30,11 @@ struct ServingConfig {
   double oversubscribed_fault_factor = 1.5;
   /// Per-thread interpreter state (activation arenas, input staging).
   std::uint64_t per_thread_scratch = 10ull << 20;
+  /// Host threads the real ML kernels run on: 0 uses the process-wide pool
+  /// (hardware concurrency), 1 runs serial, N gives the node its own pool.
+  /// Affects wall time only — the virtual `threads` lanes above model the
+  /// simulated machine and are entirely separate.
+  unsigned kernel_threads = 0;
   InferenceOptions inference;
 };
 
@@ -57,6 +63,7 @@ class ServingNode {
   void classify_on_lane(unsigned lane, const ml::Tensor& image);
 
   ServingConfig config_;
+  std::unique_ptr<runtime::ThreadPool> kernel_pool_;  // when kernel_threads > 1
   std::unique_ptr<tee::Platform> platform_;
   std::unique_ptr<InferenceService> service_;
   std::vector<tee::RegionId> scratch_;

@@ -1,0 +1,456 @@
+#include "ml/kernels.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace stf::ml::kernels {
+namespace {
+
+// Blocking parameters. KC bounds the k-panel so one packed A block stays
+// cache-resident; it also fixes the accumulation association: elements with
+// k <= KC reduce in plain ascending order, matching the naive reference
+// bit-for-bit. MR x NR is the register tile of the micro-kernel.
+constexpr std::int64_t MR = 8;
+constexpr std::int64_t VL = 16;      // floats per accumulator vector
+constexpr std::int64_t NR = 2 * VL;  // micro-tile width: two vectors
+constexpr std::int64_t KC = 256;
+constexpr std::int64_t MC = 72;  // multiple of MR
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// One accumulator vector of the micro-tile. A GCC/Clang vector extension
+// rather than intrinsics: it compiles for any -march (lowered to however
+// many hardware lanes exist) yet pins the vector structure the
+// auto-vectorizer kept missing — per-row accumulator vectors, unaligned
+// loads of B, a scalar broadcast per row per k step. Element-wise
+// semantics are plain IEEE mul/add, so per-element results match the
+// scalar reference compiled in this same translation unit.
+typedef float bvec __attribute__((vector_size(sizeof(float) * VL),
+                                  aligned(alignof(float)), may_alias));
+
+// acc[MR,NR] += A-tile[MR,kc] x Bpanel[kc,NR], kk ascending. Each of the
+// 2*MR accumulator vectors stays in a register across the whole k loop
+// and is a single FMA chain, preserving the naive reference's per-element
+// summation order; pairing two vectors per row amortizes the A broadcast
+// over NR columns, which is what makes small-k (im2col conv) shapes pay
+// off. A-tile element (r, kk) sits at ap[r*a_rs + kk*a_ks]: (1, MR) walks
+// a packed panel, (row_stride, 1) reads an already column-contiguous
+// operand in place with no packing pass. `out_stride` lets a full
+// interior tile accumulate straight into C (stride n) while edge tiles go
+// through an NR-contiguous scratch buffer.
+void micro_kernel(const float* __restrict__ ap, std::int64_t a_rs,
+                  std::int64_t a_ks, const float* __restrict__ bp,
+                  std::int64_t kc, float* __restrict__ acc_out,
+                  std::int64_t out_stride, bool first_panel) {
+  bvec acc0[MR] = {};
+  bvec acc1[MR] = {};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const bvec b0 = *reinterpret_cast<const bvec*>(bp + kk * NR);
+    const bvec b1 = *reinterpret_cast<const bvec*>(bp + kk * NR + VL);
+    const float* __restrict__ acol = ap + kk * a_ks;
+    for (int r = 0; r < MR; ++r) {
+      const float av = acol[r * a_rs];
+      acc0[r] += av * b0;
+      acc1[r] += av * b1;
+    }
+  }
+  if (first_panel) {
+    // First k-panel owns the store: skips the read half of the
+    // read-modify-write, which is most of the C traffic when k <= KC.
+    for (int r = 0; r < MR; ++r) {
+      float* row = acc_out + r * out_stride;
+      *reinterpret_cast<bvec*>(row) = acc0[r];
+      *reinterpret_cast<bvec*>(row + VL) = acc1[r];
+    }
+  } else {
+    for (int r = 0; r < MR; ++r) {
+      float* row = acc_out + r * out_stride;
+      *reinterpret_cast<bvec*>(row) += acc0[r];
+      *reinterpret_cast<bvec*>(row + VL) += acc1[r];
+    }
+  }
+}
+
+// Generic strided GEMM core: c[m,n] += a'[m,k] x b'[k,n], where
+// a'(i,kk) = a[i*a_rs + kk*a_cs] and b'(kk,j) = b[kk*b_rs + j*b_cs].
+// Transposed operands are just different strides; the packing routines
+// linearize them into panels once, so the inner loops never see a stride.
+void gemm_strided(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+                  std::int64_t n, const float* a, std::int64_t a_rs,
+                  std::int64_t a_cs, const float* b, std::int64_t b_rs,
+                  std::int64_t b_cs, float* c) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  const std::int64_t num_pc = ceil_div(k, KC);
+  const std::int64_t num_jt = ceil_div(n, NR);
+
+  // Pack all of B into NR-column panels up front (reused by every row
+  // block). Uniform KC*NR slot stride keeps offsets trivial; padded columns
+  // are zero and never stored back.
+  thread_local std::vector<float> b_packed;
+  b_packed.resize(static_cast<std::size_t>(num_jt * num_pc) * KC * NR);
+  float* bp_base = b_packed.data();
+  parallel_for(ctx, 0, num_jt, 4, [&](std::int64_t jt0, std::int64_t jt1) {
+    for (std::int64_t jt = jt0; jt < jt1; ++jt) {
+      const std::int64_t jc = jt * NR;
+      const std::int64_t nr = std::min(NR, n - jc);
+      for (std::int64_t pi = 0; pi < num_pc; ++pi) {
+        const std::int64_t pc = pi * KC;
+        const std::int64_t kc = std::min(KC, k - pc);
+        float* dst = bp_base + (jt * num_pc + pi) * KC * NR;
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+          const float* src = b + (pc + kk) * b_rs + jc * b_cs;
+          for (std::int64_t jj = 0; jj < nr; ++jj) {
+            dst[kk * NR + jj] = src[jj * b_cs];
+          }
+          for (std::int64_t jj = nr; jj < NR; ++jj) dst[kk * NR + jj] = 0.0f;
+        }
+      }
+    }
+  });
+
+  // Row blocks of MC rows are the parallel chunks: each owns a disjoint
+  // slice of C and runs the full k-reduction in panel order. When A's
+  // columns are contiguous (a_cs == 1 — plain gemm, gemm_nt, and the
+  // conv col matrices) full tiles read A in place; only edge tiles and
+  // the transposed case pay the packing pass.
+  const bool direct_a = (a_cs == 1);
+  parallel_for(ctx, 0, ceil_div(m, MC), 1, [&](std::int64_t rb0,
+                                               std::int64_t rb1) {
+    thread_local std::vector<float> a_packed;
+    a_packed.resize(static_cast<std::size_t>(MC) * KC);
+    for (std::int64_t rb = rb0; rb < rb1; ++rb) {
+      const std::int64_t ic = rb * MC;
+      const std::int64_t mc = std::min(MC, m - ic);
+      const std::int64_t num_ir = ceil_div(mc, MR);
+      for (std::int64_t pi = 0; pi < num_pc; ++pi) {
+        const std::int64_t pc = pi * KC;
+        const std::int64_t kc = std::min(KC, k - pc);
+        for (std::int64_t ir = 0; ir < num_ir; ++ir) {
+          const std::int64_t rows = std::min(MR, mc - ir * MR);
+          if (direct_a && rows == MR) continue;  // read in place below
+          float* dst = a_packed.data() + ir * KC * MR;
+          for (std::int64_t kk = 0; kk < kc; ++kk) {
+            const float* src = a + (ic + ir * MR) * a_rs + (pc + kk) * a_cs;
+            for (std::int64_t rr = 0; rr < rows; ++rr) {
+              dst[kk * MR + rr] = src[rr * a_rs];
+            }
+            for (std::int64_t rr = rows; rr < MR; ++rr) {
+              dst[kk * MR + rr] = 0.0f;
+            }
+          }
+        }
+        for (std::int64_t jt = 0; jt < num_jt; ++jt) {
+          const std::int64_t jc = jt * NR;
+          const std::int64_t nr = std::min(NR, n - jc);
+          const float* bslot = bp_base + (jt * num_pc + pi) * KC * NR;
+          for (std::int64_t ir = 0; ir < num_ir; ++ir) {
+            const std::int64_t rows = std::min(MR, mc - ir * MR);
+            const bool in_place = direct_a && rows == MR;
+            const float* ap = in_place
+                                  ? a + (ic + ir * MR) * a_rs + pc
+                                  : a_packed.data() + ir * KC * MR;
+            const std::int64_t ap_rs = in_place ? a_rs : 1;
+            const std::int64_t ap_ks = in_place ? 1 : MR;
+            float* ctile = c + (ic + ir * MR) * n + jc;
+            const bool first = (pi == 0);
+            if (rows == MR && nr == NR) {
+              // Full interior tile: store/accumulate straight into C.
+              micro_kernel(ap, ap_rs, ap_ks, bslot, kc, ctile, n, first);
+              continue;
+            }
+            float acc[MR * NR] = {};
+            micro_kernel(ap, ap_rs, ap_ks, bslot, kc, acc, NR, true);
+            for (std::int64_t rr = 0; rr < rows; ++rr) {
+              const float* arow = acc + rr * NR;
+              for (std::int64_t jj = 0; jj < nr; ++jj) {
+                if (first) {
+                  ctile[rr * n + jj] = arow[jj];
+                } else {
+                  ctile[rr * n + jj] += arow[jj];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+// im2col: col[(b*oh+oy)*ow+ox, (fy*fw+fx)*c+ci], SAME padding as zeros.
+// Iterates (image-row, fy) so the interior of every output row copies one
+// contiguous fw*c span per tap row instead of fw separate c-float pieces;
+// every col element is written exactly once, so the loop order is free and
+// the parallel decomposition over (b, oy) rows cannot change results.
+void im2col(const KernelContext& ctx, const ConvShape& s, const float* input,
+            float* col) {
+  const std::int64_t patch = s.patch_size();
+  const std::int64_t span = s.fw * s.c;
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 8192 / std::max<std::int64_t>(1, s.ow));
+  parallel_for(ctx, 0, s.n * s.oh, grain,
+               [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t b = t / s.oh;
+      const std::int64_t oy = t % s.oh;
+      float* colrow = col + t * s.ow * patch;
+      for (std::int64_t fy = 0; fy < s.fh; ++fy) {
+        const std::int64_t iy = oy * s.stride + fy - s.pad_h;
+        if (iy < 0 || iy >= s.h) {
+          for (std::int64_t ox = 0; ox < s.ow; ++ox) {
+            float* dst = colrow + ox * patch + fy * span;
+            std::fill(dst, dst + span, 0.0f);
+          }
+          continue;
+        }
+        const float* in_row = input + (b * s.h + iy) * s.w * s.c;
+        for (std::int64_t ox = 0; ox < s.ow; ++ox) {
+          float* dst = colrow + ox * patch + fy * span;
+          const std::int64_t ix0 = ox * s.stride - s.pad_w;
+          if (ix0 >= 0 && ix0 + s.fw <= s.w) {
+            const float* src = in_row + ix0 * s.c;
+            for (std::int64_t i = 0; i < span; ++i) dst[i] = src[i];
+          } else {
+            for (std::int64_t fx = 0; fx < s.fw; ++fx) {
+              const std::int64_t ix = ix0 + fx;
+              if (ix < 0 || ix >= s.w) {
+                std::fill(dst + fx * s.c, dst + (fx + 1) * s.c, 0.0f);
+              } else {
+                const float* src = in_row + ix * s.c;
+                std::copy(src, src + s.c, dst + fx * s.c);
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+// The im2col scratch of the current calling thread, reused across calls.
+std::vector<float>& col_scratch(std::int64_t elements) {
+  thread_local std::vector<float> scratch;
+  if (static_cast<std::int64_t>(scratch.size()) < elements) {
+    scratch.resize(static_cast<std::size_t>(elements));
+  }
+  return scratch;
+}
+
+}  // namespace
+
+const KernelContext& KernelContext::shared() {
+  static const KernelContext ctx{&runtime::ThreadPool::shared(),
+                                 runtime::ThreadPool::shared().thread_count()};
+  return ctx;
+}
+
+void parallel_for(const KernelContext& ctx, std::int64_t begin,
+                  std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (ctx.pool != nullptr && ctx.threads > 1) {
+    ctx.pool->parallel_for(begin, end, grain, fn);
+    return;
+  }
+  grain = std::max<std::int64_t>(1, grain);
+  for (std::int64_t cb = begin; cb < end; cb += grain) {
+    fn(cb, std::min(end, cb + grain));
+  }
+}
+
+void gemm(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+          std::int64_t n, const float* a, const float* b, float* c) {
+  gemm_strided(ctx, m, k, n, a, k, 1, b, n, 1, c);
+}
+
+void gemm_nt(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+             std::int64_t n, const float* a, const float* b, float* c) {
+  gemm_strided(ctx, m, k, n, a, k, 1, b, 1, k, c);
+}
+
+void gemm_tn(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+             std::int64_t n, const float* a, const float* b, float* c) {
+  gemm_strided(ctx, m, k, n, a, 1, m, b, n, 1, c);
+}
+
+ConvShape conv_shape(std::int64_t n, std::int64_t h, std::int64_t w,
+                     std::int64_t c, std::int64_t fh, std::int64_t fw,
+                     std::int64_t k, std::int64_t stride) {
+  ConvShape s;
+  s.n = n;
+  s.h = h;
+  s.w = w;
+  s.c = c;
+  s.fh = fh;
+  s.fw = fw;
+  s.k = k;
+  s.stride = stride;
+  s.oh = (h + stride - 1) / stride;
+  s.ow = (w + stride - 1) / stride;
+  s.pad_h = std::max<std::int64_t>(0, ((s.oh - 1) * stride + fh - h) / 2);
+  s.pad_w = std::max<std::int64_t>(0, ((s.ow - 1) * stride + fw - w) / 2);
+  return s;
+}
+
+void conv2d_forward(const KernelContext& ctx, const ConvShape& s,
+                    const float* input, const float* filter, float* out) {
+  auto& col = col_scratch(s.out_pixels() * s.patch_size());
+  im2col(ctx, s, input, col.data());
+  // HWIO filter memory is already the [fh*fw*c, k] GEMM operand.
+  gemm(ctx, s.out_pixels(), s.patch_size(), s.k, col.data(), filter, out);
+}
+
+void conv2d_grad_input(const KernelContext& ctx, const ConvShape& s,
+                       const float* filter, const float* grad_output,
+                       float* grad_input) {
+  const std::int64_t rows = s.out_pixels();
+  const std::int64_t patch = s.patch_size();
+  auto& col_grad = col_scratch(rows * patch);
+  // col_grad[rows, patch] = grad_output[rows, k] x filterᵀ[k, patch].
+  gemm_strided(ctx, rows, s.k, patch, grad_output, s.k, 1, filter, 1, s.k,
+               col_grad.data());
+  // col2im scatter-add: windows overlap inside one image, so images are the
+  // parallel unit (each owns a disjoint grad_input slice) and the scatter
+  // order within an image matches the naive kernel's (oy, ox, fy, fx) walk.
+  parallel_for(ctx, 0, s.n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (std::int64_t oy = 0; oy < s.oh; ++oy) {
+        for (std::int64_t ox = 0; ox < s.ow; ++ox) {
+          const float* src =
+              col_grad.data() + (((b * s.oh + oy) * s.ow) + ox) * patch;
+          for (std::int64_t fy = 0; fy < s.fh; ++fy) {
+            const std::int64_t iy = oy * s.stride + fy - s.pad_h;
+            if (iy < 0 || iy >= s.h) continue;
+            for (std::int64_t fx = 0; fx < s.fw; ++fx) {
+              const std::int64_t ix = ox * s.stride + fx - s.pad_w;
+              if (ix < 0 || ix >= s.w) continue;
+              float* dst = grad_input + ((b * s.h + iy) * s.w + ix) * s.c;
+              const float* patch_src = src + (fy * s.fw + fx) * s.c;
+              for (std::int64_t ci = 0; ci < s.c; ++ci) {
+                dst[ci] += patch_src[ci];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void conv2d_grad_filter(const KernelContext& ctx, const ConvShape& s,
+                        const float* input, const float* grad_output,
+                        float* grad_filter) {
+  const std::int64_t rows = s.out_pixels();
+  const std::int64_t patch = s.patch_size();
+  auto& col = col_scratch(rows * patch);
+  im2col(ctx, s, input, col.data());
+  // grad_filter[patch, k] += colᵀ[patch, rows] x grad_output[rows, k].
+  gemm_strided(ctx, patch, rows, s.k, col.data(), 1, patch, grad_output, s.k,
+               1, grad_filter);
+}
+
+namespace reference {
+
+void matmul(std::int64_t m, std::int64_t k, std::int64_t n, const float* a,
+            const float* b, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      const float* brow = b + kk * n;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void conv2d(const ConvShape& s, const float* input, const float* filter,
+            float* out) {
+  for (std::int64_t b = 0; b < s.n; ++b) {
+    for (std::int64_t oy = 0; oy < s.oh; ++oy) {
+      for (std::int64_t ox = 0; ox < s.ow; ++ox) {
+        float* out_px = out + ((b * s.oh + oy) * s.ow + ox) * s.k;
+        for (std::int64_t fy = 0; fy < s.fh; ++fy) {
+          const std::int64_t iy = oy * s.stride + fy - s.pad_h;
+          if (iy < 0 || iy >= s.h) continue;
+          for (std::int64_t fx = 0; fx < s.fw; ++fx) {
+            const std::int64_t ix = ox * s.stride + fx - s.pad_w;
+            if (ix < 0 || ix >= s.w) continue;
+            const float* in_px = input + ((b * s.h + iy) * s.w + ix) * s.c;
+            const float* f_px = filter + (fy * s.fw + fx) * s.c * s.k;
+            for (std::int64_t ci = 0; ci < s.c; ++ci) {
+              const float iv = in_px[ci];
+              const float* f_row = f_px + ci * s.k;
+              for (std::int64_t ko = 0; ko < s.k; ++ko) {
+                out_px[ko] += iv * f_row[ko];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_grad_input(const ConvShape& s, const float* filter,
+                       const float* grad_output, float* grad_input) {
+  for (std::int64_t b = 0; b < s.n; ++b) {
+    for (std::int64_t oy = 0; oy < s.oh; ++oy) {
+      for (std::int64_t ox = 0; ox < s.ow; ++ox) {
+        const float* g_px =
+            grad_output + ((b * s.oh + oy) * s.ow + ox) * s.k;
+        for (std::int64_t fy = 0; fy < s.fh; ++fy) {
+          const std::int64_t iy = oy * s.stride + fy - s.pad_h;
+          if (iy < 0 || iy >= s.h) continue;
+          for (std::int64_t fx = 0; fx < s.fw; ++fx) {
+            const std::int64_t ix = ox * s.stride + fx - s.pad_w;
+            if (ix < 0 || ix >= s.w) continue;
+            float* in_px = grad_input + ((b * s.h + iy) * s.w + ix) * s.c;
+            const float* f_px = filter + (fy * s.fw + fx) * s.c * s.k;
+            for (std::int64_t ci = 0; ci < s.c; ++ci) {
+              const float* f_row = f_px + ci * s.k;
+              float acc = 0;
+              for (std::int64_t ko = 0; ko < s.k; ++ko) {
+                acc += g_px[ko] * f_row[ko];
+              }
+              in_px[ci] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_grad_filter(const ConvShape& s, const float* input,
+                        const float* grad_output, float* grad_filter) {
+  for (std::int64_t b = 0; b < s.n; ++b) {
+    for (std::int64_t oy = 0; oy < s.oh; ++oy) {
+      for (std::int64_t ox = 0; ox < s.ow; ++ox) {
+        const float* g_px =
+            grad_output + ((b * s.oh + oy) * s.ow + ox) * s.k;
+        for (std::int64_t fy = 0; fy < s.fh; ++fy) {
+          const std::int64_t iy = oy * s.stride + fy - s.pad_h;
+          if (iy < 0 || iy >= s.h) continue;
+          for (std::int64_t fx = 0; fx < s.fw; ++fx) {
+            const std::int64_t ix = ox * s.stride + fx - s.pad_w;
+            if (ix < 0 || ix >= s.w) continue;
+            const float* in_px = input + ((b * s.h + iy) * s.w + ix) * s.c;
+            float* f_px = grad_filter + (fy * s.fw + fx) * s.c * s.k;
+            for (std::int64_t ci = 0; ci < s.c; ++ci) {
+              const float iv = in_px[ci];
+              float* f_row = f_px + ci * s.k;
+              for (std::int64_t ko = 0; ko < s.k; ++ko) {
+                f_row[ko] += iv * g_px[ko];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace reference
+
+}  // namespace stf::ml::kernels

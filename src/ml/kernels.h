@@ -1,0 +1,107 @@
+// Compute substrate for the stf::ml ops: cache-blocked GEMM and im2col
+// convolution on a shared thread pool.
+//
+// Everything here affects *wall time only*. Virtual-time cost accounting
+// (the numbers Figures 5-8 are made of) is charged from op shapes by the
+// callers and never observes how the math was scheduled. Two invariants
+// make that safe:
+//
+//  1. Determinism: parallel work is partitioned into fixed chunks that
+//     depend only on the problem shape (see runtime::ThreadPool), and every
+//     chunk owns a disjoint slice of the output, so results are
+//     bit-identical at any thread count.
+//  2. Accumulation order: within one output element the k-dimension is
+//     always reduced in ascending order, panel by panel, so small problems
+//     (k <= KC) reproduce the naive triple-loop bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/thread_pool.h"
+
+namespace stf::ml::kernels {
+
+/// How a kernel call may use the machine. A default-constructed context is
+/// serial; shared() is the process-wide pool sized to hardware concurrency.
+struct KernelContext {
+  runtime::ThreadPool* pool = nullptr;  ///< nullptr → run on the caller only
+  unsigned threads = 1;                 ///< advertised parallelism of `pool`
+
+  static const KernelContext& shared();
+};
+
+/// Runs fn(chunk_begin, chunk_end) over [begin, end) in grain-sized chunks,
+/// on the context's pool when it has one. The chunk decomposition is the
+/// same with or without a pool.
+void parallel_for(const KernelContext& ctx, std::int64_t begin,
+                  std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+// --- GEMM ----------------------------------------------------------------
+// All matrices are row-major and dense. `c` is overwritten with the
+// product (the first k-panel stores, later panels accumulate — prior
+// contents of `c` never contribute, and single-panel problems touch each
+// output element exactly once). m/k/n are always the logical GEMM dims:
+// c is [m,n], the reduction runs over k.
+
+/// c[m,n] = a[m,k] · b[k,n]
+void gemm(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+          std::int64_t n, const float* a, const float* b, float* c);
+
+/// c[m,n] = a[m,k] · bᵀ, with b stored [n,k]
+void gemm_nt(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+             std::int64_t n, const float* a, const float* b, float* c);
+
+/// c[m,n] = aᵀ · b[k,n], with a stored [k,m]
+void gemm_tn(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+             std::int64_t n, const float* a, const float* b, float* c);
+
+// --- Convolution ---------------------------------------------------------
+// NHWC input, HWIO filter, SAME padding; identical geometry to the
+// historical naive kernels (output (h+s-1)/s, floor-div padding).
+
+struct ConvShape {
+  std::int64_t n, h, w, c, fh, fw, k, oh, ow, pad_h, pad_w, stride;
+
+  [[nodiscard]] std::int64_t patch_size() const { return fh * fw * c; }
+  [[nodiscard]] std::int64_t out_pixels() const { return n * oh * ow; }
+};
+
+ConvShape conv_shape(std::int64_t n, std::int64_t h, std::int64_t w,
+                     std::int64_t c, std::int64_t fh, std::int64_t fw,
+                     std::int64_t k, std::int64_t stride);
+
+/// out[n*oh*ow, k] = im2col(input) · filter. The im2col scratch is
+/// thread-local and reused across calls.
+void conv2d_forward(const KernelContext& ctx, const ConvShape& s,
+                    const float* input, const float* filter, float* out);
+
+/// grad_input[n,h,w,c] += col2im(grad_output · filterᵀ); `grad_input`
+/// must be zero-initialized (col2im is a scatter-add).
+void conv2d_grad_input(const KernelContext& ctx, const ConvShape& s,
+                       const float* filter, const float* grad_output,
+                       float* grad_input);
+
+/// grad_filter[fh*fw*c, k] = im2col(input)ᵀ · grad_output
+void conv2d_grad_filter(const KernelContext& ctx, const ConvShape& s,
+                        const float* input, const float* grad_output,
+                        float* grad_filter);
+
+// --- Naive references ----------------------------------------------------
+// The pre-blocking scalar kernels, kept as the oracle for the equivalence
+// property tests and the before/after microbenchmarks. Not used on any hot
+// path.
+namespace reference {
+
+void matmul(std::int64_t m, std::int64_t k, std::int64_t n, const float* a,
+            const float* b, float* c);
+void conv2d(const ConvShape& s, const float* input, const float* filter,
+            float* out);
+void conv2d_grad_input(const ConvShape& s, const float* filter,
+                       const float* grad_output, float* grad_input);
+void conv2d_grad_filter(const ConvShape& s, const float* input,
+                        const float* grad_output, float* grad_filter);
+
+}  // namespace reference
+
+}  // namespace stf::ml::kernels

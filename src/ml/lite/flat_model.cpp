@@ -251,8 +251,9 @@ FlatModel FlatModel::quantized() const {
   return q;
 }
 
-LiteInterpreter::LiteInterpreter(const FlatModel& model, tee::MemoryEnv* env)
-    : model_(model), env_(env) {
+LiteInterpreter::LiteInterpreter(const FlatModel& model, tee::MemoryEnv* env,
+                                 kernels::KernelContext kernel_ctx)
+    : model_(model), env_(env), kernel_ctx_(kernel_ctx) {
   if (env_ != nullptr) {
     weights_region_ = env_->alloc("lite/weights", model_.weight_bytes());
     activation_bytes_ = 256 * 1024;
@@ -333,18 +334,22 @@ Tensor LiteInterpreter::invoke(const Tensor& input) {
     ops::OpResult r;
     auto in = [&](std::size_t i) -> const Tensor& { return *inputs.at(i); };
     switch (op.type) {
-      case OpType::MatMul: r = ops::matmul(in(0), in(1)); break;
-      case OpType::Add: r = ops::add(in(0), in(1)); break;
-      case OpType::Relu: r = ops::relu(in(0)); break;
+      case OpType::MatMul: r = ops::matmul(in(0), in(1), kernel_ctx_); break;
+      case OpType::Add: r = ops::add(in(0), in(1), kernel_ctx_); break;
+      case OpType::Relu: r = ops::relu(in(0), kernel_ctx_); break;
       case OpType::Softmax: r = ops::softmax(in(0)); break;
-      case OpType::Sigmoid: r = ops::sigmoid(in(0)); break;
-      case OpType::Tanh: r = ops::tanh_op(in(0)); break;
-      case OpType::Conv2D: r = ops::conv2d(in(0), in(1), op.attrs.stride); break;
+      case OpType::Sigmoid: r = ops::sigmoid(in(0), kernel_ctx_); break;
+      case OpType::Tanh: r = ops::tanh_op(in(0), kernel_ctx_); break;
+      case OpType::Conv2D:
+        r = ops::conv2d(in(0), in(1), op.attrs.stride, kernel_ctx_);
+        break;
       case OpType::MaxPool2D:
-        r = ops::max_pool2d(in(0), op.attrs.window, op.attrs.stride);
+        r = ops::max_pool2d(in(0), op.attrs.window, op.attrs.stride,
+                            kernel_ctx_);
         break;
       case OpType::AvgPool2D:
-        r = ops::avg_pool2d(in(0), op.attrs.window, op.attrs.stride);
+        r = ops::avg_pool2d(in(0), op.attrs.window, op.attrs.stride,
+                            kernel_ctx_);
         break;
       case OpType::GlobalAvgPool: r = ops::global_avg_pool(in(0)); break;
       case OpType::Reshape: {
@@ -365,7 +370,9 @@ Tensor LiteInterpreter::invoke(const Tensor& input) {
         break;
       }
       case OpType::ArgMax: r = ops::argmax(in(0)); break;
-      case OpType::Scale: r = ops::scale(in(0), op.attrs.scalar); break;
+      case OpType::Scale:
+        r = ops::scale(in(0), op.attrs.scalar, kernel_ctx_);
+        break;
       default:
         throw std::logic_error("Lite interpreter: unsupported op");
     }

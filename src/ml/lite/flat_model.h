@@ -15,6 +15,7 @@
 
 #include "crypto/bytes.h"
 #include "ml/graph.h"
+#include "ml/kernels.h"
 #include "ml/tensor.h"
 #include "tee/memory_env.h"
 
@@ -91,9 +92,13 @@ class LiteInterpreter {
  public:
   /// `env` may be nullptr (no cost accounting). The interpreter keeps a
   /// reference to `model`, which must outlive it (passing a temporary is
-  /// rejected below).
+  /// rejected below). `kernel_ctx` picks the thread pool the kernels run
+  /// on — wall time only; outputs stay bit-identical to the Session's at
+  /// any thread count.
   explicit LiteInterpreter(const FlatModel& model,
-                           tee::MemoryEnv* env = nullptr);
+                           tee::MemoryEnv* env = nullptr,
+                           kernels::KernelContext kernel_ctx =
+                               kernels::KernelContext::shared());
   LiteInterpreter(FlatModel&&, tee::MemoryEnv* = nullptr) = delete;
   ~LiteInterpreter();
 
@@ -112,6 +117,7 @@ class LiteInterpreter {
  private:
   const FlatModel& model_;
   tee::MemoryEnv* env_;
+  kernels::KernelContext kernel_ctx_;
   std::uint64_t weights_region_ = 0;
   std::uint64_t activation_region_ = 0;
   std::uint64_t activation_bytes_ = 0;

@@ -12,32 +12,56 @@ void require(bool cond, const char* msg) {
   if (!cond) throw std::invalid_argument(msg);
 }
 
+// Grain for elementwise maps: big enough that chunk-claim cost vanishes,
+// small enough that mid-sized activations still spread across the pool.
+constexpr std::int64_t kElementwiseGrain = 16384;
+
+// Applies fn to every index of `out` on the context's pool. Each chunk owns
+// a disjoint index range, so the result is thread-count independent.
+template <typename Fn>
+void elementwise(const kernels::KernelContext& ctx, Tensor& out, Fn&& fn) {
+  float* p = out.data();
+  kernels::parallel_for(ctx, 0, out.size(), kElementwiseGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) p[i] = fn(p[i], i);
+                        });
+}
+
+kernels::ConvShape checked_conv_shape(const Tensor& input,
+                                      const Tensor& filter,
+                                      std::int64_t stride) {
+  require(input.rank() == 4 && filter.rank() == 4,
+          "conv2d: NHWC input and HWIO filter required");
+  require(stride >= 1, "conv2d: stride must be >= 1");
+  require(filter.dim(2) == input.dim(3), "conv2d: filter channel mismatch");
+  return kernels::conv_shape(input.dim(0), input.dim(1), input.dim(2),
+                             input.dim(3), filter.dim(0), filter.dim(1),
+                             filter.dim(3), stride);
+}
+
+double conv_flops(const kernels::ConvShape& s) {
+  return 2.0 * static_cast<double>(s.n) * s.oh * s.ow * s.fh * s.fw * s.c *
+         s.k;
+}
+
 }  // namespace
 
-OpResult matmul(const Tensor& a, const Tensor& b) {
+OpResult matmul(const Tensor& a, const Tensor& b,
+                const kernels::KernelContext& ctx) {
   require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   require(b.dim(0) == k, "matmul: inner dimensions do not match");
   Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = po + i * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm(ctx, m, k, n, a.data(), b.data(), out.data());
   return {std::move(out), 2.0 * static_cast<double>(m) * k * n};
 }
 
-OpResult add(const Tensor& a, const Tensor& b) {
+OpResult add(const Tensor& a, const Tensor& b,
+             const kernels::KernelContext& ctx) {
   if (a.same_shape(b)) {
     Tensor out = a;
-    for (std::int64_t i = 0; i < out.size(); ++i) out.at(i) += b.at(i);
+    const float* pb = b.data();
+    elementwise(ctx, out, [&](float v, std::int64_t i) { return v + pb[i]; });
     return {std::move(out), static_cast<double>(a.size())};
   }
   // Bias broadcast: b has rank 1 matching a's last dimension.
@@ -45,32 +69,31 @@ OpResult add(const Tensor& a, const Tensor& b) {
               a.shape().back() == b.dim(0),
           "add: shapes neither equal nor bias-broadcastable");
   Tensor out = a;
+  const float* pb = b.data();
   const std::int64_t n = b.dim(0);
-  for (std::int64_t i = 0; i < out.size(); ++i) out.at(i) += b.at(i % n);
+  elementwise(ctx, out,
+              [&](float v, std::int64_t i) { return v + pb[i % n]; });
   return {std::move(out), static_cast<double>(a.size())};
 }
 
-OpResult relu(const Tensor& x) {
+OpResult relu(const Tensor& x, const kernels::KernelContext& ctx) {
   Tensor out = x;
-  for (std::int64_t i = 0; i < out.size(); ++i) {
-    out.at(i) = std::max(0.0f, out.at(i));
-  }
+  elementwise(ctx, out,
+              [](float v, std::int64_t) { return std::max(0.0f, v); });
   return {std::move(out), static_cast<double>(x.size())};
 }
 
-OpResult sigmoid(const Tensor& x) {
+OpResult sigmoid(const Tensor& x, const kernels::KernelContext& ctx) {
   Tensor out = x;
-  for (std::int64_t i = 0; i < out.size(); ++i) {
-    out.at(i) = 1.0f / (1.0f + std::exp(-out.at(i)));
-  }
+  elementwise(ctx, out, [](float v, std::int64_t) {
+    return 1.0f / (1.0f + std::exp(-v));
+  });
   return {std::move(out), 4.0 * static_cast<double>(x.size())};
 }
 
-OpResult tanh_op(const Tensor& x) {
+OpResult tanh_op(const Tensor& x, const kernels::KernelContext& ctx) {
   Tensor out = x;
-  for (std::int64_t i = 0; i < out.size(); ++i) {
-    out.at(i) = std::tanh(out.at(i));
-  }
+  elementwise(ctx, out, [](float v, std::int64_t) { return std::tanh(v); });
   return {std::move(out), 4.0 * static_cast<double>(x.size())};
 }
 
@@ -124,59 +147,36 @@ OpResult softmax_cross_entropy_grad(const Tensor& logits,
 }
 
 OpResult conv2d(const Tensor& input, const Tensor& filter,
-                std::int64_t stride) {
-  require(input.rank() == 4 && filter.rank() == 4,
-          "conv2d: NHWC input and HWIO filter required");
-  require(stride >= 1, "conv2d: stride must be >= 1");
-  const std::int64_t n = input.dim(0), h = input.dim(1), w = input.dim(2),
-                     c = input.dim(3);
-  const std::int64_t fh = filter.dim(0), fw = filter.dim(1),
-                     fc = filter.dim(2), k = filter.dim(3);
-  require(fc == c, "conv2d: filter channel mismatch");
-  const std::int64_t oh = (h + stride - 1) / stride;
-  const std::int64_t ow = (w + stride - 1) / stride;
-  // SAME padding offsets.
-  const std::int64_t pad_h = std::max<std::int64_t>(
-      0, ((oh - 1) * stride + fh - h) / 2);
-  const std::int64_t pad_w = std::max<std::int64_t>(
-      0, ((ow - 1) * stride + fw - w) / 2);
+                std::int64_t stride, const kernels::KernelContext& ctx) {
+  const kernels::ConvShape s = checked_conv_shape(input, filter, stride);
+  Tensor out({s.n, s.oh, s.ow, s.k});
+  kernels::conv2d_forward(ctx, s, input.data(), filter.data(), out.data());
+  return {std::move(out), conv_flops(s)};
+}
 
-  Tensor out({n, oh, ow, k});
-  const float* pi = input.data();
-  const float* pf = filter.data();
-  float* po = out.data();
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        float* out_px = po + ((b * oh + oy) * ow + ox) * k;
-        for (std::int64_t fy = 0; fy < fh; ++fy) {
-          const std::int64_t iy = oy * stride + fy - pad_h;
-          if (iy < 0 || iy >= h) continue;
-          for (std::int64_t fx = 0; fx < fw; ++fx) {
-            const std::int64_t ix = ox * stride + fx - pad_w;
-            if (ix < 0 || ix >= w) continue;
-            const float* in_px = pi + ((b * h + iy) * w + ix) * c;
-            const float* f_px = pf + (fy * fw + fx) * c * k;
-            for (std::int64_t ci = 0; ci < c; ++ci) {
-              const float iv = in_px[ci];
-              if (iv == 0.0f) continue;
-              const float* f_row = f_px + ci * k;
-              for (std::int64_t ko = 0; ko < k; ++ko) {
-                out_px[ko] += iv * f_row[ko];
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-  const double flops = 2.0 * static_cast<double>(n) * oh * ow * fh * fw * c * k;
-  return {std::move(out), flops};
+OpResult conv2d_grad_input(const Tensor& input, const Tensor& filter,
+                           const Tensor& grad_output, std::int64_t stride,
+                           const kernels::KernelContext& ctx) {
+  const kernels::ConvShape s = checked_conv_shape(input, filter, stride);
+  Tensor gin(input.shape());
+  kernels::conv2d_grad_input(ctx, s, filter.data(), grad_output.data(),
+                             gin.data());
+  return {std::move(gin), conv_flops(s)};
+}
+
+OpResult conv2d_grad_filter(const Tensor& input, const Tensor& filter,
+                            const Tensor& grad_output, std::int64_t stride,
+                            const kernels::KernelContext& ctx) {
+  const kernels::ConvShape s = checked_conv_shape(input, filter, stride);
+  Tensor gf(filter.shape());
+  kernels::conv2d_grad_filter(ctx, s, input.data(), grad_output.data(),
+                              gf.data());
+  return {std::move(gf), conv_flops(s)};
 }
 
 namespace {
 OpResult pool2d(const Tensor& input, std::int64_t window, std::int64_t stride,
-                bool max_pool) {
+                bool max_pool, const kernels::KernelContext& ctx) {
   require(input.rank() == 4, "pool2d: NHWC input required");
   require(window >= 1 && stride >= 1, "pool2d: bad window/stride");
   const std::int64_t n = input.dim(0), h = input.dim(1), w = input.dim(2),
@@ -185,8 +185,17 @@ OpResult pool2d(const Tensor& input, std::int64_t window, std::int64_t stride,
   const std::int64_t ow = (w - window) / stride + 1;
   require(oh >= 1 && ow >= 1, "pool2d: window larger than input");
   Tensor out({n, oh, ow, c});
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
+  const float* pi = input.data();
+  float* po = out.data();
+  // One output row (ow * c elements) per index; rows are disjoint.
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, kElementwiseGrain / std::max<std::int64_t>(
+                                                        1, ow * c));
+  kernels::parallel_for(ctx, 0, n * oh, grain, [&](std::int64_t r0,
+                                                   std::int64_t r1) {
+    for (std::int64_t row = r0; row < r1; ++row) {
+      const std::int64_t b = row / oh;
+      const std::int64_t oy = row % oh;
       for (std::int64_t ox = 0; ox < ow; ++ox) {
         for (std::int64_t ci = 0; ci < c; ++ci) {
           float acc = max_pool ? -std::numeric_limits<float>::infinity() : 0.0f;
@@ -194,18 +203,17 @@ OpResult pool2d(const Tensor& input, std::int64_t window, std::int64_t stride,
             for (std::int64_t fx = 0; fx < window; ++fx) {
               const std::int64_t iy = oy * stride + fy;
               const std::int64_t ix = ox * stride + fx;
-              const float v =
-                  input.at(((b * h + iy) * w + ix) * c + ci);
+              const float v = pi[((b * h + iy) * w + ix) * c + ci];
               acc = max_pool ? std::max(acc, v) : acc + v;
             }
           }
-          out.at(((b * oh + oy) * ow + ox) * c + ci) =
+          po[((b * oh + oy) * ow + ox) * c + ci] =
               max_pool ? acc
                        : acc / static_cast<float>(window * window);
         }
       }
     }
-  }
+  });
   const double flops =
       static_cast<double>(n) * oh * ow * c * window * window;
   return {std::move(out), flops};
@@ -213,13 +221,13 @@ OpResult pool2d(const Tensor& input, std::int64_t window, std::int64_t stride,
 }  // namespace
 
 OpResult max_pool2d(const Tensor& input, std::int64_t window,
-                    std::int64_t stride) {
-  return pool2d(input, window, stride, /*max_pool=*/true);
+                    std::int64_t stride, const kernels::KernelContext& ctx) {
+  return pool2d(input, window, stride, /*max_pool=*/true, ctx);
 }
 
 OpResult avg_pool2d(const Tensor& input, std::int64_t window,
-                    std::int64_t stride) {
-  return pool2d(input, window, stride, /*max_pool=*/false);
+                    std::int64_t stride, const kernels::KernelContext& ctx) {
+  return pool2d(input, window, stride, /*max_pool=*/false, ctx);
 }
 
 OpResult global_avg_pool(const Tensor& input) {
@@ -255,174 +263,86 @@ OpResult argmax(const Tensor& x) {
   return {std::move(out), static_cast<double>(x.size())};
 }
 
-OpResult scale(const Tensor& x, float factor) {
+OpResult scale(const Tensor& x, float factor,
+               const kernels::KernelContext& ctx) {
   Tensor out = x;
-  for (std::int64_t i = 0; i < out.size(); ++i) out.at(i) *= factor;
+  elementwise(ctx, out, [&](float v, std::int64_t) { return v * factor; });
   return {std::move(out), static_cast<double>(x.size())};
 }
 
-}  // namespace stf::ml::ops
-
-namespace stf::ml::ops {
-namespace {
-
-struct ConvGeometry {
-  std::int64_t n, h, w, c, fh, fw, k, oh, ow, pad_h, pad_w;
-};
-
-ConvGeometry conv_geometry(const Tensor& input, const Tensor& filter,
-                           std::int64_t stride) {
-  ConvGeometry g;
-  g.n = input.dim(0);
-  g.h = input.dim(1);
-  g.w = input.dim(2);
-  g.c = input.dim(3);
-  g.fh = filter.dim(0);
-  g.fw = filter.dim(1);
-  g.k = filter.dim(3);
-  g.oh = (g.h + stride - 1) / stride;
-  g.ow = (g.w + stride - 1) / stride;
-  g.pad_h = std::max<std::int64_t>(0, ((g.oh - 1) * stride + g.fh - g.h) / 2);
-  g.pad_w = std::max<std::int64_t>(0, ((g.ow - 1) * stride + g.fw - g.w) / 2);
-  return g;
-}
-
-}  // namespace
-
-OpResult conv2d_grad_input(const Tensor& input, const Tensor& filter,
-                           const Tensor& grad_output, std::int64_t stride) {
-  const ConvGeometry geo = conv_geometry(input, filter, stride);
-  Tensor gin(input.shape());
-  const float* pf = filter.data();
-  const float* pg = grad_output.data();
-  float* po = gin.data();
-  for (std::int64_t b = 0; b < geo.n; ++b) {
-    for (std::int64_t oy = 0; oy < geo.oh; ++oy) {
-      for (std::int64_t ox = 0; ox < geo.ow; ++ox) {
-        const float* g_px = pg + ((b * geo.oh + oy) * geo.ow + ox) * geo.k;
-        for (std::int64_t fy = 0; fy < geo.fh; ++fy) {
-          const std::int64_t iy = oy * stride + fy - geo.pad_h;
-          if (iy < 0 || iy >= geo.h) continue;
-          for (std::int64_t fx = 0; fx < geo.fw; ++fx) {
-            const std::int64_t ix = ox * stride + fx - geo.pad_w;
-            if (ix < 0 || ix >= geo.w) continue;
-            float* in_px = po + ((b * geo.h + iy) * geo.w + ix) * geo.c;
-            const float* f_px = pf + (fy * geo.fw + fx) * geo.c * geo.k;
-            for (std::int64_t ci = 0; ci < geo.c; ++ci) {
-              const float* f_row = f_px + ci * geo.k;
-              float acc = 0;
-              for (std::int64_t ko = 0; ko < geo.k; ++ko) {
-                acc += g_px[ko] * f_row[ko];
-              }
-              in_px[ci] += acc;
-            }
-          }
-        }
-      }
-    }
-  }
-  const double flops = 2.0 * static_cast<double>(geo.n) * geo.oh * geo.ow *
-                       geo.fh * geo.fw * geo.c * geo.k;
-  return {std::move(gin), flops};
-}
-
-OpResult conv2d_grad_filter(const Tensor& input, const Tensor& filter,
-                            const Tensor& grad_output, std::int64_t stride) {
-  const ConvGeometry geo = conv_geometry(input, filter, stride);
-  Tensor gf(filter.shape());
-  const float* pi = input.data();
-  const float* pg = grad_output.data();
-  float* po = gf.data();
-  for (std::int64_t b = 0; b < geo.n; ++b) {
-    for (std::int64_t oy = 0; oy < geo.oh; ++oy) {
-      for (std::int64_t ox = 0; ox < geo.ow; ++ox) {
-        const float* g_px = pg + ((b * geo.oh + oy) * geo.ow + ox) * geo.k;
-        for (std::int64_t fy = 0; fy < geo.fh; ++fy) {
-          const std::int64_t iy = oy * stride + fy - geo.pad_h;
-          if (iy < 0 || iy >= geo.h) continue;
-          for (std::int64_t fx = 0; fx < geo.fw; ++fx) {
-            const std::int64_t ix = ox * stride + fx - geo.pad_w;
-            if (ix < 0 || ix >= geo.w) continue;
-            const float* in_px = pi + ((b * geo.h + iy) * geo.w + ix) * geo.c;
-            float* f_px = po + (fy * geo.fw + fx) * geo.c * geo.k;
-            for (std::int64_t ci = 0; ci < geo.c; ++ci) {
-              const float iv = in_px[ci];
-              if (iv == 0.0f) continue;
-              float* f_row = f_px + ci * geo.k;
-              for (std::int64_t ko = 0; ko < geo.k; ++ko) {
-                f_row[ko] += iv * g_px[ko];
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-  const double flops = 2.0 * static_cast<double>(geo.n) * geo.oh * geo.ow *
-                       geo.fh * geo.fw * geo.c * geo.k;
-  return {std::move(gf), flops};
-}
-
 OpResult max_pool2d_grad(const Tensor& input, const Tensor& grad_output,
-                         std::int64_t window, std::int64_t stride) {
+                         std::int64_t window, std::int64_t stride,
+                         const kernels::KernelContext& ctx) {
   const std::int64_t n = input.dim(0), h = input.dim(1), w = input.dim(2),
                      c = input.dim(3);
   const std::int64_t oh = grad_output.dim(1), ow = grad_output.dim(2);
   Tensor gin(input.shape());
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        for (std::int64_t ci = 0; ci < c; ++ci) {
-          // Route to the window argmax (ties: first position, matching the
-          // forward pass' max scan order).
-          std::int64_t best_y = oy * stride, best_x = ox * stride;
-          float best = input.at(((b * h + best_y) * w + best_x) * c + ci);
-          for (std::int64_t fy = 0; fy < window; ++fy) {
-            for (std::int64_t fx = 0; fx < window; ++fx) {
-              const std::int64_t iy = oy * stride + fy;
-              const std::int64_t ix = ox * stride + fx;
-              const float v = input.at(((b * h + iy) * w + ix) * c + ci);
-              if (v > best) {
-                best = v;
-                best_y = iy;
-                best_x = ix;
+  const float* pi = input.data();
+  const float* pg = grad_output.data();
+  float* po = gin.data();
+  // Windows overlap when stride < window, so the scatter parallelizes over
+  // whole images (disjoint gin slices), not output rows.
+  kernels::parallel_for(ctx, 0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            // Route to the window argmax (ties: first position, matching the
+            // forward pass' max scan order).
+            std::int64_t best_y = oy * stride, best_x = ox * stride;
+            float best = pi[((b * h + best_y) * w + best_x) * c + ci];
+            for (std::int64_t fy = 0; fy < window; ++fy) {
+              for (std::int64_t fx = 0; fx < window; ++fx) {
+                const std::int64_t iy = oy * stride + fy;
+                const std::int64_t ix = ox * stride + fx;
+                const float v = pi[((b * h + iy) * w + ix) * c + ci];
+                if (v > best) {
+                  best = v;
+                  best_y = iy;
+                  best_x = ix;
+                }
               }
             }
+            po[((b * h + best_y) * w + best_x) * c + ci] +=
+                pg[((b * oh + oy) * ow + ox) * c + ci];
           }
-          gin.at(((b * h + best_y) * w + best_x) * c + ci) +=
-              grad_output.at(((b * oh + oy) * ow + ox) * c + ci);
         }
       }
     }
-  }
+  });
   const double flops = static_cast<double>(n) * oh * ow * c * window * window;
   return {std::move(gin), flops};
 }
 
 OpResult avg_pool2d_grad(const Tensor& input, const Tensor& grad_output,
-                         std::int64_t window, std::int64_t stride) {
+                         std::int64_t window, std::int64_t stride,
+                         const kernels::KernelContext& ctx) {
   const std::int64_t n = input.dim(0), h = input.dim(1), w = input.dim(2),
                      c = input.dim(3);
   const std::int64_t oh = grad_output.dim(1), ow = grad_output.dim(2);
   Tensor gin(input.shape());
+  const float* pg = grad_output.data();
+  float* po = gin.data();
   const float inv = 1.0f / static_cast<float>(window * window);
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        for (std::int64_t ci = 0; ci < c; ++ci) {
-          const float share =
-              grad_output.at(((b * oh + oy) * ow + ox) * c + ci) * inv;
-          for (std::int64_t fy = 0; fy < window; ++fy) {
-            for (std::int64_t fx = 0; fx < window; ++fx) {
-              const std::int64_t iy = oy * stride + fy;
-              const std::int64_t ix = ox * stride + fx;
-              gin.at(((b * h + iy) * w + ix) * c + ci) += share;
+  kernels::parallel_for(ctx, 0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            const float share =
+                pg[((b * oh + oy) * ow + ox) * c + ci] * inv;
+            for (std::int64_t fy = 0; fy < window; ++fy) {
+              for (std::int64_t fx = 0; fx < window; ++fx) {
+                const std::int64_t iy = oy * stride + fy;
+                const std::int64_t ix = ox * stride + fx;
+                po[((b * h + iy) * w + ix) * c + ci] += share;
+              }
             }
           }
         }
       }
     }
-  }
+  });
   const double flops = static_cast<double>(n) * oh * ow * c * window * window;
   return {std::move(gin), flops};
 }

@@ -13,33 +13,21 @@ bool is_parameter(OpType t) {
 }
 
 // grad_a = g [m,n] x b^T [n,k] -> [m,k]
-Tensor matmul_nt(const Tensor& g, const Tensor& b, double& flops) {
+Tensor matmul_nt(const kernels::KernelContext& ctx, const Tensor& g,
+                 const Tensor& b, double& flops) {
   const std::int64_t m = g.dim(0), n = g.dim(1), k = b.dim(0);
   Tensor out({m, k});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < k; ++j) {
-      float acc = 0;
-      for (std::int64_t t = 0; t < n; ++t) acc += g.at2(i, t) * b.at2(j, t);
-      out.at2(i, j) = acc;
-    }
-  }
+  kernels::gemm_nt(ctx, m, n, k, g.data(), b.data(), out.data());
   flops += 2.0 * static_cast<double>(m) * n * k;
   return out;
 }
 
 // grad_b = a^T [k,m] x g [m,n] -> [k,n]
-Tensor matmul_tn(const Tensor& a, const Tensor& g, double& flops) {
+Tensor matmul_tn(const kernels::KernelContext& ctx, const Tensor& a,
+                 const Tensor& g, double& flops) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = g.dim(1);
   Tensor out({k, n});
-  for (std::int64_t t = 0; t < m; ++t) {
-    for (std::int64_t i = 0; i < k; ++i) {
-      const float av = a.at2(t, i);
-      if (av == 0.0f) continue;
-      for (std::int64_t j = 0; j < n; ++j) {
-        out.at2(i, j) += av * g.at2(t, j);
-      }
-    }
-  }
+  kernels::gemm_tn(ctx, k, m, n, a.data(), g.data(), out.data());
   flops += 2.0 * static_cast<double>(m) * k * n;
   return out;
 }
@@ -66,8 +54,9 @@ struct Session::Tape {
   std::map<NodeId, Record> records;
 };
 
-Session::Session(const Graph& graph, tee::MemoryEnv* env)
-    : graph_(graph), env_(env) {
+Session::Session(const Graph& graph, tee::MemoryEnv* env,
+                 kernels::KernelContext kernel_ctx)
+    : graph_(graph), env_(env), kernel_ctx_(kernel_ctx) {
   for (const Node& n : graph_.nodes()) {
     if (n.type == OpType::Variable) {
       if (!n.value.has_value()) {
@@ -144,21 +133,25 @@ Tensor Session::eval_node(const Node& node,
     case OpType::Variable:
     case OpType::Placeholder:
       throw std::logic_error("eval_node called on a source node");
-    case OpType::MatMul: r = ops::matmul(in(0), in(1)); break;
-    case OpType::Add: r = ops::add(in(0), in(1)); break;
-    case OpType::Relu: r = ops::relu(in(0)); break;
+    case OpType::MatMul: r = ops::matmul(in(0), in(1), kernel_ctx_); break;
+    case OpType::Add: r = ops::add(in(0), in(1), kernel_ctx_); break;
+    case OpType::Relu: r = ops::relu(in(0), kernel_ctx_); break;
     case OpType::Softmax: r = ops::softmax(in(0)); break;
-    case OpType::Sigmoid: r = ops::sigmoid(in(0)); break;
-    case OpType::Tanh: r = ops::tanh_op(in(0)); break;
+    case OpType::Sigmoid: r = ops::sigmoid(in(0), kernel_ctx_); break;
+    case OpType::Tanh: r = ops::tanh_op(in(0), kernel_ctx_); break;
     case OpType::SoftmaxCrossEntropy:
       r = ops::softmax_cross_entropy(in(0), in(1));
       break;
-    case OpType::Conv2D: r = ops::conv2d(in(0), in(1), node.attrs.stride); break;
+    case OpType::Conv2D:
+      r = ops::conv2d(in(0), in(1), node.attrs.stride, kernel_ctx_);
+      break;
     case OpType::MaxPool2D:
-      r = ops::max_pool2d(in(0), node.attrs.window, node.attrs.stride);
+      r = ops::max_pool2d(in(0), node.attrs.window, node.attrs.stride,
+                          kernel_ctx_);
       break;
     case OpType::AvgPool2D:
-      r = ops::avg_pool2d(in(0), node.attrs.window, node.attrs.stride);
+      r = ops::avg_pool2d(in(0), node.attrs.window, node.attrs.stride,
+                          kernel_ctx_);
       break;
     case OpType::GlobalAvgPool: r = ops::global_avg_pool(in(0)); break;
     case OpType::Reshape: {
@@ -179,7 +172,7 @@ Tensor Session::eval_node(const Node& node,
       break;
     }
     case OpType::ArgMax: r = ops::argmax(in(0)); break;
-    case OpType::Scale: r = ops::scale(in(0), node.attrs.scalar); break;
+    case OpType::Scale: r = ops::scale(in(0), node.attrs.scalar, kernel_ctx_); break;
   }
   flops += r.flops;
   return std::move(r.output);
@@ -317,8 +310,10 @@ void Session::backward(const Tape& tape, const std::vector<NodeId>& order,
         break;
       }
       case OpType::MatMul: {
-        accumulate(grads[node.inputs[0]], matmul_nt(g, rec.inputs[1], flops));
-        accumulate(grads[node.inputs[1]], matmul_tn(rec.inputs[0], g, flops));
+        accumulate(grads[node.inputs[0]],
+                   matmul_nt(kernel_ctx_, g, rec.inputs[1], flops));
+        accumulate(grads[node.inputs[1]],
+                   matmul_tn(kernel_ctx_, rec.inputs[0], g, flops));
         break;
       }
       case OpType::Add: {
@@ -384,9 +379,9 @@ void Session::backward(const Tape& tape, const std::vector<NodeId>& order,
       }
       case OpType::Conv2D: {
         auto gi = ops::conv2d_grad_input(rec.inputs[0], rec.inputs[1], g,
-                                         node.attrs.stride);
+                                         node.attrs.stride, kernel_ctx_);
         auto gf = ops::conv2d_grad_filter(rec.inputs[0], rec.inputs[1], g,
-                                          node.attrs.stride);
+                                          node.attrs.stride, kernel_ctx_);
         flops += gi.flops + gf.flops;
         accumulate(grads[node.inputs[0]], std::move(gi.output));
         accumulate(grads[node.inputs[1]], std::move(gf.output));
@@ -394,14 +389,14 @@ void Session::backward(const Tape& tape, const std::vector<NodeId>& order,
       }
       case OpType::MaxPool2D: {
         auto gi = ops::max_pool2d_grad(rec.inputs[0], g, node.attrs.window,
-                                       node.attrs.stride);
+                                       node.attrs.stride, kernel_ctx_);
         flops += gi.flops;
         accumulate(grads[node.inputs[0]], std::move(gi.output));
         break;
       }
       case OpType::AvgPool2D: {
         auto gi = ops::avg_pool2d_grad(rec.inputs[0], g, node.attrs.window,
-                                       node.attrs.stride);
+                                       node.attrs.stride, kernel_ctx_);
         flops += gi.flops;
         accumulate(grads[node.inputs[0]], std::move(gi.output));
         break;

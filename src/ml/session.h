@@ -20,8 +20,13 @@ namespace stf::ml {
 
 class Session {
  public:
-  /// `env` may be nullptr (pure math, no cost accounting).
-  explicit Session(const Graph& graph, tee::MemoryEnv* env = nullptr);
+  /// `env` may be nullptr (pure math, no cost accounting). `kernel_ctx`
+  /// picks the thread pool the op kernels run on; it changes wall time
+  /// only (results are bit-identical at any thread count and the
+  /// virtual-time charges are shape functions).
+  explicit Session(const Graph& graph, tee::MemoryEnv* env = nullptr,
+                   kernels::KernelContext kernel_ctx =
+                       kernels::KernelContext::shared());
   ~Session();
 
   Session(const Session&) = delete;
@@ -79,6 +84,7 @@ class Session {
 
   const Graph& graph_;
   tee::MemoryEnv* env_;
+  kernels::KernelContext kernel_ctx_;
   std::map<std::string, Tensor> variables_;
   /// Per-parameter-node env regions (weights live in the EPC persistently).
   std::map<NodeId, std::uint64_t> param_regions_;

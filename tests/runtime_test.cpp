@@ -3,12 +3,20 @@
 // defences.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
 #include "crypto/drbg.h"
 #include "net/network.h"
 #include "runtime/fs_shield.h"
 #include "runtime/iago.h"
 #include "runtime/scheduler.h"
 #include "runtime/secure_channel.h"
+#include "runtime/thread_pool.h"
 #include "tee/platform.h"
 
 namespace stf::runtime {
@@ -387,6 +395,74 @@ TEST(IagoTest, FabricatedErrnoRejected) {
   EXPECT_EQ(iago::checked_errno(42), 42);
   EXPECT_EQ(iago::checked_errno(-2), -2);  // -ENOENT is plausible
   EXPECT_THROW(iago::checked_errno(-5000), SecurityError);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<int> hits(1000, 0);
+    pool.parallel_for(0, 1000, 7, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesDependOnlyOnShape) {
+  // The determinism contract: the same (begin, end, grain) yields the same
+  // chunk set at any thread count.
+  auto chunks_of = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    pool.parallel_for(5, 103, 10, [&](std::int64_t b, std::int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto serial = chunks_of(1);
+  EXPECT_EQ(serial.size(), 10u);  // ceil(98 / 10)
+  EXPECT_EQ(serial.front(), (std::pair<std::int64_t, std::int64_t>{5, 15}));
+  EXPECT_EQ(serial.back(), (std::pair<std::int64_t, std::int64_t>{95, 103}));
+  EXPECT_EQ(chunks_of(2), serial);
+  EXPECT_EQ(chunks_of(8), serial);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobsAndEmptyRanges) {
+  ThreadPool pool(4);
+  std::int64_t total = 0;
+  std::mutex mu;
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 64, 4, [&](std::int64_t b, std::int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      total += e - b;
+    });
+  }
+  EXPECT_EQ(total, 50 * 64);
+  pool.parallel_for(10, 10, 1, [&](std::int64_t, std::int64_t) { FAIL(); });
+  pool.parallel_for(10, 3, 1, [&](std::int64_t, std::int64_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, PropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::int64_t b, std::int64_t) {
+                          if (b == 57) throw std::runtime_error("chunk 57");
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> ok{0};
+  pool.parallel_for(0, 10, 1, [&](std::int64_t, std::int64_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPoolTest, LazyStartAndSharedPool) {
+  ThreadPool never_used(8);  // must not spawn threads or hang on destruction
+  EXPECT_EQ(never_used.thread_count(), 8u);
+  EXPECT_GE(ThreadPool::shared().thread_count(), 1u);
 }
 
 }  // namespace
