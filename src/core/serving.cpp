@@ -1,5 +1,9 @@
 #include "core/serving.h"
 
+#include <algorithm>
+
+#include "runtime/errors.h"
+
 namespace stf::core {
 
 ServingNode::ServingNode(const ml::lite::FlatModel& model,
@@ -90,10 +94,31 @@ ServingFleet::ServingFleet(const ml::lite::FlatModel& model,
   for (unsigned n = 0; n < nodes; ++n) {
     nodes_.push_back(std::make_unique<ServingNode>(model, config_));
   }
+  status_.resize(nodes_.size());
+}
+
+void ServingFleet::configure_resilience(FleetResilienceConfig cfg) {
+  resilience_ = cfg;
+}
+
+void ServingFleet::fail_node(unsigned index) {
+  status_.at(index).alive = false;
+  if (!resilience_.has_value()) resilience_ = FleetResilienceConfig{};
+}
+
+void ServingFleet::restore_node(unsigned index) {
+  status_.at(index).alive = true;
+}
+
+unsigned ServingFleet::alive_node_count() const {
+  unsigned n = 0;
+  for (const auto& s : status_) n += s.alive ? 1 : 0;
+  return n;
 }
 
 double ServingFleet::estimate_stream_seconds(const ml::Tensor& image,
                                              std::int64_t count) {
+  if (resilience_.has_value()) return estimate_resilient(image, count);
   const std::int64_t per_node =
       (count + static_cast<std::int64_t>(nodes_.size()) - 1) /
       static_cast<std::int64_t>(nodes_.size());
@@ -108,6 +133,112 @@ double ServingFleet::estimate_stream_seconds(const ml::Tensor& image,
                           config_.model.lan_transfer_ns(image.byte_size())) /
       1e9;
   return slowest + per_request_s * static_cast<double>(per_node);
+}
+
+// Health-tracking dispatch loop: the stream is served in dispatch rounds;
+// each round hands a quantum of images to every admitted node in parallel.
+// A dispatch to a dead node costs the dispatcher a detection timeout and a
+// failure count; `failure_threshold` consecutive failures open the node's
+// circuit for `cooldown_seconds`, after which one half-open probe decides
+// between re-admission (success closes the circuit) and immediate
+// re-ejection. Load is re-steered across whatever is admitted, so with k of
+// n nodes down the stream still completes — slower, never hung.
+double ServingFleet::estimate_resilient(const ml::Tensor& image,
+                                        std::int64_t count) {
+  const FleetResilienceConfig& cfg = *resilience_;
+  if (alive_node_count() == 0) {
+    throw runtime::TransientError("serving fleet: no live nodes");
+  }
+
+  // Per-image service seconds on one healthy node (all nodes are identical
+  // by construction, so one probe calibrates the fleet).
+  double per_image_s = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!status_[i].alive) continue;
+    const std::int64_t probe = config_.threads * 4;
+    per_image_s = nodes_[i]->estimate_stream_seconds(image, probe) /
+                  static_cast<double>(probe);
+    break;
+  }
+
+  // Shipping cost per request, inflated by the expected retransmissions
+  // under the configured loss rate: 1/(1-p) transmissions each paying the
+  // wire cost, plus p/(1-p) RPC timeouts spent discovering the losses.
+  const double wire_s =
+      static_cast<double>(config_.model.netshield_ns(image.byte_size()) +
+                          config_.model.lan_transfer_ns(image.byte_size())) /
+      1e9;
+  const double p = cfg.request_drop_prob;
+  if (p < 0 || p >= 1) {
+    throw std::invalid_argument("fleet: request_drop_prob must be in [0,1)");
+  }
+  const double per_request_s =
+      wire_s / (1 - p) + cfg.rpc_timeout_seconds * p / (1 - p);
+
+  const auto detect_ns =
+      static_cast<std::uint64_t>(cfg.detect_timeout_seconds * 1e9);
+  const auto cooldown_ns =
+      static_cast<std::uint64_t>(cfg.cooldown_seconds * 1e9);
+
+  // Each estimate call is its own timeline (virtual time restarts at 0), so
+  // deadlines from a previous stream are stale: previously ejected nodes
+  // start half-open — probed immediately, and their probation flag still
+  // means one strike re-ejects.
+  for (auto& s : status_) s.ejected_until_ns = 0;
+
+  std::uint64_t now_ns = 0;
+  std::int64_t remaining = count;
+  while (remaining > 0) {
+    // Admission: closed circuits plus any node whose cool-down expired
+    // (half-open probe).
+    std::vector<std::size_t> admitted;
+    for (std::size_t i = 0; i < status_.size(); ++i) {
+      if (status_[i].ejected_until_ns <= now_ns) admitted.push_back(i);
+    }
+    if (admitted.empty()) {
+      // Every circuit is open. Jump to the earliest re-admission; the
+      // all-dead case was rejected above, and a live node's probe will
+      // succeed then, so this cannot loop forever.
+      std::uint64_t earliest = status_[0].ejected_until_ns;
+      for (const auto& s : status_) {
+        earliest = std::min(earliest, s.ejected_until_ns);
+      }
+      now_ns = earliest;
+      continue;
+    }
+
+    // Dispatcher-side failure detection is serial (the dispatcher probes);
+    // service on healthy nodes runs in parallel.
+    double round_s = 0;
+    std::int64_t dispatched = 0;
+    for (const std::size_t i : admitted) {
+      FleetNodeStatus& s = status_[i];
+      if (!s.alive) {
+        ++s.failures_total;
+        ++s.consecutive_failures;
+        now_ns += detect_ns;
+        if (s.probation || s.consecutive_failures >= cfg.failure_threshold) {
+          s.ejected_until_ns = now_ns + cooldown_ns;
+          s.probation = true;  // half-open next time: one strike re-ejects
+          ++s.ejections;
+          s.consecutive_failures = 0;
+        }
+        continue;
+      }
+      s.consecutive_failures = 0;
+      s.probation = false;
+      const std::int64_t quantum =
+          std::min<std::int64_t>(cfg.dispatch_batch, remaining - dispatched);
+      if (quantum <= 0) break;
+      dispatched += quantum;
+      s.served += quantum;
+      round_s = std::max(
+          round_s, static_cast<double>(quantum) * (per_image_s + per_request_s));
+    }
+    remaining -= dispatched;
+    now_ns += static_cast<std::uint64_t>(round_s * 1e9);
+  }
+  return static_cast<double>(now_ns) / 1e9;
 }
 
 }  // namespace stf::core

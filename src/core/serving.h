@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/inference.h"
@@ -70,23 +71,79 @@ class ServingNode {
   std::vector<tee::SimClock> lanes_;
 };
 
+/// Circuit-breaker resilience knobs for a fleet facing node failures and
+/// lossy request links. All timings are virtual; with a fixed config the
+/// degradation path is bit-reproducible.
+struct FleetResilienceConfig {
+  /// Consecutive dispatch failures before a node's circuit opens.
+  unsigned failure_threshold = 3;
+  /// Circuit-open time before a half-open probe re-admits the node.
+  double cooldown_seconds = 4.0;
+  /// Dispatcher-side cost of detecting one failed dispatch (timeout).
+  double detect_timeout_seconds = 0.010;
+  /// Per-request loss probability on the client->node links; lost requests
+  /// are retransmitted (expected-cost model, deterministic).
+  double request_drop_prob = 0;
+  /// Wait before a lost request is retransmitted.
+  double rpc_timeout_seconds = 0.005;
+  /// Images handed to one node per dispatch round (re-steering quantum).
+  std::int64_t dispatch_batch = 32;
+};
+
+/// Health the fleet tracks per node (all counters deterministic).
+struct FleetNodeStatus {
+  bool alive = true;                    ///< physical state (fail/restore_node)
+  unsigned consecutive_failures = 0;    ///< resets on any success
+  std::uint64_t ejected_until_ns = 0;   ///< circuit open until this time
+  bool probation = false;               ///< next failure re-ejects immediately
+  std::uint64_t ejections = 0;
+  std::uint64_t failures_total = 0;
+  std::int64_t served = 0;
+};
+
 /// Scale-out: a fleet of identical serving nodes splitting one stream.
+/// With resilience configured (or any node failed) the fleet tracks health:
+/// failing nodes accumulate failure counts, get ejected circuit-breaker
+/// style, are probed again after a cool-down, and their load is re-steered
+/// so the stream always completes — reduced throughput, never a hang.
 class ServingFleet {
  public:
   ServingFleet(const ml::lite::FlatModel& model, ServingConfig config,
                unsigned nodes);
 
-  /// Virtual seconds to serve `count` images split evenly across nodes,
-  /// including shipping each request through the network shield.
+  /// Virtual seconds to serve `count` images split across the healthy
+  /// nodes, including shipping each request through the network shield.
+  /// With every node down, throws runtime::TransientError instead of
+  /// spinning. Without faults/resilience this is the exact legacy estimate.
   double estimate_stream_seconds(const ml::Tensor& image, std::int64_t count);
 
+  /// Enables health tracking with the given knobs (fail_node() implies a
+  /// default-configured enable).
+  void configure_resilience(FleetResilienceConfig cfg);
+
+  /// Crash-stops node `index`; dispatches to it fail until restore_node().
+  void fail_node(unsigned index);
+
+  /// Brings node `index` back; it re-joins traffic at its next half-open
+  /// probe — after the cool-down within a running stream, or immediately at
+  /// the start of the next stream (each estimate is its own timeline).
+  void restore_node(unsigned index);
+
+  [[nodiscard]] const FleetNodeStatus& node_status(unsigned index) const {
+    return status_.at(index);
+  }
+  [[nodiscard]] unsigned alive_node_count() const;
   [[nodiscard]] unsigned node_count() const {
     return static_cast<unsigned>(nodes_.size());
   }
 
  private:
+  double estimate_resilient(const ml::Tensor& image, std::int64_t count);
+
   ServingConfig config_;
   std::vector<std::unique_ptr<ServingNode>> nodes_;
+  std::vector<FleetNodeStatus> status_;
+  std::optional<FleetResilienceConfig> resilience_;
 };
 
 }  // namespace stf::core

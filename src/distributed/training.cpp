@@ -29,6 +29,22 @@ TrainingCluster::TrainingCluster(const ml::Graph& graph, ClusterConfig config,
       authority_(authority),
       session_name_(std::move(session_name)),
       rng_(crypto::to_bytes("cluster-" + std::to_string(config_.seed))) {
+  if (config_.faults.enabled) {
+    if (!config_.network_shield) {
+      throw std::invalid_argument(
+          "cluster faults: resilient RPC rides on the network shield");
+    }
+    if (config_.async_updates) {
+      throw std::invalid_argument(
+          "cluster faults: only synchronous rounds have the round-timeout "
+          "semantics fault injection needs");
+    }
+    // Attached before any link exists; per-link weather is configured in
+    // spawn_worker() *after* the shielded handshake and CAS attestation, so
+    // the control plane stays reliable and only the data plane gets weather.
+    fault_plane_ = std::make_unique<faults::FaultPlane>(config_.faults.seed);
+    fault_plane_->attach(net_);
+  }
   // Parameter server node.
   if (authority_ != nullptr) {
     ps_platform_ = std::make_unique<tee::Platform>(
@@ -128,8 +144,20 @@ void TrainingCluster::spawn_worker() {
     auto link = runtime::ShieldedLink::establish(
         net_, w.node, ps_node_, config_.model, w.platform->base_clock(),
         ps_platform_->base_clock(), rng_);
-    w.to_ps = std::move(link.a_to_b);
-    w.ps_to = std::move(link.b_to_a);
+    if (config_.faults.enabled) {
+      // Wrap both directions in resilient framing, then turn the weather on
+      // for this link only (the handshake above ran on clear skies).
+      w.r_to_ps = runtime::ResilientChannel(
+          std::move(link.a_to_b), w.platform->base_clock(),
+          config_.faults.retry, config_.faults.seed ^ (2ull * serial + 1));
+      w.r_ps_to = runtime::ResilientChannel(
+          std::move(link.b_to_a), ps_platform_->base_clock(),
+          config_.faults.retry, config_.faults.seed ^ (2ull * serial + 2));
+      fault_plane_->set_link_faults(w.node, ps_node_, config_.faults.link);
+    } else {
+      w.to_ps = std::move(link.a_to_b);
+      w.ps_to = std::move(link.b_to_a);
+    }
   } else {
     auto [worker_side, ps_side] = net_.connect(w.node, ps_node_);
     w.plain_to_ps = worker_side;
@@ -142,6 +170,20 @@ void TrainingCluster::add_worker() { spawn_worker(); }
 
 void TrainingCluster::fail_worker(std::size_t index) {
   workers_.at(index).alive = false;
+}
+
+void TrainingCluster::schedule_worker_crash(std::size_t index,
+                                            std::uint64_t round) {
+  if (!config_.faults.enabled) {
+    throw std::logic_error(
+        "schedule_worker_crash: enable config.faults first");
+  }
+  crash_schedule_[round].push_back(index);
+}
+
+const faults::FaultStats& TrainingCluster::fault_stats() const {
+  static const faults::FaultStats kNone;
+  return fault_plane_ ? fault_plane_->stats() : kNone;
 }
 
 void TrainingCluster::ensure_workers_alive() {
@@ -163,6 +205,7 @@ TrainStats TrainingCluster::train(const ml::Dataset& data,
                                   std::int64_t total_samples) {
   ensure_workers_alive();
   if (workers_.empty()) throw std::logic_error("no workers");
+  if (config_.faults.enabled) return train_resilient(data, total_samples);
   if (config_.async_updates) return train_async(data, total_samples);
   const std::int64_t per_round =
       config_.batch_size * static_cast<std::int64_t>(workers_.size());
@@ -284,6 +327,169 @@ TrainStats TrainingCluster::train(const ml::Dataset& data,
                                                  workers_.size()));
   for (const auto& w : workers_) {
     stats.epc_faults += w.platform->epc().stats().faults;
+  }
+  return stats;
+}
+
+// Synchronous rounds under injected faults: every parameter/gradient
+// exchange runs over ResilientChannel (retry/backoff/dedup), a worker whose
+// gradient never arrives costs the PS one round_timeout instead of a hang,
+// the update averages over whatever arrived (scaled average), and crashed
+// workers are respawned — re-attesting through CAS — before the next round.
+// Everything downstream of the fixed fault seed is bit-reproducible.
+TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
+                                            std::int64_t total_samples) {
+  const std::int64_t per_round =
+      config_.batch_size * static_cast<std::int64_t>(workers_.size());
+  if (total_samples % per_round != 0) {
+    total_samples -= total_samples % per_round;  // whole rounds only
+  }
+  if (total_samples <= 0) {
+    throw std::invalid_argument("train: need at least one full round");
+  }
+  const std::int64_t rounds = total_samples / per_round;
+
+  // Barrier over the PS and whoever is still alive.
+  auto barrier = [this] {
+    std::uint64_t t = ps_platform_->base_clock().now_ns();
+    for (const auto& w : workers_) {
+      if (w.alive) t = std::max(t, w.platform->base_clock().now_ns());
+    }
+    ps_platform_->base_clock().advance_to(t);
+    for (auto& w : workers_) {
+      if (w.alive) w.platform->base_clock().advance_to(t);
+    }
+    return t;
+  };
+
+  TrainStats stats;
+  const std::uint64_t start_ns = barrier();
+  std::int64_t next_batch = 0;
+  const std::int64_t batches_available = data.size() / config_.batch_size;
+  float loss_sum = 0;
+  std::uint64_t contributions = 0;
+  tee::SimClock& ps_clock = ps_platform_->base_clock();
+
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    const auto params =
+        ml::serialize_tensor_map(master_session_->variable_snapshot());
+
+    // 1. Reliable parameter push, one PS shard per worker in parallel. A
+    //    push the retry budget cannot save just sidelines that worker for
+    //    the round.
+    std::vector<bool> has_params(workers_.size(), false);
+    {
+      const std::uint64_t push_start = ps_clock.now_ns();
+      std::uint64_t slowest = push_start;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        WorkerState& w = workers_[i];
+        ps_clock.set_ns(push_start);  // each shard starts concurrently
+        try {
+          const auto delivered =
+              runtime::ResilientChannel::deliver(w.r_ps_to, w.r_to_ps, params);
+          w.session->restore_variables(ml::deserialize_tensor_map(delivered));
+          has_params[i] = true;
+        } catch (const runtime::TransientError&) {
+          // Delivery failed for the whole retry budget; sit this round out.
+        }
+        slowest = std::max(slowest, ps_clock.now_ns());
+      }
+      ps_clock.set_ns(slowest);
+    }
+
+    // 2. Surviving workers compute and ship gradients. Scheduled crashes
+    //    strike here — parameters received, gradient never sent — the worst
+    //    case for the server.
+    const auto crash_it =
+        crash_schedule_.find(static_cast<std::uint64_t>(round));
+    auto crashes_now = [&](std::size_t i) {
+      return crash_it != crash_schedule_.end() &&
+             std::find(crash_it->second.begin(), crash_it->second.end(), i) !=
+                 crash_it->second.end();
+    };
+    std::map<std::string, ml::Tensor> sum;
+    std::uint64_t arrived = 0;
+    const std::uint64_t expected = workers_.size();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      WorkerState& w = workers_[i];
+      if (!has_params[i]) continue;
+      if (w.enclave) {
+        w.enclave->touch_binary();
+        w.enclave->access(*w.scratch, 0, config_.framework_scratch_bytes,
+                          true);
+      }
+      const auto feeds =
+          data.batch_feeds(next_batch % batches_available, config_.batch_size);
+      next_batch = (next_batch + 1) % batches_available;
+      const auto grads = w.session->gradients("loss", feeds);
+
+      if (crashes_now(i)) {
+        // Crash-stop: the gradient dies with the worker. Its channel
+        // telemetry is carried so stats.retransmits stays complete.
+        retransmits_carried_ +=
+            w.r_to_ps.retransmits() + w.r_ps_to.retransmits();
+        w.alive = false;
+        fault_plane_->crash_now(w.node);
+        ++stats.worker_crashes;
+        continue;
+      }
+
+      try {
+        const auto delivered = runtime::ResilientChannel::deliver(
+            w.r_to_ps, w.r_ps_to, ml::serialize_tensor_map(grads));
+        loss_sum += w.session->last_loss();
+        ++contributions;
+        ++arrived;
+        stats.samples_processed += config_.batch_size;
+        auto got = ml::deserialize_tensor_map(delivered);
+        for (auto& [name, grad] : got) {
+          auto it = sum.find(name);
+          if (it == sum.end()) {
+            sum.emplace(name, std::move(grad));
+          } else {
+            for (std::int64_t j = 0; j < grad.size(); ++j) {
+              it->second.at(j) += grad.at(j);
+            }
+          }
+        }
+      } catch (const runtime::TransientError&) {
+        // Gradient lost past the retry budget; the PS will time it out.
+      }
+    }
+
+    // 3. Anything missing costs the PS exactly one round timeout; the
+    //    update is the scaled average over what arrived.
+    if (arrived < expected) {
+      ps_clock.advance(config_.faults.round_timeout_ns);
+      ++stats.degraded_rounds;
+      stats.lost_gradients += expected - arrived;
+    }
+    if (arrived > 0) {
+      const float scale = 1.0f / static_cast<float>(arrived);
+      for (auto& [name, grad] : sum) {
+        for (std::int64_t j = 0; j < grad.size(); ++j) grad.at(j) *= scale;
+      }
+      master_session_->apply_gradients(sum, config_.learning_rate);
+    }
+
+    barrier();  // synchronous SGD: survivors wait for the round to finish
+    // 4. Rejoin: replacements spawn and re-attest through CAS before the
+    //    next round's parameters are released to them.
+    ensure_workers_alive();
+    stats.rounds += 1;
+  }
+
+  const std::uint64_t end_ns = barrier();
+  stats.total_seconds = static_cast<double>(end_ns - start_ns) / 1e9;
+  stats.seconds_per_round =
+      stats.total_seconds / static_cast<double>(rounds);
+  stats.final_loss = contributions > 0
+                         ? loss_sum / static_cast<float>(contributions)
+                         : 0.0f;
+  stats.retransmits = retransmits_carried_;
+  for (const auto& w : workers_) {
+    stats.epc_faults += w.platform->epc().stats().faults;
+    stats.retransmits += w.r_to_ps.retransmits() + w.r_ps_to.retransmits();
   }
   return stats;
 }

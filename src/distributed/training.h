@@ -9,20 +9,44 @@
 // after CAS attestation (elasticity, challenge 4).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "cas/cas_server.h"
+#include "faults/fault_plane.h"
 #include "ml/dataset.h"
 #include "ml/graph.h"
 #include "ml/serialize.h"
 #include "ml/session.h"
 #include "net/network.h"
+#include "runtime/resilient_channel.h"
 #include "runtime/secure_channel.h"
 #include "tee/platform.h"
 
 namespace stf::distributed {
+
+/// Fault injection + resilient RPC for the cluster's data plane. When
+/// disabled the cluster runs the exact legacy happy path (all figure
+/// benches stay byte-identical). When enabled, every PS<->worker link gets
+/// the configured weather from a seeded FaultPlane, parameter/gradient
+/// exchanges run over ResilientChannel (retry/backoff/dedup), a worker that
+/// misses a round times out at the parameter server and the round completes
+/// with the surviving gradients, and crashed workers are respawned and
+/// re-attested through CAS before rejoining (the paper's elasticity story,
+/// challenge 4).
+struct ClusterFaultConfig {
+  bool enabled = false;
+  /// Weather on each PS<->worker link (the control plane — CAS attestation
+  /// and channel handshakes — is modeled reliable).
+  faults::LinkFaultSpec link;
+  runtime::RetryPolicy retry;
+  /// How long the PS waits on a missing gradient before completing the
+  /// round without it.
+  std::uint64_t round_timeout_ns = 50'000'000;
+  std::uint64_t seed = 7;
+};
 
 struct ClusterConfig {
   unsigned num_workers = 1;
@@ -44,6 +68,7 @@ struct ClusterConfig {
   /// interpreter state); pushes the HW working set past the EPC.
   std::uint64_t framework_scratch_bytes = 24ull << 20;
   std::uint64_t seed = 42;
+  ClusterFaultConfig faults;
 };
 
 struct TrainStats {
@@ -53,6 +78,12 @@ struct TrainStats {
   std::uint64_t rounds = 0;
   std::uint64_t samples_processed = 0;
   std::uint64_t epc_faults = 0;      ///< summed over workers (HW mode)
+  // Resilience telemetry (all zero on the happy path; deterministic for a
+  // fixed fault seed).
+  std::uint64_t worker_crashes = 0;   ///< scheduled mid-round crash-stops
+  std::uint64_t degraded_rounds = 0;  ///< rounds finished with gradients missing
+  std::uint64_t lost_gradients = 0;   ///< worker-rounds that never reached the PS
+  std::uint64_t retransmits = 0;      ///< resilient-RPC retransmissions
 };
 
 class TrainingCluster {
@@ -75,6 +106,18 @@ class TrainingCluster {
   /// and re-attests a replacement automatically.
   void fail_worker(std::size_t index);
 
+  /// Schedules worker `index` to crash-stop during synchronous round
+  /// `round` (0-based) of the next train() run — after it received the
+  /// round's parameters, before its gradient reaches the PS. The round
+  /// times out at the server and completes with the surviving gradients;
+  /// the replacement re-attests through CAS before the next round. Only
+  /// meaningful with config.faults.enabled (throws std::logic_error
+  /// otherwise: the legacy happy path has no timeout to save the round).
+  void schedule_worker_crash(std::size_t index, std::uint64_t round);
+
+  /// Fault-plane telemetry (zeroed stats when faults are disabled).
+  [[nodiscard]] const faults::FaultStats& fault_stats() const;
+
   [[nodiscard]] ml::Session& master_session() { return *master_session_; }
   [[nodiscard]] unsigned worker_count() const {
     return static_cast<unsigned>(workers_.size());
@@ -93,12 +136,15 @@ class TrainingCluster {
     // Towards the parameter server:
     net::Connection plain_to_ps, ps_plain;        // no-shield path
     runtime::SecureChannel to_ps, ps_to;          // shield path
+    runtime::ResilientChannel r_to_ps, r_ps_to;   // faults-enabled path
     bool alive = true;
   };
 
   void spawn_worker();
   void ensure_workers_alive();
   TrainStats train_async(const ml::Dataset& data, std::int64_t total_samples);
+  TrainStats train_resilient(const ml::Dataset& data,
+                             std::int64_t total_samples);
   [[nodiscard]] tee::MemoryEnv* env_of(WorkerState& w);
 
   ml::Graph graph_;
@@ -118,6 +164,11 @@ class TrainingCluster {
   std::vector<WorkerState> workers_;
   unsigned attested_ = 0;
   unsigned worker_serial_ = 0;
+
+  // Resilience plumbing (engaged only when config_.faults.enabled).
+  std::unique_ptr<faults::FaultPlane> fault_plane_;
+  std::map<std::uint64_t, std::vector<std::size_t>> crash_schedule_;
+  std::uint64_t retransmits_carried_ = 0;  ///< telemetry of dead workers
 };
 
 }  // namespace stf::distributed

@@ -20,6 +20,17 @@ std::size_t Connection::pending() const {
   return side_ ? conn.to_b.size() : conn.to_a.size();
 }
 
+bool Connection::peer_closed() const {
+  if (network_ == nullptr) return true;
+  const auto& conn = network_->conns_.at(conn_id_);
+  return conn.closed || network_->node_down(remote_);
+}
+
+void Connection::close() {
+  if (network_ == nullptr) return;
+  network_->conns_.at(conn_id_).closed = true;
+}
+
 NodeId SimNetwork::add_node(std::string name, tee::SimClock& clock) {
   nodes_.push_back({std::move(name), &clock});
   return static_cast<NodeId>(nodes_.size() - 1);
@@ -35,6 +46,20 @@ std::uint64_t link_key(NodeId a, NodeId b) {
 void SimNetwork::set_link(NodeId a, NodeId b, LinkSpec spec) {
   links_[link_key(a, b)] = spec;
 }
+
+void SimNetwork::kill_node(NodeId id) {
+  nodes_.at(id).down = true;
+  for (auto& [conn_id, conn] : conns_) {
+    if (conn.a != id && conn.b != id) continue;
+    conn.closed = true;
+    // In-flight messages addressed to the dead node die with it; traffic it
+    // sent before crashing is already on the wire and still arrives.
+    auto& to_dead = conn.a == id ? conn.to_a : conn.to_b;
+    to_dead.clear();
+  }
+}
+
+void SimNetwork::revive_node(NodeId id) { nodes_.at(id).down = false; }
 
 const LinkSpec& SimNetwork::link_between(NodeId a, NodeId b) const {
   const auto it = links_.find(link_key(a, b));
@@ -78,13 +103,24 @@ void SimNetwork::send_impl(std::uint64_t conn_id, bool from_side,
 
   if (action == AdversaryAction::Drop) return;
 
-  std::uint64_t latency = link.rtt_ns / 2;
+  // A closed connection or crashed endpoint swallows the message (the
+  // sender only learns through timeouts / peer_closed()).
+  if (conn.closed || nodes_[from].down || nodes_[to].down) return;
+
+  FaultDecision fault;
+  if (fault_hook_) {
+    fault = fault_hook_(from, to, sender_clock.now_ns(), msg.payload);
+  }
+  if (fault.drop || fault.copies == 0) return;
+
+  std::uint64_t latency = link.rtt_ns / 2 + fault.extra_delay_ns;
   if (action == AdversaryAction::Delay) latency += link.rtt_ns * 10;
   msg.arrival_ns = sender_clock.now_ns() + latency;
 
   auto& queue = from_side ? conn.to_a : conn.to_b;
   queue.push_back(msg);
   if (action == AdversaryAction::Replay) queue.push_back(msg);
+  for (unsigned c = 1; c < fault.copies; ++c) queue.push_back(msg);
 }
 
 std::optional<crypto::Bytes> SimNetwork::recv_impl(std::uint64_t conn_id,

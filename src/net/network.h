@@ -48,6 +48,21 @@ enum class AdversaryAction : std::uint8_t { Pass, Drop, Tamper, Replay, Delay };
 /// Adversary hook: may inspect/mutate the payload and return an action.
 using Adversary = std::function<AdversaryAction(crypto::Bytes& payload)>;
 
+/// What the (non-malicious) fault plane does to one in-flight message. The
+/// adversary models attacks; this models weather — packet loss, router
+/// duplication, congestion delay — injected deterministically by
+/// `stf::faults::FaultPlane`.
+struct FaultDecision {
+  bool drop = false;
+  std::uint64_t extra_delay_ns = 0;  ///< added on top of the link latency
+  unsigned copies = 1;               ///< >1 duplicates the message in flight
+};
+
+/// Fault hook: consulted for every message after the adversary. `now_ns` is
+/// the sender's virtual clock (crash windows are evaluated against it).
+using FaultHook = std::function<FaultDecision(
+    NodeId from, NodeId to, std::uint64_t now_ns, const crypto::Bytes&)>;
+
 class SimNetwork;
 
 /// One side of an established connection. Move-only handle.
@@ -67,6 +82,15 @@ class Connection {
 
   /// Messages currently queued for this side.
   [[nodiscard]] std::size_t pending() const;
+
+  /// True once the connection is dead: explicitly closed by either side, or
+  /// the remote node crashed. Queued messages can still be drained; after
+  /// that recv() will never again return data — stop polling.
+  [[nodiscard]] bool peer_closed() const;
+
+  /// Half-close from this side; the peer observes peer_closed(). Subsequent
+  /// sends on either side vanish (TCP-RST-style).
+  void close();
 
   [[nodiscard]] bool valid() const { return network_ != nullptr; }
   [[nodiscard]] NodeId local_node() const { return local_; }
@@ -97,6 +121,23 @@ class SimNetwork {
   /// Installs/removes the Dolev-Yao adversary applied to every message.
   void set_adversary(Adversary adversary) { adversary_ = std::move(adversary); }
 
+  /// Installs/removes the fault-injection hook (see stf::faults). Runs after
+  /// the adversary on every message that survives it.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Crash-stops a node: every connection touching it turns peer-dead,
+  /// undelivered messages addressed to it are lost, and further traffic
+  /// from/to it vanishes until revive_node().
+  void kill_node(NodeId id);
+
+  /// Brings a crashed node back. Existing connections stay dead (the crash
+  /// lost their state) — survivors must reconnect.
+  void revive_node(NodeId id);
+
+  [[nodiscard]] bool node_down(NodeId id) const {
+    return nodes_.at(id).down;
+  }
+
   /// Opens a bidirectional connection between two nodes. Charges one RTT of
   /// connection setup to the dialer's clock.
   std::pair<Connection, Connection> connect(NodeId dialer, NodeId listener);
@@ -122,10 +163,12 @@ class SimNetwork {
   struct ConnState {
     NodeId a = 0, b = 0;
     std::deque<Message> to_a, to_b;
+    bool closed = false;
   };
   struct Node {
     std::string name;
     tee::SimClock* clock = nullptr;
+    bool down = false;
   };
 
   void send_impl(std::uint64_t conn_id, bool from_side,
@@ -139,6 +182,7 @@ class SimNetwork {
   std::unordered_map<std::uint64_t, ConnState> conns_;
   std::uint64_t next_conn_ = 1;
   Adversary adversary_;
+  FaultHook fault_hook_;
   LinkSpec default_link_ = LinkSpec::lan();
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -1,4 +1,10 @@
 // Error taxonomy of the shielded runtime.
+//
+// The split matters for the resilience layer (ResilientChannel, fleet
+// circuit breakers): a TransientError is the network/host misbehaving in a
+// way retrying can fix; a SecurityError is evidence of an attack and must
+// abort the operation — retrying a detected integrity violation would hand
+// the adversary unlimited oracle queries.
 #pragma once
 
 #include <stdexcept>
@@ -9,10 +15,30 @@ namespace stf::runtime {
 /// An integrity/confidentiality violation detected by a shield: tampered
 /// ciphertext, replayed record, rolled-back file, Iago-style host lie.
 /// Security errors are never silently swallowed — the computation must stop.
+/// Never retried.
 class SecurityError : public std::runtime_error {
  public:
   explicit SecurityError(const std::string& what)
       : std::runtime_error("security violation: " + what) {}
+};
+
+/// A failure that may succeed on retry: a dropped or timed-out message, a
+/// host I/O hiccup, a peer that crashed but will re-attest and rejoin.
+/// Safe to retry with backoff; the shields guarantee a retry can only ever
+/// reproduce the original bytes or fail again — never leak or forge.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error("transient failure: " + what) {}
+};
+
+/// The peer of an established channel is gone (node crash or explicit
+/// close). Fatal for this channel — stop polling it — but transient at the
+/// RPC layer: fail over to another node or wait for the peer to re-attest
+/// and reconnect.
+class ChannelDeadError : public TransientError {
+ public:
+  explicit ChannelDeadError(const std::string& what) : TransientError(what) {}
 };
 
 }  // namespace stf::runtime

@@ -147,7 +147,10 @@ void FsShield::rotate_key(crypto::BytesView new_key) {
 crypto::Bytes FsShield::read(const std::string& path) {
   const auto raw = host_.read(path);
   if (!raw.has_value()) {
-    throw std::runtime_error("FsShield: no such file: " + path);
+    // Retryable, not an attack: the untrusted host claiming a file is absent
+    // may be a sync lag or a lying host; the caller can retry or rebuild,
+    // and freshness metadata catches any later substitution.
+    throw TransientError("FsShield: no such file: " + path);
   }
   const auto meta_it = meta_.find(path);
   const ShieldPolicy policy = meta_it != meta_.end()

@@ -70,7 +70,8 @@ class FsShield {
   void write(const std::string& path, crypto::BytesView data);
 
   /// Reads and verifies `path`. Throws SecurityError on any integrity or
-  /// freshness violation; throws std::runtime_error if the file is missing.
+  /// freshness violation; throws TransientError if the file is missing or
+  /// the host I/O fails (retryable — see runtime/errors.h).
   [[nodiscard]] crypto::Bytes read(const std::string& path);
 
   [[nodiscard]] bool exists(const std::string& path) const {

@@ -125,29 +125,45 @@ void SecureChannel::send(crypto::BytesView plaintext) {
 
 std::optional<crypto::Bytes> SecureChannel::recv() {
   if (!valid()) throw std::logic_error("recv on invalid SecureChannel");
-  auto raw = conn_.recv();
-  if (!raw.has_value()) return std::nullopt;
-  if (raw->size() < 12 + crypto::AesGcm::kTagSize) {
-    throw SecurityError("network shield: truncated record");
+  while (true) {
+    auto raw = conn_.recv();
+    if (!raw.has_value()) {
+      if (conn_.peer_closed()) {
+        throw ChannelDeadError("secure channel: peer gone (crashed or closed)");
+      }
+      return std::nullopt;
+    }
+    if (raw->size() < 12 + crypto::AesGcm::kTagSize) {
+      throw SecurityError("network shield: truncated record");
+    }
+    const crypto::BytesView header(raw->data(), 12);
+    const std::uint64_t seq = crypto::load_be64(raw->data());
+    if (allow_gaps_) {
+      if (seq < recv_seq_) {
+        // At or below the high-water mark: a benign network duplicate or a
+        // replay attack. Either way it is rejected, never delivered
+        // (DTLS-style silent discard — aborting would let loss-induced
+        // duplicates kill the channel).
+        ++replays_rejected_;
+        continue;
+      }
+    } else if (seq != recv_seq_) {
+      throw SecurityError("network shield: sequence violation (replay/reorder)");
+    }
+    const auto nonce = nonce_for(recv_iv_, seq);
+    const auto opened = recv_aead_->open(
+        crypto::BytesView(nonce.data(), nonce.size()), header,
+        crypto::BytesView(raw->data() + 12, raw->size() - 12));
+    if (!opened.has_value()) {
+      throw SecurityError("network shield: record authentication failed");
+    }
+    if (opened->size() != crypto::load_be32(raw->data() + 8)) {
+      throw SecurityError("network shield: length mismatch");
+    }
+    clock_->advance(model_->netshield_ns(opened->size()));
+    recv_seq_ = seq + 1;
+    return opened;
   }
-  const crypto::BytesView header(raw->data(), 12);
-  const std::uint64_t seq = crypto::load_be64(raw->data());
-  if (seq != recv_seq_) {
-    throw SecurityError("network shield: sequence violation (replay/reorder)");
-  }
-  const auto nonce = nonce_for(recv_iv_, seq);
-  const auto opened = recv_aead_->open(
-      crypto::BytesView(nonce.data(), nonce.size()), header,
-      crypto::BytesView(raw->data() + 12, raw->size() - 12));
-  if (!opened.has_value()) {
-    throw SecurityError("network shield: record authentication failed");
-  }
-  if (opened->size() != crypto::load_be32(raw->data() + 8)) {
-    throw SecurityError("network shield: length mismatch");
-  }
-  clock_->advance(model_->netshield_ns(opened->size()));
-  ++recv_seq_;
-  return opened;
 }
 
 }  // namespace stf::runtime

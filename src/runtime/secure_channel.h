@@ -62,11 +62,28 @@ class SecureChannel {
 
   /// Receives, verifies and decrypts the next record. Returns std::nullopt
   /// when nothing is in flight. Throws SecurityError on tampered ciphertext
-  /// or a sequence-number violation (replay / reorder / injection).
+  /// or a sequence-number violation (replay / reorder / injection), and
+  /// ChannelDeadError once the peer is gone and the queue is drained —
+  /// distinguishing "nothing yet" (nullopt) from "never again" (throw).
   std::optional<crypto::Bytes> recv();
+
+  /// DTLS-style loss tolerance for lossy-network deployments: accept records
+  /// whose sequence number jumped *forward* (the gap is a dropped record,
+  /// not an attack — each record still authenticates its own sequence
+  /// number), and silently discard records at or below the high-water mark
+  /// (network duplicates and replay attacks alike; `replays_rejected()`
+  /// counts them). Tampering still throws SecurityError. The strict default
+  /// requires exact in-order delivery as before.
+  void allow_gaps(bool on) { allow_gaps_ = on; }
+
+  /// True once the underlying connection is dead (peer crashed or closed).
+  [[nodiscard]] bool peer_closed() const { return conn_.peer_closed(); }
 
   [[nodiscard]] std::uint64_t records_sent() const { return send_seq_; }
   [[nodiscard]] std::uint64_t records_received() const { return recv_seq_; }
+  [[nodiscard]] std::uint64_t replays_rejected() const {
+    return replays_rejected_;
+  }
   [[nodiscard]] bool valid() const { return static_cast<bool>(send_aead_); }
 
  private:
@@ -87,6 +104,8 @@ class SecureChannel {
   std::array<std::uint8_t, 12> recv_iv_{};
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
+  std::uint64_t replays_rejected_ = 0;
+  bool allow_gaps_ = false;
   const tee::CostModel* model_ = nullptr;
   tee::SimClock* clock_ = nullptr;
 };

@@ -14,7 +14,8 @@ struct ShieldedLink {
   SecureChannel b_to_a;  ///< endpoint at node b
 
   /// Connects `a` to `b` across `net` and runs the X25519 handshake, with
-  /// each side's latency charged to its own clock.
+  /// each side's latency charged to its own clock. The channels keep a
+  /// pointer to `model` — it must outlive them.
   static ShieldedLink establish(net::SimNetwork& net, net::NodeId a,
                                 net::NodeId b, const tee::CostModel& model,
                                 tee::SimClock& clock_a, tee::SimClock& clock_b,

@@ -6,24 +6,38 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "crypto/bytes.h"
+#include "runtime/errors.h"
 
 namespace stf::runtime {
 
 class UntrustedFs {
  public:
+  /// Transient-failure injector (see stf::faults): consulted before every
+  /// host I/O operation; returning true makes the operation throw
+  /// TransientError — the host hiccuped, retrying may succeed. Distinct
+  /// from the adversarial mutators below, which succeed and lie.
+  using FaultInjector =
+      std::function<bool(const char* op, const std::string& path)>;
+  void set_fault_injector(FaultInjector injector) {
+    fault_injector_ = std::move(injector);
+  }
+
   void write(const std::string& path, crypto::Bytes data) {
+    maybe_fail("write", path);
     auto& entry = files_[path];
     entry.history.push_back(std::move(entry.current));
     entry.current = std::move(data);
   }
 
   [[nodiscard]] std::optional<crypto::Bytes> read(const std::string& path) const {
+    maybe_fail("read", path);
     const auto it = files_.find(path);
     if (it == files_.end()) return std::nullopt;
     return it->second.current;
@@ -71,11 +85,18 @@ class UntrustedFs {
   }
 
  private:
+  void maybe_fail(const char* op, const std::string& path) const {
+    if (fault_injector_ && fault_injector_(op, path)) {
+      throw TransientError(std::string("host I/O error: ") + op + " " + path);
+    }
+  }
+
   struct Entry {
     crypto::Bytes current;
     std::vector<crypto::Bytes> history;  // what a rollback attacker replays
   };
   std::map<std::string, Entry> files_;
+  FaultInjector fault_injector_;
 };
 
 }  // namespace stf::runtime

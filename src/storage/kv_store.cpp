@@ -41,6 +41,21 @@ crypto::Bytes EncryptedKvStore::seal() {
   return out;
 }
 
+void EncryptedKvStore::seal_to(runtime::UntrustedFs& host,
+                               const std::string& path) {
+  host.write(path, seal());  // TransientError propagates on host I/O fault
+}
+
+bool EncryptedKvStore::load_from(const runtime::UntrustedFs& host,
+                                 const std::string& path) {
+  const auto blob = host.read(path);  // TransientError on host I/O fault
+  if (!blob.has_value()) {
+    throw runtime::TransientError("kv store: sealed blob missing on host: " +
+                                  path);
+  }
+  return load(*blob);
+}
+
 bool EncryptedKvStore::load(crypto::BytesView sealed) {
   if (sealed.size() < crypto::AesGcm::kNonceSize + crypto::AesGcm::kTagSize) {
     return false;

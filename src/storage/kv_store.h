@@ -15,6 +15,7 @@
 #include "crypto/bytes.h"
 #include "crypto/drbg.h"
 #include "crypto/gcm.h"
+#include "runtime/untrusted_fs.h"
 #include "storage/monotonic_counter.h"
 
 namespace stf::storage {
@@ -45,6 +46,17 @@ class EncryptedKvStore {
   /// Restores contents from a sealed blob. Returns false (leaving the store
   /// untouched) on tamper or version mismatch (rollback).
   [[nodiscard]] bool load(crypto::BytesView sealed);
+
+  /// Persists the sealed blob on the untrusted host. Host I/O failures
+  /// surface as runtime::TransientError (retryable), never as silent loss.
+  void seal_to(runtime::UntrustedFs& host, const std::string& path);
+
+  /// Restores from a blob persisted with seal_to(). Throws TransientError
+  /// when the host cannot produce the blob (missing file, I/O fault) —
+  /// retryable; returns false on tamper/rollback — a security event the
+  /// caller must not retry into acceptance.
+  [[nodiscard]] bool load_from(const runtime::UntrustedFs& host,
+                               const std::string& path);
 
  private:
   crypto::AesGcm aead_;
