@@ -122,5 +122,7 @@ void run() {
 
 int main() {
   run();
+  stf::bench::print_registry_summary();
+  stf::bench::write_registry_json("BENCH_classification.registry.json");
   return 0;
 }

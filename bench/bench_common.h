@@ -5,11 +5,20 @@
 // shape for side-by-side comparison. All latencies are *virtual time* from
 // the TEE/network cost simulation (see DESIGN.md §1) — deterministic and
 // machine-independent.
+// Every bench emits its structured payload through the obs registry export
+// (one code path for EXPERIMENTS tables, BENCH_*.json trajectories, and ad
+// hoc inspection): figure-specific series first, then the registry section
+// appended via fprint_registry_section(). The registry JSON is stable-ordered
+// and integer-valued, so a fixed seed reproduces it byte for byte.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace stf::bench {
 
@@ -28,6 +37,47 @@ inline void print_row(const std::string& label, double value,
 
 inline void print_note(const std::string& note) {
   std::printf("  -- %s\n", note.c_str());
+}
+
+/// The process-wide registry + span export for this bench run.
+inline std::string registry_json() {
+  return obs::export_json(obs::Registry::global(), &obs::SpanTracer::global());
+}
+
+/// Appends `"registry": {...}` (comma-terminated by the caller's layout:
+/// call between the last figure section's "],\n" and the closing "}").
+/// Re-indents the export two spaces so it nests as an object member.
+inline void fprint_registry_section(std::FILE* out) {
+  const std::string json = registry_json();
+  std::string indented = "  \"registry\": ";
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    indented.push_back(c);
+    // Indent every line except the last (the export ends in '\n').
+    if (c == '\n' && i + 1 < json.size()) indented += "  ";
+  }
+  std::fputs(indented.c_str(), out);
+}
+
+/// Writes the bare registry export to `path` (e.g. "BENCH_x.registry.json").
+inline void write_registry_json(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = registry_json();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Per-run telemetry summary table on stdout (skips zero series).
+inline void print_registry_summary() {
+  std::printf("\n[telemetry: obs registry summary for this run]\n");
+  const std::string table = obs::summary_table(obs::Registry::global(),
+                                               &obs::SpanTracer::global());
+  std::fputs(table.c_str(), stdout);
 }
 
 }  // namespace stf::bench

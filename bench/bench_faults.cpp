@@ -187,7 +187,9 @@ void emit_json(const std::vector<RpcPoint>& rpc,
         static_cast<unsigned long long>(s.worker_crashes),
         i + 1 < training.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  bench::fprint_registry_section(out);
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote BENCH_faults.json\n");
 }
@@ -233,6 +235,7 @@ void run() {
       "crashed workers rejoin after CAS re-attestation; rounds with missing "
       "gradients apply the scaled average of what arrived");
 
+  bench::print_registry_summary();
   emit_json(rpc, fleet, training);
 }
 

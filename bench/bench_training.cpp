@@ -102,5 +102,7 @@ void run() {
 
 int main() {
   run();
+  stf::bench::print_registry_summary();
+  stf::bench::write_registry_json("BENCH_training.registry.json");
   return 0;
 }

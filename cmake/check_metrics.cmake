@@ -1,0 +1,124 @@
+# Cross-checks the observability name constants against their reference doc.
+#
+# Run as a ctest script (see tests/CMakeLists.txt, test name
+# `metrics_docs_crosscheck`, label `obs`):
+#
+#   cmake -DNAMES_HEADER=src/obs/names.h -DDOCS=docs/METRICS.md \
+#         -DSOURCE_DIR=. -P cmake/check_metrics.cmake
+#
+# Three invariants, each fatal on violation:
+#   1. Every dotted name declared in src/obs/names.h appears as a backticked
+#      table entry in docs/METRICS.md (no undocumented telemetry).
+#   2. Every backticked dotted name in a docs/METRICS.md table row is
+#      declared in src/obs/names.h (no phantom documentation).
+#   3. Every `k*` constant in names.h is referenced (as `names::k*`) by at
+#      least one file under src/ other than names.h itself (no dead names).
+
+cmake_minimum_required(VERSION 3.21)  # script mode: pin policies (IN_LIST)
+
+foreach(var NAMES_HEADER DOCS SOURCE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_metrics.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${NAMES_HEADER}")
+  message(FATAL_ERROR "missing ${NAMES_HEADER}")
+endif()
+if(NOT EXISTS "${DOCS}")
+  message(FATAL_ERROR "missing ${DOCS} — every metric must be documented")
+endif()
+
+# --- 1+2: the name sets ----------------------------------------------------
+
+# Declared names: every quoted dotted lowercase string in the header.
+file(READ "${NAMES_HEADER}" header_text)
+string(REGEX MATCHALL "\"[a-z0-9_]+(\\.[a-z0-9_]+)+\"" quoted_names
+       "${header_text}")
+set(declared "")
+foreach(quoted IN LISTS quoted_names)
+  string(REGEX REPLACE "\"" "" name "${quoted}")
+  list(APPEND declared "${name}")
+endforeach()
+list(REMOVE_DUPLICATES declared)
+list(LENGTH declared declared_count)
+if(declared_count EQUAL 0)
+  message(FATAL_ERROR "no metric names parsed from ${NAMES_HEADER}")
+endif()
+
+# Documented names: backticked dotted tokens in markdown *table cells* only
+# (preceded by "| "), so prose references to files (`foo.h`) or symbols
+# don't count as metrics. Parsed from the raw text, not file(STRINGS):
+# CMake list parsing bracket-protects `[`, which markdown prose contains.
+file(READ "${DOCS}" docs_text)
+string(REGEX MATCHALL "\\| `[a-z0-9_]+(\\.[a-z0-9_]+)+`" ticked
+       "${docs_text}")
+set(documented "")
+foreach(tick IN LISTS ticked)
+  string(REGEX REPLACE "[`| ]" "" name "${tick}")
+  list(APPEND documented "${name}")
+endforeach()
+list(REMOVE_DUPLICATES documented)
+list(LENGTH documented documented_count)
+if(documented_count EQUAL 0)
+  message(FATAL_ERROR "no metric names parsed from ${DOCS} table rows")
+endif()
+
+set(failures 0)
+foreach(name IN LISTS declared)
+  if(NOT name IN_LIST documented)
+    message(SEND_ERROR
+            "'${name}' is declared in src/obs/names.h but has no table row "
+            "in docs/METRICS.md")
+    math(EXPR failures "${failures} + 1")
+  endif()
+endforeach()
+foreach(name IN LISTS documented)
+  if(NOT name IN_LIST declared)
+    message(SEND_ERROR
+            "'${name}' is documented in docs/METRICS.md but not declared "
+            "in src/obs/names.h")
+    math(EXPR failures "${failures} + 1")
+  endif()
+endforeach()
+
+# --- 3: no dead constants --------------------------------------------------
+
+string(REGEX MATCHALL "(k[A-Z][A-Za-z0-9]*) =" const_decls "${header_text}")
+set(constants "")
+foreach(decl IN LISTS const_decls)
+  string(REGEX REPLACE " =$" "" const "${decl}")
+  list(APPEND constants "${const}")
+endforeach()
+list(REMOVE_DUPLICATES constants)
+
+file(GLOB_RECURSE source_files
+     "${SOURCE_DIR}/src/*.cpp" "${SOURCE_DIR}/src/*.h")
+set(all_sources "")
+foreach(path IN LISTS source_files)
+  if(path STREQUAL "${NAMES_HEADER}")
+    continue()
+  endif()
+  file(READ "${path}" text)
+  string(APPEND all_sources "${text}")
+endforeach()
+
+foreach(const IN LISTS constants)
+  string(FIND "${all_sources}" "names::${const}" pos)
+  if(pos EQUAL -1)
+    message(SEND_ERROR
+            "names::${const} is declared in src/obs/names.h but no file "
+            "under src/ uses it — remove it or instrument the site")
+    math(EXPR failures "${failures} + 1")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR
+          "metrics/docs crosscheck failed with ${failures} mismatch(es)")
+endif()
+
+list(LENGTH constants constant_count)
+message(STATUS
+        "metrics crosscheck OK: ${declared_count} names declared, "
+        "${documented_count} documented, ${constant_count} constants used")

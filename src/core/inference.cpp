@@ -1,7 +1,26 @@
 #include "core/inference.h"
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
+
 namespace stf::core {
 namespace {
+
+struct InferenceObs {
+  obs::Counter& requests = obs::Registry::global().counter(
+      obs::names::kInferenceRequests, "classify() requests served");
+  obs::Histogram& request_ns = obs::Registry::global().histogram(
+      obs::names::kInferenceRequestNs, obs::latency_edges_ns(),
+      "end-to-end classify() virtual latency");
+  std::uint32_t request_span =
+      obs::SpanTracer::global().intern(obs::names::kSpanInferenceRequest);
+};
+
+InferenceObs& inference_obs() {
+  static InferenceObs* o = new InferenceObs();
+  return *o;
+}
 
 tee::EnclaveImage image_for(const InferenceOptions& options) {
   return tee::EnclaveImage{
@@ -89,14 +108,20 @@ void InferenceService::charge_per_inference_overheads() {
 
 ml::Tensor InferenceService::classify(const ml::Tensor& input) {
   tee::SimStopwatch watch(platform_.clock());
-  charge_per_inference_overheads();
   ml::Tensor probs;
-  if (interpreter_) {
-    probs = interpreter_->invoke(input);
-  } else {
-    probs = session_->run1("probs", {{"input", input}});
+  {
+    obs::ScopedSpan span(obs::SpanTracer::global(), platform_.clock(),
+                         inference_obs().request_span);
+    charge_per_inference_overheads();
+    if (interpreter_) {
+      probs = interpreter_->invoke(input);
+    } else {
+      probs = session_->run1("probs", {{"input", input}});
+    }
   }
   last_latency_ms_ = watch.elapsed_ms();
+  inference_obs().requests.add();
+  inference_obs().request_ns.observe(watch.elapsed_ns());
   return probs;
 }
 

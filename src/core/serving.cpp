@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "runtime/errors.h"
 
 namespace stf::core {
+namespace {
+
+struct ServingObs {
+  obs::Counter& dispatches = obs::Registry::global().counter(
+      obs::names::kServingDispatches, "work quanta dispatched to fleet nodes");
+  obs::Counter& dispatch_failures = obs::Registry::global().counter(
+      obs::names::kServingDispatchFailures, "probes that found a node dead");
+  obs::Counter& ejections = obs::Registry::global().counter(
+      obs::names::kServingEjections, "circuit-breaker ejections");
+};
+
+ServingObs& serving_obs() {
+  static ServingObs* o = new ServingObs();
+  return *o;
+}
+
+}  // namespace
 
 ServingNode::ServingNode(const ml::lite::FlatModel& model,
                          ServingConfig config)
@@ -216,11 +235,13 @@ double ServingFleet::estimate_resilient(const ml::Tensor& image,
       if (!s.alive) {
         ++s.failures_total;
         ++s.consecutive_failures;
+        serving_obs().dispatch_failures.add();
         now_ns += detect_ns;
         if (s.probation || s.consecutive_failures >= cfg.failure_threshold) {
           s.ejected_until_ns = now_ns + cooldown_ns;
           s.probation = true;  // half-open next time: one strike re-ejects
           ++s.ejections;
+          serving_obs().ejections.add();
           s.consecutive_failures = 0;
         }
         continue;
@@ -232,6 +253,7 @@ double ServingFleet::estimate_resilient(const ml::Tensor& image,
       if (quantum <= 0) break;
       dispatched += quantum;
       s.served += quantum;
+      serving_obs().dispatches.add();
       round_s = std::max(
           round_s, static_cast<double>(quantum) * (per_image_s + per_request_s));
     }

@@ -4,10 +4,36 @@
 #include <stdexcept>
 
 #include "cas/attest_client.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "runtime/shielded_link.h"
 
 namespace stf::distributed {
 namespace {
+
+struct TrainObs {
+  obs::Counter& rounds = obs::Registry::global().counter(
+      obs::names::kTrainRounds, "synchronous training rounds completed");
+  obs::Counter& degraded_rounds = obs::Registry::global().counter(
+      obs::names::kTrainDegradedRounds, "rounds that hit the round timeout");
+  obs::Counter& lost_gradients = obs::Registry::global().counter(
+      obs::names::kTrainLostGradients, "gradients lost past the retry budget");
+  obs::Counter& worker_crashes = obs::Registry::global().counter(
+      obs::names::kTrainWorkerCrashes, "worker crash-stops injected");
+  obs::Counter& samples_processed = obs::Registry::global().counter(
+      obs::names::kTrainSamplesProcessed, "training samples consumed");
+  obs::Histogram& round_ns = obs::Registry::global().histogram(
+      obs::names::kTrainRoundNs, obs::latency_edges_ns(),
+      "per-round virtual latency on the parameter server");
+  std::uint32_t round_span =
+      obs::SpanTracer::global().intern(obs::names::kSpanTrainRound);
+};
+
+TrainObs& train_obs() {
+  static TrainObs* o = new TrainObs();
+  return *o;
+}
 
 tee::EnclaveImage worker_image(const ClusterConfig& cfg, unsigned serial) {
   return tee::EnclaveImage{
@@ -235,6 +261,7 @@ TrainStats TrainingCluster::train(const ml::Dataset& data,
   float loss_sum = 0;
 
   for (std::int64_t round = 0; round < rounds; ++round) {
+    const std::uint64_t round_start = ps_platform_->base_clock().now_ns();
     // 1. Server pushes current parameters to every worker. TensorFlow's
     //    parameter server shards push in parallel: the per-worker shield
     //    work overlaps, so the PS clock advances to the slowest push, not
@@ -315,6 +342,12 @@ TrainStats TrainingCluster::train(const ml::Dataset& data,
 
     barrier();  // synchronous SGD: everyone waits for the round to finish
     stats.samples_processed += per_round;
+    train_obs().rounds.add();
+    train_obs().samples_processed.add(static_cast<std::uint64_t>(per_round));
+    const std::uint64_t round_end = ps_platform_->base_clock().now_ns();
+    train_obs().round_ns.observe(round_end - round_start);
+    obs::SpanTracer::global().record(train_obs().round_span, round_start,
+                                     round_end);
   }
 
   const std::uint64_t end_ns = barrier();
@@ -371,6 +404,7 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
   tee::SimClock& ps_clock = ps_platform_->base_clock();
 
   for (std::int64_t round = 0; round < rounds; ++round) {
+    const std::uint64_t round_start = ps_clock.now_ns();
     const auto params =
         ml::serialize_tensor_map(master_session_->variable_snapshot());
 
@@ -431,6 +465,7 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
         w.alive = false;
         fault_plane_->crash_now(w.node);
         ++stats.worker_crashes;
+        train_obs().worker_crashes.add();
         continue;
       }
 
@@ -441,6 +476,8 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
         ++contributions;
         ++arrived;
         stats.samples_processed += config_.batch_size;
+        train_obs().samples_processed.add(
+            static_cast<std::uint64_t>(config_.batch_size));
         auto got = ml::deserialize_tensor_map(delivered);
         for (auto& [name, grad] : got) {
           auto it = sum.find(name);
@@ -462,7 +499,9 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
     if (arrived < expected) {
       ps_clock.advance(config_.faults.round_timeout_ns);
       ++stats.degraded_rounds;
+      train_obs().degraded_rounds.add();
       stats.lost_gradients += expected - arrived;
+      train_obs().lost_gradients.add(expected - arrived);
     }
     if (arrived > 0) {
       const float scale = 1.0f / static_cast<float>(arrived);
@@ -477,6 +516,11 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
     //    next round's parameters are released to them.
     ensure_workers_alive();
     stats.rounds += 1;
+    train_obs().rounds.add();
+    const std::uint64_t round_end = ps_clock.now_ns();
+    train_obs().round_ns.observe(round_end - round_start);
+    obs::SpanTracer::global().record(train_obs().round_span, round_start,
+                                     round_end);
   }
 
   const std::uint64_t end_ns = barrier();

@@ -3,8 +3,22 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+
 namespace stf::ml::kernels {
 namespace {
+
+obs::Counter& gemm_calls_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      obs::names::kKernelGemmCalls, "blocked GEMM core invocations");
+  return c;
+}
+obs::Counter& conv_calls_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      obs::names::kKernelConvCalls, "im2col conv kernel invocations");
+  return c;
+}
 
 // Blocking parameters. KC bounds the k-panel so one packed A block stays
 // cache-resident; it also fixes the accumulation association: elements with
@@ -82,6 +96,7 @@ void gemm_strided(const KernelContext& ctx, std::int64_t m, std::int64_t k,
                   std::int64_t a_cs, const float* b, std::int64_t b_rs,
                   std::int64_t b_cs, float* c) {
   if (m <= 0 || k <= 0 || n <= 0) return;
+  gemm_calls_counter().add();
   const std::int64_t num_pc = ceil_div(k, KC);
   const std::int64_t num_jt = ceil_div(n, NR);
 
@@ -295,6 +310,7 @@ ConvShape conv_shape(std::int64_t n, std::int64_t h, std::int64_t w,
 
 void conv2d_forward(const KernelContext& ctx, const ConvShape& s,
                     const float* input, const float* filter, float* out) {
+  conv_calls_counter().add();
   auto& col = col_scratch(s.out_pixels() * s.patch_size());
   im2col(ctx, s, input, col.data());
   // HWIO filter memory is already the [fh*fw*c, k] GEMM operand.
@@ -304,6 +320,7 @@ void conv2d_forward(const KernelContext& ctx, const ConvShape& s,
 void conv2d_grad_input(const KernelContext& ctx, const ConvShape& s,
                        const float* filter, const float* grad_output,
                        float* grad_input) {
+  conv_calls_counter().add();
   const std::int64_t rows = s.out_pixels();
   const std::int64_t patch = s.patch_size();
   auto& col_grad = col_scratch(rows * patch);
@@ -341,6 +358,7 @@ void conv2d_grad_input(const KernelContext& ctx, const ConvShape& s,
 void conv2d_grad_filter(const KernelContext& ctx, const ConvShape& s,
                         const float* input, const float* grad_output,
                         float* grad_filter) {
+  conv_calls_counter().add();
   const std::int64_t rows = s.out_pixels();
   const std::int64_t patch = s.patch_size();
   auto& col = col_scratch(rows * patch);

@@ -3,10 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
+
 namespace stf::ml {
 namespace {
 
 constexpr std::uint64_t kArenaInitialBytes = 1 << 20;
+
+struct SessionObs {
+  obs::Counter& runs = obs::Registry::global().counter(
+      obs::names::kSessionRuns, "forward graph executions");
+  obs::Counter& train_steps = obs::Registry::global().counter(
+      obs::names::kSessionTrainSteps, "train_step() calls");
+  obs::Counter& flops = obs::Registry::global().counter(
+      obs::names::kSessionFlops, "floating-point operations charged",
+      obs::Unit::Flops);
+  std::uint32_t gemm_span =
+      obs::SpanTracer::global().intern(obs::names::kSpanSessionGemm);
+};
+
+SessionObs& session_obs() {
+  static SessionObs* o = new SessionObs();
+  return *o;
+}
 
 bool is_parameter(OpType t) {
   return t == OpType::Const || t == OpType::Variable;
@@ -209,8 +230,20 @@ std::vector<Tensor> Session::run_internal(
         inputs.reserve(node.inputs.size());
         for (const NodeId in : node.inputs) inputs.push_back(&values.at(in));
         double flops = 0;
+        const bool is_gemm =
+            node.type == OpType::MatMul || node.type == OpType::Conv2D;
+        const std::uint64_t gemm_start =
+            is_gemm && env_ != nullptr ? env_->now_ns() : 0;
         Tensor out = eval_node(node, inputs, flops);
         charge(node, inputs, out, flops);
+        if (is_gemm && env_ != nullptr) {
+          // A 0-length interval means the environment has no clock; skip.
+          const std::uint64_t gemm_end = env_->now_ns();
+          if (gemm_end > gemm_start) {
+            obs::SpanTracer::global().record(session_obs().gemm_span,
+                                             gemm_start, gemm_end);
+          }
+        }
         last_run_flops_ += flops;
         if (tape != nullptr) {
           Tape::Record rec{.id = id, .inputs = {}, .output = out};
@@ -226,6 +259,8 @@ std::vector<Tensor> Session::run_internal(
   std::vector<Tensor> out;
   out.reserve(fetch_ids.size());
   for (const NodeId id : fetch_ids) out.push_back(values.at(id));
+  session_obs().runs.add();
+  session_obs().flops.add(static_cast<std::uint64_t>(last_run_flops_));
   return out;
 }
 
@@ -415,6 +450,7 @@ void Session::backward(const Tape& tape, const std::vector<NodeId>& order,
   }
   if (env_ != nullptr) env_->compute(flops);
   last_run_flops_ += flops;
+  session_obs().flops.add(static_cast<std::uint64_t>(flops));
 }
 
 std::map<std::string, Tensor> Session::gradients(
@@ -478,6 +514,7 @@ float Session::train_step(const std::string& loss,
                           float learning_rate) {
   const auto grads = gradients(loss, feeds);
   apply_gradients(grads, learning_rate);
+  session_obs().train_steps.add();
   return last_loss_;
 }
 

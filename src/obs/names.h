@@ -1,0 +1,114 @@
+// Canonical metric and span names of the observability plane.
+//
+// Every name the registry or the span tracer ever sees is declared here, as
+// a `constexpr` string constant, and documented in docs/METRICS.md. A CMake
+// check (cmake/check_metrics.cmake, ctest `metrics_docs_crosscheck`) parses
+// this header and the reference table and fails the build's test suite when
+// either side drifts: a name added here must be documented, a name
+// documented must exist here, and a name declared here must be used by some
+// instrumentation site outside this header. Do not pass string literals to
+// Registry/SpanTracer directly — route them through a constant below.
+//
+// Naming convention: `<subsystem>.<component>.<metric>`, lowercase,
+// underscores inside a segment, dots between segments. Counters are plural
+// nouns or `*_ns`/`*_bytes` totals; gauges are level nouns; histograms end
+// in `_ns`; span names are singular event nouns.
+#pragma once
+
+namespace stf::obs::names {
+
+// --- tee: EPC paging + enclave lifecycle (Figures 5-8, §5.3) -------------
+inline constexpr const char* kEpcFaults = "tee.epc.faults";
+inline constexpr const char* kEpcLoads = "tee.epc.loads";
+inline constexpr const char* kEpcEvictions = "tee.epc.evictions";
+inline constexpr const char* kEpcAccesses = "tee.epc.accesses";
+inline constexpr const char* kEpcBytesAccessed = "tee.epc.bytes_accessed";
+inline constexpr const char* kEpcResidentPages = "tee.epc.resident_pages";
+inline constexpr const char* kEpcMappedBytes = "tee.epc.mapped_bytes";
+inline constexpr const char* kEnclaveLaunches = "tee.enclave.launches";
+inline constexpr const char* kEnclaveTransitions = "tee.enclave.transitions";
+inline constexpr const char* kEnclaveSyscalls = "tee.enclave.syscalls";
+inline constexpr const char* kEnclaveSyscallBytes = "tee.enclave.syscall_bytes";
+
+// --- runtime: scheduler, shields, resilient RPC --------------------------
+inline constexpr const char* kSchedContextSwitches =
+    "runtime.sched.context_switches";
+inline constexpr const char* kSchedSyscalls = "runtime.sched.syscalls";
+inline constexpr const char* kSchedTransitions = "runtime.sched.transitions";
+inline constexpr const char* kSchedIdleNs = "runtime.sched.idle_ns";
+inline constexpr const char* kFsShieldWrites = "runtime.fs_shield.writes";
+inline constexpr const char* kFsShieldReads = "runtime.fs_shield.reads";
+inline constexpr const char* kFsShieldBytesSealed =
+    "runtime.fs_shield.bytes_sealed";
+inline constexpr const char* kFsShieldBytesOpened =
+    "runtime.fs_shield.bytes_opened";
+inline constexpr const char* kFsShieldIntegrityFailures =
+    "runtime.fs_shield.integrity_failures";
+inline constexpr const char* kChannelRecordsSent =
+    "runtime.channel.records_sent";
+inline constexpr const char* kChannelRecordsReceived =
+    "runtime.channel.records_received";
+inline constexpr const char* kChannelBytesSent = "runtime.channel.bytes_sent";
+inline constexpr const char* kChannelReplaysRejected =
+    "runtime.channel.replays_rejected";
+inline constexpr const char* kRpcRetransmits = "runtime.rpc.retransmits";
+inline constexpr const char* kRpcDuplicatesDropped =
+    "runtime.rpc.duplicates_dropped";
+inline constexpr const char* kRpcDelivered = "runtime.rpc.delivered";
+inline constexpr const char* kRpcAcked = "runtime.rpc.acked";
+inline constexpr const char* kRpcDeliveryNs = "runtime.rpc.delivery_ns";
+
+// --- net: simulated cluster fabric ---------------------------------------
+inline constexpr const char* kNetMessagesDelivered = "net.messages_delivered";
+inline constexpr const char* kNetBytesSent = "net.bytes_sent";
+inline constexpr const char* kNetConnectionsOpened = "net.connections_opened";
+
+// --- faults: injected weather (E7) ---------------------------------------
+inline constexpr const char* kFaultsMessagesSeen = "faults.messages_seen";
+inline constexpr const char* kFaultsDropped = "faults.dropped";
+inline constexpr const char* kFaultsDuplicated = "faults.duplicated";
+inline constexpr const char* kFaultsDelayed = "faults.delayed";
+inline constexpr const char* kFaultsCrashDropped = "faults.crash_dropped";
+inline constexpr const char* kFaultsIoFailures = "faults.io_failures";
+
+// --- ml: executor + kernels ----------------------------------------------
+inline constexpr const char* kSessionRuns = "ml.session.runs";
+inline constexpr const char* kSessionTrainSteps = "ml.session.train_steps";
+inline constexpr const char* kSessionFlops = "ml.session.flops";
+inline constexpr const char* kKernelGemmCalls = "ml.kernels.gemm_calls";
+inline constexpr const char* kKernelConvCalls = "ml.kernels.conv_calls";
+
+// --- core: inference + serving fleet (Figures 5-7) -----------------------
+inline constexpr const char* kInferenceRequests = "core.inference.requests";
+inline constexpr const char* kInferenceRequestNs =
+    "core.inference.request_ns";
+inline constexpr const char* kServingDispatches = "core.serving.dispatches";
+inline constexpr const char* kServingDispatchFailures =
+    "core.serving.dispatch_failures";
+inline constexpr const char* kServingEjections = "core.serving.ejections";
+
+// --- distributed: parameter-server training (Figure 8) -------------------
+inline constexpr const char* kTrainRounds = "distributed.rounds";
+inline constexpr const char* kTrainDegradedRounds =
+    "distributed.degraded_rounds";
+inline constexpr const char* kTrainLostGradients =
+    "distributed.lost_gradients";
+inline constexpr const char* kTrainWorkerCrashes =
+    "distributed.worker_crashes";
+inline constexpr const char* kTrainSamplesProcessed =
+    "distributed.samples_processed";
+inline constexpr const char* kTrainRoundNs = "distributed.round_ns";
+
+// --- spans (virtual-time intervals in the tracer ring) -------------------
+inline constexpr const char* kSpanEnclaveTransition = "tee.enclave.transition";
+inline constexpr const char* kSpanEpcEvict = "tee.epc.evict";
+inline constexpr const char* kSpanEpcLoad = "tee.epc.load";
+inline constexpr const char* kSpanFsShieldSeal = "runtime.fs_shield.seal";
+inline constexpr const char* kSpanFsShieldUnseal = "runtime.fs_shield.unseal";
+inline constexpr const char* kSpanSchedSyscall = "runtime.sched.syscall";
+inline constexpr const char* kSpanRpcRetry = "runtime.rpc.retry";
+inline constexpr const char* kSpanSessionGemm = "ml.session.gemm";
+inline constexpr const char* kSpanInferenceRequest = "core.inference.request";
+inline constexpr const char* kSpanTrainRound = "distributed.round";
+
+}  // namespace stf::obs::names

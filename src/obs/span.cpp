@@ -1,0 +1,88 @@
+#include "obs/span.h"
+
+namespace stf::obs {
+
+std::uint32_t SpanTracer::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::uint32_t SpanTracer::enter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_++;
+}
+
+void SpanTracer::exit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (depth_ > 0) --depth_;
+}
+
+void SpanTracer::record(std::uint32_t name_id, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint32_t depth) {
+  SpanRecord rec{name_id, depth, start_ns, end_ns};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else {
+    ring_[next_] = rec;
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+  auto& s = summaries_[name_id];
+  ++s.count;
+  const std::uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+  s.total_ns += dur;
+  if (dur > s.max_ns) s.max_ns = dur;
+}
+
+std::uint64_t SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<SpanRecord> SpanTracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: once the ring has wrapped, `next_` points at the oldest.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::map<std::string, SpanSummary> SpanTracer::summaries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, SpanSummary> out;
+  for (const auto& [id, s] : summaries_) {
+    out.emplace(names_[id], s);
+  }
+  return out;
+}
+
+std::string SpanTracer::name(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id < names_.size() ? names_[id] : std::string("?");
+}
+
+void SpanTracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+  depth_ = 0;
+  summaries_.clear();
+  // names_/ids_ survive: instrumentation sites cache intern ids in statics.
+}
+
+SpanTracer& SpanTracer::global() {
+  static SpanTracer* instance = new SpanTracer();
+  return *instance;
+}
+
+}  // namespace stf::obs

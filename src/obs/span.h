@@ -1,0 +1,124 @@
+// Virtual-time span tracer.
+//
+// A span is a named [start_ns, end_ns) interval of *virtual* time — the
+// tracer never reads a wall clock and never advances a SimClock, so tracing
+// is free in simulated time and cannot perturb any figure. Spans nest: the
+// tracer tracks open-span depth so the ring records how deep each interval
+// sat (an EPC evict span inside a GEMM span inside an inference-request
+// span shows depth 2/1/0).
+//
+// Storage is a bounded ring: when full, the oldest record is overwritten
+// and `dropped()` counts what was lost — tracing memory is O(capacity)
+// regardless of run length. Summaries (count/total/max per name) are kept
+// separately and never drop.
+//
+// Thread safety: a mutex guards record/enter/exit/snapshot. Spans are rare
+// events (transitions, evictions, requests — not per-byte work), so a
+// mutex here costs nothing measurable while keeping snapshot() trivially
+// consistent; the lock-cheap path for per-event hot counters is the
+// metrics registry, not the tracer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tee/sim_clock.h"
+
+namespace stf::obs {
+
+struct SpanRecord {
+  std::uint32_t name_id = 0;  ///< intern id; resolve via SpanTracer::name()
+  std::uint32_t depth = 0;    ///< open spans enclosing this one when it began
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Per-name aggregate that survives ring overwrites.
+struct SpanSummary {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+class SpanTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit SpanTracer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Interns `name`, returning a stable id. Call once per site (cache the
+  /// id in a static local); ids are assigned in intern order.
+  std::uint32_t intern(std::string_view name);
+
+  /// Marks a span as opened at `start_ns` and returns the depth the
+  /// matching `exit` must pass to `record`. Use ScopedSpan instead of
+  /// calling these directly unless the interval doesn't fit a C++ scope.
+  std::uint32_t enter();
+  void exit();
+
+  /// Records a finished span. `depth` is the value `enter()` returned for
+  /// it (0 for a manually recorded, non-nested interval).
+  void record(std::uint32_t name_id, std::uint64_t start_ns,
+              std::uint64_t end_ns, std::uint32_t depth = 0);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Oldest-to-newest copy of the ring.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  /// Stable-ordered (by name) aggregates over *all* recorded spans,
+  /// including ones the ring has since overwritten.
+  [[nodiscard]] std::map<std::string, SpanSummary> summaries() const;
+  [[nodiscard]] std::string name(std::uint32_t id) const;
+
+  /// New measurement epoch: clears the ring, summaries, dropped count and
+  /// depth. Interned ids stay valid (sites cache them in statics).
+  void reset();
+
+  static SpanTracer& global();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> ids_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;  ///< ring write cursor once full
+  std::uint64_t dropped_ = 0;
+  std::uint32_t depth_ = 0;
+  std::map<std::uint32_t, SpanSummary> summaries_;
+};
+
+/// RAII span over a SimClock: reads the clock at construction and
+/// destruction, records on destruction. The clock must outlive the scope.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer& tracer, const tee::SimClock& clock,
+             std::uint32_t name_id)
+      : tracer_(tracer),
+        clock_(clock),
+        name_id_(name_id),
+        start_ns_(clock.now_ns()),
+        depth_(tracer.enter()) {}
+  ~ScopedSpan() {
+    tracer_.exit();
+    tracer_.record(name_id_, start_ns_, clock_.now_ns(), depth_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTracer& tracer_;
+  const tee::SimClock& clock_;
+  std::uint32_t name_id_;
+  std::uint64_t start_ns_;
+  std::uint32_t depth_;
+};
+
+}  // namespace stf::obs

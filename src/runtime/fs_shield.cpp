@@ -3,9 +3,37 @@
 #include <stdexcept>
 
 #include "crypto/hmac.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
 
 namespace stf::runtime {
 namespace {
+
+struct ShieldObs {
+  obs::Counter& writes = obs::Registry::global().counter(
+      obs::names::kFsShieldWrites, "shielded file writes");
+  obs::Counter& reads = obs::Registry::global().counter(
+      obs::names::kFsShieldReads, "shielded file reads");
+  obs::Counter& bytes_sealed = obs::Registry::global().counter(
+      obs::names::kFsShieldBytesSealed, "plaintext bytes sealed/MACed",
+      obs::Unit::Bytes);
+  obs::Counter& bytes_opened = obs::Registry::global().counter(
+      obs::names::kFsShieldBytesOpened, "plaintext bytes opened/verified",
+      obs::Unit::Bytes);
+  obs::Counter& integrity_failures = obs::Registry::global().counter(
+      obs::names::kFsShieldIntegrityFailures,
+      "reads rejected for tamper/rollback/size mismatch");
+  std::uint32_t seal_span =
+      obs::SpanTracer::global().intern(obs::names::kSpanFsShieldSeal);
+  std::uint32_t unseal_span =
+      obs::SpanTracer::global().intern(obs::names::kSpanFsShieldUnseal);
+};
+
+ShieldObs& shield_obs() {
+  static ShieldObs* o = new ShieldObs();
+  return *o;
+}
 
 crypto::Bytes chunk_aad(const std::string& path, std::uint64_t generation,
                         std::uint64_t chunk_index, std::uint64_t file_size) {
@@ -72,11 +100,18 @@ void FsShield::write(const std::string& path, crypto::BytesView data) {
       host_.write(path, crypto::Bytes(data.begin(), data.end()));
       return;
     case ShieldPolicy::Authenticate:
-      write_authenticated(path, data, generation);
+    case ShieldPolicy::Encrypt: {
+      shield_obs().writes.add();
+      shield_obs().bytes_sealed.add(data.size());
+      obs::ScopedSpan span(obs::SpanTracer::global(), clock_,
+                           shield_obs().seal_span);
+      if (policy == ShieldPolicy::Authenticate) {
+        write_authenticated(path, data, generation);
+      } else {
+        write_encrypted(path, data, generation);
+      }
       return;
-    case ShieldPolicy::Encrypt:
-      write_encrypted(path, data, generation);
-      return;
+    }
   }
 }
 
@@ -159,17 +194,27 @@ crypto::Bytes FsShield::read(const std::string& path) {
   switch (policy) {
     case ShieldPolicy::Passthrough:
       return *raw;
-    case ShieldPolicy::Authenticate: {
-      if (meta_it == meta_.end()) {
-        throw SecurityError("fs shield: no freshness record for " + path);
-      }
-      return read_authenticated(path, *raw, meta_it->second);
-    }
+    case ShieldPolicy::Authenticate:
     case ShieldPolicy::Encrypt: {
-      if (meta_it == meta_.end()) {
-        throw SecurityError("fs shield: no freshness record for " + path);
+      shield_obs().reads.add();
+      try {
+        crypto::Bytes plaintext;
+        {
+          obs::ScopedSpan span(obs::SpanTracer::global(), clock_,
+                               shield_obs().unseal_span);
+          if (meta_it == meta_.end()) {
+            throw SecurityError("fs shield: no freshness record for " + path);
+          }
+          plaintext = policy == ShieldPolicy::Authenticate
+                          ? read_authenticated(path, *raw, meta_it->second)
+                          : read_encrypted(path, *raw, meta_it->second);
+        }
+        shield_obs().bytes_opened.add(plaintext.size());
+        return plaintext;
+      } catch (const SecurityError&) {
+        shield_obs().integrity_failures.add();
+        throw;
       }
-      return read_encrypted(path, *raw, meta_it->second);
     }
   }
   throw std::logic_error("unreachable");

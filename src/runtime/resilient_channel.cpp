@@ -3,9 +3,34 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
+
 namespace stf::runtime {
 
 namespace {
+
+struct RpcObs {
+  obs::Counter& retransmits = obs::Registry::global().counter(
+      obs::names::kRpcRetransmits, "frames retransmitted after timeout");
+  obs::Counter& duplicates_dropped = obs::Registry::global().counter(
+      obs::names::kRpcDuplicatesDropped, "re-delivered frames suppressed");
+  obs::Counter& delivered = obs::Registry::global().counter(
+      obs::names::kRpcDelivered, "messages delivered exactly once");
+  obs::Counter& acked = obs::Registry::global().counter(
+      obs::names::kRpcAcked, "outstanding messages settled by an ack");
+  obs::Histogram& delivery_ns = obs::Registry::global().histogram(
+      obs::names::kRpcDeliveryNs, obs::latency_edges_ns(),
+      "end-to-end deliver() latency including retries");
+  std::uint32_t retry_span =
+      obs::SpanTracer::global().intern(obs::names::kSpanRpcRetry);
+};
+
+RpcObs& rpc_obs() {
+  static RpcObs* o = new RpcObs();
+  return *o;
+}
 constexpr std::uint8_t kFrameData = 0;
 constexpr std::uint8_t kFrameAck = 1;
 constexpr std::size_t kFrameHeader = 1 + 8;  // type + message id
@@ -85,6 +110,7 @@ std::optional<crypto::Bytes> ResilientChannel::poll() {
       if (outstanding_.has_value() && outstanding_->id == id) {
         outstanding_.reset();
         ++acked_;
+        rpc_obs().acked.add();
       }
       // Stale acks (for an id we already settled) are harmless.
       continue;
@@ -97,12 +123,14 @@ std::optional<crypto::Bytes> ResilientChannel::poll() {
       // lost. Re-ack so the sender can settle; do NOT deliver again —
       // message ids make retries idempotent.
       ++duplicates_dropped_;
+      rpc_obs().duplicates_dropped.add();
       send_ack(id);
       continue;
     }
     last_delivered_id_ = id;
     send_ack(id);
     ++delivered_;
+    rpc_obs().delivered.add();
     return crypto::Bytes(raw->begin() + kFrameHeader, raw->end());
   }
 }
@@ -115,6 +143,7 @@ bool ResilientChannel::backoff_and_retransmit() {
   }
   // Sleep (in virtual time) until the deadline, then retransmit. The
   // deadline was jittered when armed, so concurrent retriers decorrelate.
+  const std::uint64_t retry_start = clock_->now_ns();
   const std::uint64_t waited =
       outstanding_->deadline_ns > clock_->now_ns()
           ? outstanding_->deadline_ns - clock_->now_ns()
@@ -123,14 +152,18 @@ bool ResilientChannel::backoff_and_retransmit() {
   backoff_history_.push_back(waited);
   channel_.send(outstanding_->frame);
   ++retransmits_;
+  rpc_obs().retransmits.add();
   ++outstanding_->attempt;
   arm_deadline();
+  obs::SpanTracer::global().record(rpc_obs().retry_span, retry_start,
+                                   clock_->now_ns());
   return true;
 }
 
 crypto::Bytes ResilientChannel::deliver(ResilientChannel& from,
                                         ResilientChannel& to,
                                         crypto::BytesView payload) {
+  const std::uint64_t deliver_start = from.clock_->now_ns();
   from.post(payload);
   std::optional<crypto::Bytes> got;
   while (true) {
@@ -146,6 +179,7 @@ crypto::Bytes ResilientChannel::deliver(ResilientChannel& from,
         // cannot happen under stop-and-wait; defensive.
         throw TransientError("resilient channel: acked without delivery");
       }
+      rpc_obs().delivery_ns.observe(from.clock_->now_ns() - deliver_start);
       return std::move(*got);
     }
     if (!from.backoff_and_retransmit()) {

@@ -3,9 +3,34 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "tee/platform.h"
 
 namespace stf::runtime {
+namespace {
+
+struct SchedObs {
+  obs::Counter& context_switches = obs::Registry::global().counter(
+      obs::names::kSchedContextSwitches, "user-level thread switches");
+  obs::Counter& syscalls = obs::Registry::global().counter(
+      obs::names::kSchedSyscalls, "syscall steps executed by the scheduler");
+  obs::Counter& transitions = obs::Registry::global().counter(
+      obs::names::kSchedTransitions, "synchronous enclave exits taken");
+  obs::Counter& idle_ns = obs::Registry::global().counter(
+      obs::names::kSchedIdleNs, "virtual time all tasks were blocked",
+      obs::Unit::Nanoseconds);
+  std::uint32_t syscall_span =
+      obs::SpanTracer::global().intern(obs::names::kSpanSchedSyscall);
+};
+
+SchedObs& sched_obs() {
+  static SchedObs* o = new SchedObs();
+  return *o;
+}
+
+}  // namespace
 
 UserScheduler::UserScheduler(tee::Enclave& enclave, bool async_syscalls)
     : enclave_(enclave), async_syscalls_(async_syscalls) {}
@@ -46,12 +71,14 @@ std::uint64_t UserScheduler::run() {
         if (!t.done) wake = std::min(wake, t.ready_at_ns);
       }
       stats_.idle_ns += wake - clock.now_ns();
+      sched_obs().idle_ns.add(wake - clock.now_ns());
       clock.advance_to(wake);
       continue;
     }
 
     if (last_run != picked_index && last_run != -1) {
       ++stats_.context_switches;
+      sched_obs().context_switches.add();
       enclave_.charge_uthread_switch();
     }
     last_run = picked_index;
@@ -64,16 +91,26 @@ std::uint64_t UserScheduler::run() {
         enclave_.compute(c->flops);
       } else if (const auto* s = std::get_if<SyscallStep>(&step)) {
         ++stats_.syscalls;
+        sched_obs().syscalls.add();
+        const std::uint64_t call_start = clock.now_ns();
         clock.advance(model.dram_ns(s->bytes));  // argument copy
         if (async_syscalls_) {
           // Enqueue and block; the kernel work overlaps with other tasks.
           clock.advance(model.async_syscall_ns);
           picked->ready_at_ns = clock.now_ns() + model.syscall_kernel_ns;
           keep_running = false;
+          // The round trip ends when the kernel part completes, even though
+          // this lane has moved on (exit-less call: span covers the request's
+          // life, not enclave occupancy).
+          obs::SpanTracer::global().record(sched_obs().syscall_span,
+                                           call_start, picked->ready_at_ns);
         } else {
           // Synchronous exit: the whole call serializes on this thread.
           ++stats_.transitions;
+          sched_obs().transitions.add();
           clock.advance(model.transition_ns + model.syscall_kernel_ns);
+          obs::SpanTracer::global().record(sched_obs().syscall_span,
+                                           call_start, clock.now_ns());
         }
       } else {
         keep_running = false;  // YieldStep

@@ -73,6 +73,9 @@ class Enclave {
 
   [[nodiscard]] std::uint64_t syscall_count() const { return syscall_count_; }
 
+  /// Virtual time of the platform clock this enclave charges into.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
   /// The region that pins the enclave binary in the EPC.
   [[nodiscard]] RegionId binary_region() const { return binary_region_; }
 
@@ -113,6 +116,9 @@ class EnclaveEnv final : public MemoryEnv {
     enclave_.access(region, offset, len, write);
   }
   void compute(double flops) override { enclave_.compute(flops); }
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return enclave_.now_ns();
+  }
 
  private:
   Enclave& enclave_;

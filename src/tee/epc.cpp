@@ -2,10 +2,33 @@
 
 #include <stdexcept>
 
+#include "obs/names.h"
+
 namespace stf::tee {
 
 EpcManager::EpcManager(const CostModel& model, bool limited)
-    : model_(model), limited_(limited), capacity_pages_(model.epc_pages()) {
+    : model_(model),
+      limited_(limited),
+      capacity_pages_(model.epc_pages()),
+      obs_faults_(obs::Registry::global().counter(
+          obs::names::kEpcFaults, "EPC page faults (absent on access)")),
+      obs_loads_(obs::Registry::global().counter(
+          obs::names::kEpcLoads, "pages brought into EPC (ELDU)")),
+      obs_evictions_(obs::Registry::global().counter(
+          obs::names::kEpcEvictions, "pages pushed out of EPC (EWB)")),
+      obs_accesses_(obs::Registry::global().counter(obs::names::kEpcAccesses,
+                                                    "EPC access() calls")),
+      obs_bytes_accessed_(obs::Registry::global().counter(
+          obs::names::kEpcBytesAccessed, "bytes crossing the EPC boundary",
+          obs::Unit::Bytes)),
+      obs_resident_pages_(obs::Registry::global().gauge(
+          obs::names::kEpcResidentPages, "live resident EPC pages",
+          obs::Unit::Pages)),
+      obs_mapped_bytes_(obs::Registry::global().gauge(
+          obs::names::kEpcMappedBytes, "bytes of mapped enclave regions",
+          obs::Unit::Bytes)),
+      span_evict_id_(obs::SpanTracer::global().intern(obs::names::kSpanEpcEvict)),
+      span_load_id_(obs::SpanTracer::global().intern(obs::names::kSpanEpcLoad)) {
   if (capacity_pages_ == 0) {
     throw std::invalid_argument("EpcManager: EPC must hold at least one page");
   }
@@ -27,6 +50,7 @@ RegionId EpcManager::map_region(std::string label, std::uint64_t bytes) {
   region.bytes = bytes;
   region.pages.resize(page_count);
   mapped_bytes_ += bytes;
+  obs_mapped_bytes_.add(static_cast<std::int64_t>(bytes));
   const RegionId id = next_id_++;
   regions_.emplace(id, std::move(region));
   return id;
@@ -35,6 +59,7 @@ RegionId EpcManager::map_region(std::string label, std::uint64_t bytes) {
 void EpcManager::unmap_region(RegionId id) {
   auto it = regions_.find(id);
   if (it == regions_.end()) return;
+  const std::uint64_t resident_before = resident_count_;
   for (std::uint32_t p = 0; p < it->second.pages.size(); ++p) {
     Page& page = it->second.pages[p];
     if (!page.resident) continue;
@@ -50,7 +75,10 @@ void EpcManager::unmap_region(RegionId id) {
     page.resident = false;
   }
   stats_.resident_pages = resident_count_;
+  obs_resident_pages_.sub(
+      static_cast<std::int64_t>(resident_before - resident_count_));
   mapped_bytes_ -= it->second.bytes;
+  obs_mapped_bytes_.sub(static_cast<std::int64_t>(it->second.bytes));
   regions_.erase(it);
 }
 
@@ -74,12 +102,17 @@ void EpcManager::evict_one(SimClock& clock) {
 
   --resident_count_;
   ++stats_.evictions;
+  obs_evictions_.add();
+  obs_resident_pages_.sub(1);
+  const std::uint64_t start = clock.now_ns();
   clock.advance(model_.page_evict_ns);
+  obs::SpanTracer::global().record(span_evict_id_, start, clock.now_ns());
 }
 
 void EpcManager::fault_in(Region& region, RegionId id, std::uint32_t page_index,
                           SimClock& clock) {
   ++stats_.faults;
+  obs_faults_.add();
   clock.advance(model_.page_fault_ns);
   while (resident_count_ >= capacity_pages_) evict_one(clock);
   Page& page = region.pages[page_index];
@@ -89,7 +122,11 @@ void EpcManager::fault_in(Region& region, RegionId id, std::uint32_t page_index,
   ++region.resident;
   ++resident_count_;
   ++stats_.loads;
+  obs_loads_.add();
+  obs_resident_pages_.add(1);
+  const std::uint64_t start = clock.now_ns();
   clock.advance(model_.page_load_ns);
+  obs::SpanTracer::global().record(span_load_id_, start, clock.now_ns());
 }
 
 void EpcManager::access(RegionId id, std::uint64_t offset, std::uint64_t len,
@@ -107,6 +144,8 @@ void EpcManager::access(RegionId id, std::uint64_t offset, std::uint64_t len,
 
   ++stats_.accesses;
   stats_.bytes_accessed += len;
+  obs_accesses_.add();
+  obs_bytes_accessed_.add(len);
 
   if (!limited_) return;  // SIM mode: runtime active, but no EPC boundary
 

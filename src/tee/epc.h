@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "tee/cost_model.h"
 #include "tee/sim_clock.h"
 
@@ -58,8 +60,22 @@ class EpcManager {
   /// Touches an entire region (e.g. initial load of a model file).
   void access_all(RegionId id, bool write, SimClock& clock);
 
+  /// Per-instance view of this manager's activity. The same events also
+  /// feed the process-wide obs::Registry (tee.epc.* series, aggregated
+  /// across all managers); see docs/METRICS.md.
   [[nodiscard]] const EpcStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = EpcStats{.resident_pages = resident_count_}; }
+
+  /// Starts a new measurement epoch for the *flow* fields (faults, loads,
+  /// evictions, accesses, bytes_accessed → zero) while re-seeding the one
+  /// *level* field (resident_pages) from live residency — pages do not
+  /// leave the EPC because an observer reset a window. Mirrors
+  /// obs::Registry::reset() semantics: counters zero, gauges persist.
+  /// (The global tee.epc.* registry series are intentionally untouched:
+  /// per-instance windows and the process-wide plane reset independently.)
+  void reset_stats() {
+    stats_ = EpcStats{};
+    stats_.resident_pages = resident_count_;
+  }
 
   [[nodiscard]] std::uint64_t capacity_pages() const { return capacity_pages_; }
   [[nodiscard]] std::uint64_t resident_pages() const { return resident_count_; }
@@ -97,6 +113,19 @@ class EpcManager {
   std::vector<std::pair<RegionId, std::uint32_t>> resident_list_;
   std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
   EpcStats stats_;
+
+  // Global-plane handles, resolved once in the ctor (registry references
+  // stay valid forever). Gauges carry level deltas so concurrent managers
+  // aggregate instead of clobbering each other.
+  obs::Counter& obs_faults_;
+  obs::Counter& obs_loads_;
+  obs::Counter& obs_evictions_;
+  obs::Counter& obs_accesses_;
+  obs::Counter& obs_bytes_accessed_;
+  obs::Gauge& obs_resident_pages_;
+  obs::Gauge& obs_mapped_bytes_;
+  std::uint32_t span_evict_id_;
+  std::uint32_t span_load_id_;
 };
 
 }  // namespace stf::tee

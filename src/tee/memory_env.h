@@ -28,6 +28,12 @@ class MemoryEnv {
 
   /// Reports `flops` floating-point operations of compute.
   virtual void compute(double flops) = 0;
+
+  /// Current virtual time of the clock this environment charges into, for
+  /// observability (span endpoints). Environments without a clock return 0;
+  /// callers must treat 0-duration spans as "no timing available" and skip
+  /// recording them.
+  [[nodiscard]] virtual std::uint64_t now_ns() const { return 0; }
 };
 
 /// Environment used by native (untrusted) execution: charges baseline

@@ -83,6 +83,9 @@ class NativeEnv final : public MemoryEnv {
   void compute(double flops) override {
     clock_->advance(model_.compute_ns(flops));
   }
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return clock_->now_ns();
+  }
 
   void set_clock(SimClock& clock) { clock_ = &clock; }
 

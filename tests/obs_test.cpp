@@ -1,0 +1,328 @@
+// Tests for the stf::obs observability plane.
+//
+// The load-bearing invariants, in order of importance:
+//  1. Determinism: two identical seeded runs of an instrumented workload
+//     produce byte-identical registry JSON exports, and instrumentation
+//     does not move any SimClock (virtual-time figures are unchanged).
+//  2. Reset semantics: Registry::reset() zeros flow metrics (counters,
+//     histograms) and leaves level metrics (gauges) alone; the same
+//     contract holds for the repaired EpcStats::reset_stats().
+//  3. Bounded tracing: the span ring overwrites oldest-first and counts
+//     drops; summaries never drop.
+//  4. Thread safety: concurrent increments lose no updates (tsan-labeled).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
+#include "tee/cost_model.h"
+#include "tee/epc.h"
+#include "tee/platform.h"
+
+namespace stf {
+namespace {
+
+// --- registry basics ------------------------------------------------------
+
+TEST(ObsRegistry, CounterGetOrCreateReturnsSameInstance) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("t.c", "help");
+  obs::Counter& b = reg.counter("t.c");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add();
+  EXPECT_EQ(a.value(), 4u);
+}
+
+TEST(ObsRegistry, VisitIsLexicographicallyOrdered) {
+  obs::Registry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(1);
+  reg.counter("m.middle").add(1);
+  std::vector<std::string> order;
+  reg.visit_counters([&](const std::string& name, const obs::MetricInfo&,
+                         const obs::Counter&) { order.push_back(name); });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "a.first");
+  EXPECT_EQ(order[1], "m.middle");
+  EXPECT_EQ(order[2], "z.last");
+}
+
+TEST(ObsRegistry, ResetZerosFlowMetricsButKeepsGauges) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("t.flow");
+  obs::Gauge& g = reg.gauge("t.level");
+  obs::Histogram& h = reg.histogram("t.h_ns", {10, 100});
+  c.add(7);
+  g.set(42);
+  h.observe(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u) << "counters are flow metrics: reset zeroes them";
+  EXPECT_EQ(g.value(), 42) << "gauges are level metrics: reset keeps them";
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+  // Handles stay valid and usable after reset.
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// --- histogram edges ------------------------------------------------------
+
+TEST(ObsHistogram, BucketEdgesAreInclusiveUpperBounds) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("t.edges_ns", {10, 100, 1000});
+  h.observe(0);     // <= 10            -> bucket 0
+  h.observe(10);    // <= 10 (le edge)  -> bucket 0
+  h.observe(11);    // <= 100           -> bucket 1
+  h.observe(100);   // <= 100           -> bucket 1
+  h.observe(1000);  // <= 1000          -> bucket 2
+  h.observe(1001);  // overflow         -> bucket 3
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u) << "implicit overflow bucket";
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 1000 + 1001);
+}
+
+TEST(ObsHistogram, ReRegistrationWithDifferentEdgesThrows) {
+  obs::Registry reg;
+  reg.histogram("t.h_ns", {10, 100});
+  EXPECT_NO_THROW(reg.histogram("t.h_ns", {10, 100}));
+  EXPECT_THROW(reg.histogram("t.h_ns", {10, 200}), std::logic_error);
+  EXPECT_THROW(reg.histogram("t.bad", {}), std::logic_error);
+  EXPECT_THROW(reg.histogram("t.bad2", {100, 10}), std::logic_error);
+}
+
+TEST(ObsHistogram, SharedLatencyEdgesSpanMicrosecondsToSeconds) {
+  const auto edges = obs::latency_edges_ns();
+  ASSERT_FALSE(edges.empty());
+  EXPECT_EQ(edges.front(), 1'000u);            // 1 µs
+  EXPECT_EQ(edges.back(), 100'000'000'000u);   // 100 s
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i], edges[i - 1] * 10) << "decade spacing";
+  }
+}
+
+// --- span tracer ----------------------------------------------------------
+
+TEST(ObsSpans, RingOverflowOverwritesOldestAndCountsDrops) {
+  obs::SpanTracer tracer(/*capacity=*/4);
+  const std::uint32_t id = tracer.intern("t.span");
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.record(id, i * 100, i * 100 + 50);
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest-to-newest: records 6..9 survive.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].start_ns, (6 + i) * 100);
+  }
+  // Summaries never drop.
+  const auto sums = tracer.summaries();
+  ASSERT_EQ(sums.count("t.span"), 1u);
+  EXPECT_EQ(sums.at("t.span").count, 10u);
+  EXPECT_EQ(sums.at("t.span").total_ns, 10u * 50u);
+  EXPECT_EQ(sums.at("t.span").max_ns, 50u);
+}
+
+TEST(ObsSpans, ScopedSpansRecordNestingDepth) {
+  obs::SpanTracer tracer;
+  tee::SimClock clock;
+  const std::uint32_t outer = tracer.intern("t.outer");
+  const std::uint32_t inner = tracer.intern("t.inner");
+  {
+    obs::ScopedSpan a(tracer, clock, outer);
+    clock.advance(100);
+    {
+      obs::ScopedSpan b(tracer, clock, inner);
+      clock.advance(10);
+    }
+    clock.advance(100);
+  }
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // Inner closes first (ring order is completion order).
+  EXPECT_EQ(tracer.name(snap[0].name_id), "t.inner");
+  EXPECT_EQ(snap[0].depth, 1u);
+  EXPECT_EQ(snap[0].end_ns - snap[0].start_ns, 10u);
+  EXPECT_EQ(tracer.name(snap[1].name_id), "t.outer");
+  EXPECT_EQ(snap[1].depth, 0u);
+  EXPECT_EQ(snap[1].end_ns - snap[1].start_ns, 210u);
+}
+
+TEST(ObsSpans, ResetClearsRecordsButKeepsInternedIds) {
+  obs::SpanTracer tracer;
+  const std::uint32_t id = tracer.intern("t.span");
+  tracer.record(id, 0, 5);
+  tracer.reset();
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.summaries().empty());
+  EXPECT_EQ(tracer.intern("t.span"), id) << "ids survive reset";
+  EXPECT_EQ(tracer.name(id), "t.span");
+}
+
+// --- export ---------------------------------------------------------------
+
+TEST(ObsExport, JsonIsStableAcrossIdenticalSequences) {
+  auto run = [] {
+    obs::Registry reg;
+    reg.counter("b.second", "h", obs::Unit::Bytes).add(2);
+    reg.counter("a.first").add(1);
+    reg.gauge("g.level", "", obs::Unit::Pages).set(-3);
+    obs::Histogram& h = reg.histogram("h.lat_ns", {10, 100});
+    h.observe(7);
+    h.observe(1000);
+    obs::SpanTracer tracer;
+    tracer.record(tracer.intern("s.x"), 5, 25);
+    return obs::export_json(reg, &tracer);
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second) << "export must be a pure function of the data";
+  // Spot-check shape: ordered keys, integer values, span summary present.
+  EXPECT_LT(first.find("\"a.first\""), first.find("\"b.second\""));
+  EXPECT_NE(first.find("\"value\": 2"), std::string::npos);
+  EXPECT_NE(first.find("\"value\": -3"), std::string::npos);
+  EXPECT_NE(first.find("{\"le\": \"inf\", \"count\": 1}"), std::string::npos);
+  EXPECT_NE(first.find("\"s.x\": {\"count\": 1, \"total_ns\": 20, "
+                       "\"max_ns\": 20}"),
+            std::string::npos);
+}
+
+// Two identical seeded runs of a real instrumented workload: the process-
+// wide export must come out byte-identical, and instrumentation must charge
+// zero virtual time of its own.
+TEST(ObsExport, SeededWorkloadExportIsByteIdentical) {
+  auto workload = [] {
+    obs::Registry::global().reset();
+    obs::SpanTracer::global().reset();
+    tee::CostModel model;
+    model.epc_bytes = 64 * model.page_size;  // tiny EPC: force paging
+    tee::Platform platform("node", tee::TeeMode::Hardware, model);
+    auto enclave = platform.launch_enclave(tee::EnclaveImage{
+        .name = "wl", .content = crypto::to_bytes("wl"), .binary_bytes = 1});
+    const auto region =
+        enclave->alloc_region("data", 128 * model.page_size);
+    for (int pass = 0; pass < 3; ++pass) {
+      enclave->access(region, 0, 128 * model.page_size, pass == 0);
+      enclave->charge_transition();
+      enclave->syscall(256, /*asynchronous=*/false);
+    }
+    enclave->release_region(region);
+    const std::uint64_t elapsed = platform.clock().now_ns();
+    enclave.reset();
+    return std::pair{elapsed, obs::export_json(obs::Registry::global(),
+                                               &obs::SpanTracer::global())};
+  };
+  const auto [time_a, json_a] = workload();
+  const auto [time_b, json_b] = workload();
+  EXPECT_EQ(time_a, time_b) << "virtual time must not depend on telemetry";
+  EXPECT_EQ(json_a, json_b) << "registry export must be byte-identical";
+  EXPECT_NE(json_a.find(obs::names::kEpcFaults), std::string::npos);
+  EXPECT_NE(json_a.find(obs::names::kSpanEnclaveTransition),
+            std::string::npos);
+}
+
+// --- the EpcStats::reset_stats contract (fixed in this PR) ---------------
+
+TEST(ObsEpcStats, ResetZerosFlowFieldsAndReseedsResidency) {
+  tee::CostModel model;
+  tee::SimClock clock;
+  tee::EpcManager epc(model, /*limited=*/true);
+  const auto region = epc.map_region("r", 8 * model.page_size);
+  epc.access(region, 0, 8 * model.page_size, true, clock);
+  const auto& before = epc.stats();
+  EXPECT_EQ(before.faults, 8u);
+  EXPECT_EQ(before.loads, 8u);
+  EXPECT_EQ(before.accesses, 1u);
+  EXPECT_EQ(before.resident_pages, 8u);
+
+  epc.reset_stats();
+  const auto& after = epc.stats();
+  EXPECT_EQ(after.faults, 0u) << "flow field: zeroed";
+  EXPECT_EQ(after.loads, 0u) << "flow field: zeroed";
+  EXPECT_EQ(after.evictions, 0u) << "flow field: zeroed";
+  EXPECT_EQ(after.accesses, 0u) << "flow field: zeroed";
+  EXPECT_EQ(after.bytes_accessed, 0u) << "flow field: zeroed";
+  EXPECT_EQ(after.resident_pages, 8u)
+      << "level field: re-seeded from live residency, pages did not move";
+  EXPECT_EQ(epc.resident_pages(), 8u);
+}
+
+// --- concurrency (tsan target) -------------------------------------------
+
+TEST(ObsConcurrency, ConcurrentIncrementsLoseNoUpdates) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("t.hot");
+  obs::Gauge& g = reg.gauge("t.level");
+  obs::Histogram& h = reg.histogram("t.lat_ns", obs::latency_edges_ns());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1);
+        h.observe(static_cast<std::uint64_t>(t) * 1'000 + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(g.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsConcurrency, RegistrationRacesResolveToOneMetric) {
+  obs::Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<obs::Counter*> seen(kThreads, nullptr);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::Counter& c = reg.counter("t.raced");
+      seen[static_cast<std::size_t>(t)] = &c;
+      c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(ObsConcurrency, TracerRecordsConcurrentlyWithoutCorruption) {
+  obs::SpanTracer tracer(/*capacity=*/64);
+  const std::uint32_t id = tracer.intern("t.par");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) tracer.record(id, 0, 10);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto sums = tracer.summaries();
+  EXPECT_EQ(sums.at("t.par").count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.snapshot().size(), 64u);
+  EXPECT_EQ(tracer.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread - 64u);
+}
+
+}  // namespace
+}  // namespace stf
