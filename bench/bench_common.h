@@ -18,7 +18,9 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 
 namespace stf::bench {
 
@@ -44,29 +46,67 @@ inline std::string registry_json() {
   return obs::export_json(obs::Registry::global(), &obs::SpanTracer::global());
 }
 
-/// Appends `"registry": {...}` (comma-terminated by the caller's layout:
-/// call between the last figure section's "],\n" and the closing "}").
-/// Re-indents the export two spaces so it nests as an object member.
-inline void fprint_registry_section(std::FILE* out) {
-  const std::string json = registry_json();
-  std::string indented = "  \"registry\": ";
-  for (std::size_t i = 0; i < json.size(); ++i) {
-    const char c = json[i];
-    indented.push_back(c);
-    // Indent every line except the last (the export ends in '\n').
-    if (c == '\n' && i + 1 < json.size()) indented += "  ";
-  }
-  std::fputs(indented.c_str(), out);
+/// The process-wide cost-attribution export (empty object when profiling
+/// stayed disabled for the run — still byte-deterministic).
+inline std::string profile_json() {
+  return obs::export_profile_json(obs::AttributionStore::global());
 }
 
-/// Writes the bare registry export to `path` (e.g. "BENCH_x.registry.json").
+namespace detail {
+
+/// Renders `"name": <json>` re-indented two spaces so a top-level export
+/// nests as an object member; the export's trailing newline is dropped so
+/// callers control the separator.
+inline std::string indent_member(const char* name, const std::string& json) {
+  std::string indented = std::string("  \"") + name + "\": ";
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '\n' && i + 1 == json.size()) break;  // exports end in '\n'
+    indented.push_back(c);
+    if (c == '\n') indented += "  ";
+  }
+  return indented;
+}
+
+}  // namespace detail
+
+/// Appends `"registry": {...},\n"profile": {...}\n` (call between the last
+/// figure section's "],\n" and the closing "}"). Every BENCH_*.json thus
+/// carries both the metric registry and the cost-attribution table, which is
+/// what tools/bench_compare diffs against bench/baselines/.
+inline void fprint_registry_section(std::FILE* out) {
+  const std::string block = detail::indent_member("registry", registry_json()) +
+                            ",\n" +
+                            detail::indent_member("profile", profile_json()) +
+                            "\n";
+  std::fputs(block.c_str(), out);
+}
+
+/// Writes `{"registry": {...}, "profile": {...}}` to `path` (e.g.
+/// "BENCH_x.registry.json") — same payload shape bench_compare expects.
 inline void write_registry_json(const std::string& path) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  const std::string json = registry_json();
+  std::fputs("{\n", out);
+  fprint_registry_section(out);
+  std::fputs("}\n", out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Writes the Chrome trace-event export (spans + attribution rows) to
+/// `path`; load it at chrome://tracing or https://ui.perfetto.dev.
+inline void write_trace_json(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = obs::export_chrome_trace(
+      obs::SpanTracer::global(), &obs::AttributionStore::global());
   std::fwrite(json.data(), 1, json.size(), out);
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());

@@ -7,12 +7,17 @@
 #         -DSOURCE_DIR=. -P cmake/check_metrics.cmake
 #
 # Three invariants, each fatal on violation:
-#   1. Every dotted name declared in src/obs/names.h appears as a backticked
+#   1. Every name constant declared in src/obs/names.h — metric, span, and
+#      profile-category (`kCat*`) names alike — appears as a backticked
 #      table entry in docs/METRICS.md (no undocumented telemetry).
 #   2. Every backticked dotted name in a docs/METRICS.md table row is
 #      declared in src/obs/names.h (no phantom documentation).
 #   3. Every `k*` constant in names.h is referenced (as `names::k*`) by at
 #      least one file under src/ other than names.h itself (no dead names).
+#
+# Declared names are parsed from the `k... = "value"` declaration pairs, not
+# from bare quoted strings, so every constant's value is covered exactly and
+# strings in comments don't count.
 
 cmake_minimum_required(VERSION 3.21)  # script mode: pin policies (IN_LIST)
 
@@ -31,13 +36,17 @@ endif()
 
 # --- 1+2: the name sets ----------------------------------------------------
 
-# Declared names: every quoted dotted lowercase string in the header.
+# Declared names: the string value of every `k... = "..."` constant in the
+# header (metric names, span names, profile category names).
 file(READ "${NAMES_HEADER}" header_text)
-string(REGEX MATCHALL "\"[a-z0-9_]+(\\.[a-z0-9_]+)+\"" quoted_names
-       "${header_text}")
+string(REGEX MATCHALL "k[A-Z][A-Za-z0-9]*[ \t\r\n]*=[ \t\r\n]*\"[^\"]+\""
+       decl_pairs "${header_text}")
 set(declared "")
-foreach(quoted IN LISTS quoted_names)
-  string(REGEX REPLACE "\"" "" name "${quoted}")
+foreach(pair IN LISTS decl_pairs)
+  # REGEX REPLACE substitutes globally (and re-anchors ^ after each hit),
+  # so extract the quoted value with MATCH and strip its delimiters.
+  string(REGEX MATCH "\"[^\"]+\"" name "${pair}")
+  string(REGEX REPLACE "\"" "" name "${name}")
   list(APPEND declared "${name}")
 endforeach()
 list(REMOVE_DUPLICATES declared)

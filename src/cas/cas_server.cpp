@@ -91,7 +91,10 @@ ServeResult CasServer::serve_one(
   if (!quote.has_value()) return reject("malformed quote");
 
   // 4. Verification: signature, freshness, channel binding, policy.
-  platform_.clock().advance(platform_.model().cas_quote_verify_ns);
+  {
+    obs::ScopedCategory attribution(obs::Category::kCrypto);
+    platform_.clock().advance(platform_.model().cas_quote_verify_ns);
+  }
   if (!authority_.verify(*quote, nonce)) {
     return reject("quote verification failed (bad platform or stale nonce)");
   }

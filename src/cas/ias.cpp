@@ -1,5 +1,7 @@
 #include "cas/ias.h"
 
+#include "obs/profile.h"
+
 namespace stf::cas {
 
 bool IasVerifier::verify(const tee::Quote& quote,
@@ -8,16 +10,29 @@ bool IasVerifier::verify(const tee::Quote& quote,
                          tee::SimClock& client_clock) const {
   // TLS session to IAS + quote upload. EPID verification also needs the
   // current signature revocation list (a separate WAN exchange).
-  client_clock.advance(model_.wan_rtt_ns);               // connection setup
-  client_clock.advance(model_.wan_rtt_ns);               // sigRL retrieval
-  client_clock.advance(model_.tls_handshake_ns);
-  client_clock.advance(model_.wan_transfer_ns(quote_bytes));
+  {
+    obs::ScopedCategory attribution(obs::Category::kNet);
+    client_clock.advance(model_.wan_rtt_ns);             // connection setup
+    client_clock.advance(model_.wan_rtt_ns);             // sigRL retrieval
+  }
+  {
+    obs::ScopedCategory attribution(obs::Category::kCrypto);
+    client_clock.advance(model_.tls_handshake_ns);
+  }
+  {
+    obs::ScopedCategory attribution(obs::Category::kNet);
+    client_clock.advance(model_.wan_transfer_ns(quote_bytes));
+  }
+  obs::ScopedCategory attribution(obs::Category::kCrypto);
   // Intel-side EPID group-signature verification and report signing is the
   // dominant term the paper measures (~280 ms including the WAN legs).
   client_clock.advance(model_.ias_quote_verify_ns -
                        2 * model_.wan_rtt_ns);           // processing share
   // Signed attestation verification report comes back.
-  client_clock.advance(model_.wan_transfer_ns(2048));
+  {
+    obs::ScopedCategory net_attribution(obs::Category::kNet);
+    client_clock.advance(model_.wan_transfer_ns(2048));
+  }
   return authority_.verify(quote, nonce);
 }
 

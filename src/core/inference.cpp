@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profile.h"
 #include "obs/span.h"
 
 namespace stf::core {
@@ -13,6 +14,9 @@ struct InferenceObs {
   obs::Histogram& request_ns = obs::Registry::global().histogram(
       obs::names::kInferenceRequestNs, obs::latency_edges_ns(),
       "end-to-end classify() virtual latency");
+  obs::QuantileSeries& request_quantile_ns = obs::Registry::global().quantiles(
+      obs::names::kInferenceRequestQuantileNs,
+      "exact p50/p95/p99 of classify() virtual latency");
   std::uint32_t request_span =
       obs::SpanTracer::global().intern(obs::names::kSpanInferenceRequest);
 };
@@ -110,6 +114,11 @@ ml::Tensor InferenceService::classify(const ml::Tensor& input) {
   tee::SimStopwatch watch(platform_.clock());
   ml::Tensor probs;
   {
+    // The profile observes the same clock over the same interval as the
+    // span, so its category decomposition sums exactly to the span's
+    // duration (the conservation invariant).
+    obs::ScopedAttribution profile(platform_.clock(),
+                                   obs::names::kSpanInferenceRequest);
     obs::ScopedSpan span(obs::SpanTracer::global(), platform_.clock(),
                          inference_obs().request_span);
     charge_per_inference_overheads();
@@ -122,6 +131,7 @@ ml::Tensor InferenceService::classify(const ml::Tensor& input) {
   last_latency_ms_ = watch.elapsed_ms();
   inference_obs().requests.add();
   inference_obs().request_ns.observe(watch.elapsed_ns());
+  inference_obs().request_quantile_ns.observe(watch.elapsed_ns());
   return probs;
 }
 

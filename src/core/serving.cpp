@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/span.h"
 #include "runtime/errors.h"
 
 namespace stf::core {
@@ -16,6 +17,9 @@ struct ServingObs {
       obs::names::kServingDispatchFailures, "probes that found a node dead");
   obs::Counter& ejections = obs::Registry::global().counter(
       obs::names::kServingEjections, "circuit-breaker ejections");
+  obs::QuantileSeries& request_quantile_ns = obs::Registry::global().quantiles(
+      obs::names::kServingRequestQuantileNs,
+      "exact p50/p95/p99 of per-request lane latency on serving nodes");
 };
 
 ServingObs& serving_obs() {
@@ -26,8 +30,8 @@ ServingObs& serving_obs() {
 }  // namespace
 
 ServingNode::ServingNode(const ml::lite::FlatModel& model,
-                         ServingConfig config)
-    : config_(std::move(config)) {
+                         ServingConfig config, unsigned ordinal)
+    : config_(std::move(config)), ordinal_(ordinal) {
   tee::CostModel cost = config_.model;
   if (config_.threads > config_.physical_cores) {
     cost.flops_per_second *= config_.hyperthread_efficiency;
@@ -66,11 +70,17 @@ ServingNode::ServingNode(const ml::lite::FlatModel& model,
 }
 
 void ServingNode::classify_on_lane(unsigned lane, const ml::Tensor& image) {
+  // Spans/profiles recorded inside this request carry (node ordinal, lane)
+  // so the Chrome trace draws one row per simulated core lane.
+  obs::ScopedLane lane_scope(static_cast<std::uint16_t>(ordinal_),
+                             static_cast<std::uint16_t>(lane));
   platform_->set_active_lane(&lanes_[lane]);
+  const std::uint64_t start_ns = lanes_[lane].now_ns();
   if (auto* enclave = const_cast<tee::Enclave*>(service_->enclave())) {
     enclave->access(scratch_[lane], 0, config_.per_thread_scratch, true);
   }
   (void)service_->classify(image);
+  serving_obs().request_quantile_ns.observe(lanes_[lane].now_ns() - start_ns);
   platform_->set_active_lane(nullptr);
 }
 
@@ -111,7 +121,7 @@ ServingFleet::ServingFleet(const ml::lite::FlatModel& model,
                            ServingConfig config, unsigned nodes)
     : config_(std::move(config)) {
   for (unsigned n = 0; n < nodes; ++n) {
-    nodes_.push_back(std::make_unique<ServingNode>(model, config_));
+    nodes_.push_back(std::make_unique<ServingNode>(model, config_, n));
   }
   status_.resize(nodes_.size());
 }

@@ -41,8 +41,11 @@ struct ServingConfig {
 
 class ServingNode {
  public:
-  /// `model` must outlive the node.
-  ServingNode(const ml::lite::FlatModel& model, ServingConfig config);
+  /// `model` must outlive the node. `ordinal` is the node's stable index in
+  /// its fleet, used as the pid of spans/profiles recorded on its lanes
+  /// (deterministic across identical runs, unlike anything address-based).
+  ServingNode(const ml::lite::FlatModel& model, ServingConfig config,
+              unsigned ordinal = 0);
 
   /// Classifies `count` copies of `image`, round-robin across the thread
   /// lanes; returns the virtual seconds until the last lane finishes.
@@ -64,6 +67,7 @@ class ServingNode {
   void classify_on_lane(unsigned lane, const ml::Tensor& image);
 
   ServingConfig config_;
+  unsigned ordinal_ = 0;
   std::unique_ptr<runtime::ThreadPool> kernel_pool_;  // when kernel_threads > 1
   std::unique_ptr<tee::Platform> platform_;
   std::unique_ptr<InferenceService> service_;

@@ -6,6 +6,7 @@
 #include "cas/attest_client.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profile.h"
 #include "obs/span.h"
 #include "runtime/shielded_link.h"
 
@@ -26,6 +27,9 @@ struct TrainObs {
   obs::Histogram& round_ns = obs::Registry::global().histogram(
       obs::names::kTrainRoundNs, obs::latency_edges_ns(),
       "per-round virtual latency on the parameter server");
+  obs::QuantileSeries& round_quantile_ns = obs::Registry::global().quantiles(
+      obs::names::kTrainRoundQuantileNs,
+      "exact p50/p95/p99 of per-round latency on the parameter server");
   std::uint32_t round_span =
       obs::SpanTracer::global().intern(obs::names::kSpanTrainRound);
 };
@@ -261,6 +265,11 @@ TrainStats TrainingCluster::train(const ml::Dataset& data,
   float loss_sum = 0;
 
   for (std::int64_t round = 0; round < rounds; ++round) {
+    // Per-round cost attribution on the PS clock: category deltas plus the
+    // warp term (shard-parallel set_ns rewinds) sum exactly to the round
+    // span the tracer records below.
+    obs::ScopedAttribution profile(ps_platform_->base_clock(),
+                                   obs::names::kSpanTrainRound);
     const std::uint64_t round_start = ps_platform_->base_clock().now_ns();
     // 1. Server pushes current parameters to every worker. TensorFlow's
     //    parameter server shards push in parallel: the per-worker shield
@@ -287,6 +296,8 @@ TrainStats TrainingCluster::train(const ml::Dataset& data,
     // 2. Workers compute gradients on their own shard, in parallel lanes.
     std::vector<crypto::Bytes> grad_msgs;
     for (auto& w : workers_) {
+      // Worker-side spans/profiles land on the worker's own trace row.
+      obs::ScopedLane lane_scope(static_cast<std::uint16_t>(w.node), 0);
       std::optional<crypto::Bytes> msg = config_.network_shield
                                              ? w.to_ps.recv()
                                              : w.plain_to_ps.recv();
@@ -346,6 +357,7 @@ TrainStats TrainingCluster::train(const ml::Dataset& data,
     train_obs().samples_processed.add(static_cast<std::uint64_t>(per_round));
     const std::uint64_t round_end = ps_platform_->base_clock().now_ns();
     train_obs().round_ns.observe(round_end - round_start);
+    train_obs().round_quantile_ns.observe(round_end - round_start);
     obs::SpanTracer::global().record(train_obs().round_span, round_start,
                                      round_end);
   }
@@ -404,6 +416,8 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
   tee::SimClock& ps_clock = ps_platform_->base_clock();
 
   for (std::int64_t round = 0; round < rounds; ++round) {
+    // Same conservation contract as train(): categories + warp == round span.
+    obs::ScopedAttribution profile(ps_clock, obs::names::kSpanTrainRound);
     const std::uint64_t round_start = ps_clock.now_ns();
     const auto params =
         ml::serialize_tensor_map(master_session_->variable_snapshot());
@@ -447,6 +461,7 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       WorkerState& w = workers_[i];
       if (!has_params[i]) continue;
+      obs::ScopedLane lane_scope(static_cast<std::uint16_t>(w.node), 0);
       if (w.enclave) {
         w.enclave->touch_binary();
         w.enclave->access(*w.scratch, 0, config_.framework_scratch_bytes,
@@ -497,7 +512,11 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
     // 3. Anything missing costs the PS exactly one round timeout; the
     //    update is the scaled average over what arrived.
     if (arrived < expected) {
-      ps_clock.advance(config_.faults.round_timeout_ns);
+      {
+        // Waiting out the round timeout is fault-recovery time, not compute.
+        obs::ScopedCategory attribution(obs::Category::kFaultDelay);
+        ps_clock.advance(config_.faults.round_timeout_ns);
+      }
       ++stats.degraded_rounds;
       train_obs().degraded_rounds.add();
       stats.lost_gradients += expected - arrived;
@@ -519,6 +538,7 @@ TrainStats TrainingCluster::train_resilient(const ml::Dataset& data,
     train_obs().rounds.add();
     const std::uint64_t round_end = ps_clock.now_ns();
     train_obs().round_ns.observe(round_end - round_start);
+    train_obs().round_quantile_ns.observe(round_end - round_start);
     obs::SpanTracer::global().record(train_obs().round_span, round_start,
                                      round_end);
   }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/profile.h"
+
 namespace stf::ml {
 
 SlalomExecutor::SlalomExecutor(const Graph& frozen_graph, SlalomConfig config,
@@ -14,12 +16,14 @@ SlalomExecutor::SlalomExecutor(const Graph& frozen_graph, SlalomConfig config,
     throw std::invalid_argument("SlalomExecutor: freeze the graph first");
   }
   // Weights are uploaded to the GPU once at initialization.
+  obs::ScopedCategory attribution(obs::Category::kCompute);
   clock_.advance(static_cast<std::uint64_t>(
       static_cast<double>(graph_.parameter_bytes()) / config_.pcie_bandwidth *
       1e9));
 }
 
 void SlalomExecutor::charge_gpu(double flops, std::uint64_t transfer_bytes) {
+  obs::ScopedCategory attribution(obs::Category::kCompute);
   clock_.advance(static_cast<std::uint64_t>(
       flops / config_.gpu_flops_per_second * 1e9 +
       static_cast<double>(transfer_bytes) / config_.pcie_bandwidth * 1e9));

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profile.h"
 
 namespace stf::net {
 namespace {
@@ -97,7 +98,10 @@ std::pair<Connection, Connection> SimNetwork::connect(NodeId dialer,
   net_obs().connections_opened.add();
   // TCP-style setup: the dialer pays one RTT; the listener learns of the
   // connection when the first message arrives.
-  nodes_[dialer].clock->advance(link_between(dialer, listener).rtt_ns);
+  {
+    obs::ScopedCategory attribution(obs::Category::kNet);
+    nodes_[dialer].clock->advance(link_between(dialer, listener).rtt_ns);
+  }
   return {Connection(this, id, /*side=*/false, dialer, listener),
           Connection(this, id, /*side=*/true, listener, dialer)};
 }
@@ -121,8 +125,11 @@ void SimNetwork::send_impl(std::uint64_t conn_id, bool from_side,
 
   // Sender-side serialization cost applies regardless of what the network
   // does with the packet afterwards.
-  sender_clock.advance(static_cast<std::uint64_t>(
-      static_cast<double>(payload.size()) / link.bandwidth * 1e9));
+  {
+    obs::ScopedCategory attribution(obs::Category::kNet);
+    sender_clock.advance(static_cast<std::uint64_t>(
+        static_cast<double>(payload.size()) / link.bandwidth * 1e9));
+  }
 
   if (action == AdversaryAction::Drop) return;
 
@@ -154,7 +161,12 @@ std::optional<crypto::Bytes> SimNetwork::recv_impl(std::uint64_t conn_id,
   Message msg = std::move(queue.front());
   queue.pop_front();
   const NodeId self = side ? conn.b : conn.a;
-  nodes_[self].clock->advance_to(msg.arrival_ns);
+  // Waiting for the wire (including any fault-injected extra delay riding
+  // in arrival_ns) counts as network time.
+  {
+    obs::ScopedCategory attribution(obs::Category::kNet);
+    nodes_[self].clock->advance_to(msg.arrival_ns);
+  }
   ++messages_delivered_;
   net_obs().messages_delivered.add();
   return std::move(msg.payload);

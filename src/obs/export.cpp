@@ -37,6 +37,31 @@ void append_kv(std::string& out, const std::string& key, const char* v,
 
 }  // namespace
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
 std::string export_json(const Registry& reg, const SpanTracer* tracer,
                         int indent) {
   std::string out = "{\n";
@@ -47,7 +72,7 @@ std::string export_json(const Registry& reg, const SpanTracer* tracer,
     std::vector<std::string> blocks;
     reg.visit_counters([&](const std::string& name, const MetricInfo& info,
                            const Counter& c) {
-      std::string b = pad(indent, 2) + "\"" + name + "\": {\n";
+      std::string b = pad(indent, 2) + "\"" + json_escape(name) + "\": {\n";
       append_kv(b, "unit", to_string(info.unit), false, indent, 3);
       append_kv(b, "value", c.value(), true, indent, 3);
       b += pad(indent, 2) + "}";
@@ -65,7 +90,7 @@ std::string export_json(const Registry& reg, const SpanTracer* tracer,
     std::vector<std::string> blocks;
     reg.visit_gauges([&](const std::string& name, const MetricInfo& info,
                          const Gauge& g) {
-      std::string b = pad(indent, 2) + "\"" + name + "\": {\n";
+      std::string b = pad(indent, 2) + "\"" + json_escape(name) + "\": {\n";
       append_kv(b, "unit", to_string(info.unit), false, indent, 3);
       append_kv(b, "value", g.value(), true, indent, 3);
       b += pad(indent, 2) + "}";
@@ -83,7 +108,7 @@ std::string export_json(const Registry& reg, const SpanTracer* tracer,
     std::vector<std::string> blocks;
     reg.visit_histograms([&](const std::string& name, const MetricInfo& info,
                              const Histogram& h) {
-      std::string b = pad(indent, 2) + "\"" + name + "\": {\n";
+      std::string b = pad(indent, 2) + "\"" + json_escape(name) + "\": {\n";
       append_kv(b, "unit", to_string(info.unit), false, indent, 3);
       append_kv(b, "count", h.count(), false, indent, 3);
       append_kv(b, "sum", h.sum(), false, indent, 3);
@@ -105,6 +130,28 @@ std::string export_json(const Registry& reg, const SpanTracer* tracer,
     out += blocks.empty() ? "}" : pad(indent, 1) + "}";
   }
 
+  // -- quantiles ----------------------------------------------------------
+  out += ",\n" + pad(indent, 1) + "\"quantiles\": {";
+  {
+    std::vector<std::string> blocks;
+    reg.visit_quantiles([&](const std::string& name, const MetricInfo& info,
+                            const QuantileSeries& q) {
+      std::string b = pad(indent, 2) + "\"" + json_escape(name) + "\": {\n";
+      append_kv(b, "unit", to_string(info.unit), false, indent, 3);
+      append_kv(b, "count", q.count(), false, indent, 3);
+      append_kv(b, "p50", q.quantile(0.50), false, indent, 3);
+      append_kv(b, "p95", q.quantile(0.95), false, indent, 3);
+      append_kv(b, "p99", q.quantile(0.99), true, indent, 3);
+      b += pad(indent, 2) + "}";
+      blocks.push_back(std::move(b));
+    });
+    out += blocks.empty() ? "" : "\n";
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      out += blocks[i] + (i + 1 < blocks.size() ? ",\n" : "\n");
+    }
+    out += blocks.empty() ? "}" : pad(indent, 1) + "}";
+  }
+
   // -- spans --------------------------------------------------------------
   if (tracer != nullptr) {
     out += ",\n" + pad(indent, 1) + "\"spans\": {\n";
@@ -115,7 +162,7 @@ std::string export_json(const Registry& reg, const SpanTracer* tracer,
       out += "\n";
       std::size_t i = 0;
       for (const auto& [name, s] : sums) {
-        out += pad(indent, 3) + "\"" + name + "\": {\"count\": " +
+        out += pad(indent, 3) + "\"" + json_escape(name) + "\": {\"count\": " +
                std::to_string(s.count) +
                ", \"total_ns\": " + std::to_string(s.total_ns) +
                ", \"max_ns\": " + std::to_string(s.max_ns) + "}";
@@ -166,6 +213,20 @@ std::string summary_table(const Registry& reg, const SpanTracer* tracer) {
                   "%-44s n=%-10llu mean=%llu %s\n", name.c_str(),
                   static_cast<unsigned long long>(h.count()),
                   static_cast<unsigned long long>(mean),
+                  to_string(info.unit));
+    out += line;
+  });
+
+  out += "-- quantiles -----------------------------------------------\n";
+  reg.visit_quantiles([&](const std::string& name, const MetricInfo& info,
+                          const QuantileSeries& q) {
+    if (q.count() == 0) return;
+    std::snprintf(line, sizeof(line),
+                  "%-44s n=%-10llu p50=%llu p95=%llu p99=%llu %s\n",
+                  name.c_str(), static_cast<unsigned long long>(q.count()),
+                  static_cast<unsigned long long>(q.quantile(0.50)),
+                  static_cast<unsigned long long>(q.quantile(0.95)),
+                  static_cast<unsigned long long>(q.quantile(0.99)),
                   to_string(info.unit));
     out += line;
   });

@@ -12,14 +12,23 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace stf::obs {
 
-/// Serializes `reg` (counters, gauges, histograms) and, when non-null,
-/// `tracer` summaries + drop count. 2-space indented, trailing newline.
+/// Escapes `s` for embedding inside a JSON string literal: `"`, `\` and
+/// control characters (U+0000..U+001F) become their JSON escape sequences
+/// (`\uXXXX` for controls without a short form). Every name that reaches
+/// an exported document goes through this, so a hostile or merely unlucky
+/// metric/span name cannot corrupt the JSON.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Serializes `reg` (counters, gauges, histograms, quantiles) and, when
+/// non-null, `tracer` summaries + drop count. 2-space indented, trailing
+/// newline.
 [[nodiscard]] std::string export_json(const Registry& reg,
                                       const SpanTracer* tracer = nullptr,
                                       int indent = 2);

@@ -1,8 +1,23 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace stf::obs {
+
+std::uint64_t QuantileSeries::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0;
+  // Nearest rank: the ceil(q*n)-th smallest sample, clamped to [1, n].
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  if (rank < 1) rank = 1;
+  if (rank > samples_.size()) rank = samples_.size();
+  std::vector<std::uint64_t> sorted = samples_;
+  std::nth_element(sorted.begin(), sorted.begin() + (rank - 1), sorted.end());
+  return sorted[rank - 1];
+}
 
 std::vector<std::uint64_t> latency_edges_ns() {
   // Decades from 1 µs to 100 s of *virtual* time; the implicit overflow
@@ -60,10 +75,24 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second.metric;
 }
 
+QuantileSeries& Registry::quantiles(std::string_view name,
+                                    std::string_view help, Unit unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = quantiles_.find(name);
+  if (it == quantiles_.end()) {
+    Entry<QuantileSeries> entry{MetricInfo{std::string(help), unit},
+                                std::unique_ptr<QuantileSeries>(
+                                    new QuantileSeries())};
+    it = quantiles_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return *it->second.metric;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, entry] : counters_) entry.metric->reset();
   for (auto& [name, entry] : histograms_) entry.metric->reset();
+  for (auto& [name, entry] : quantiles_) entry.metric->reset();
   // Gauges deliberately keep their level: they mirror live state (resident
   // pages, mapped bytes), not a measurement window. See the class comment.
 }
@@ -91,6 +120,15 @@ void Registry::visit_histograms(
                              const Histogram&)>& fn) const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, entry] : histograms_) {
+    fn(name, entry.info, *entry.metric);
+  }
+}
+
+void Registry::visit_quantiles(
+    const std::function<void(const std::string&, const MetricInfo&,
+                             const QuantileSeries&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : quantiles_) {
     fn(name, entry.info, *entry.metric);
   }
 }

@@ -134,6 +134,39 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// Exact streaming quantile series: keeps every observation (they are
+/// virtual-time integers, a few per request — memory is O(requests), which
+/// the bounded workloads of this repo keep trivially small) and computes
+/// nearest-rank quantiles on demand. Exact and integer-only by design so
+/// the exported p50/p95/p99 are byte-deterministic; a histogram of the
+/// same latencies (which only brackets quantiles to a decade) typically
+/// sits next to it. Mutex-guarded: observations are per-request events,
+/// not per-byte work.
+class QuantileSeries {
+ public:
+  void observe(std::uint64_t v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(v);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+  }
+  /// Nearest-rank quantile, q in (0, 1]: the ceil(q*n)-th smallest sample
+  /// (an actual observation, never interpolated). 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+ private:
+  friend class Registry;
+  QuantileSeries() = default;
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+  }
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> samples_;
+};
+
 /// The default virtual-time latency edges: decades from 1 µs to 100 s.
 /// Shared by every `*_ns` histogram so exports line up across subsystems.
 [[nodiscard]] std::vector<std::uint64_t> latency_edges_ns();
@@ -155,6 +188,8 @@ class Registry {
   Histogram& histogram(std::string_view name, std::vector<std::uint64_t> edges,
                        std::string_view help = "",
                        Unit unit = Unit::Nanoseconds);
+  QuantileSeries& quantiles(std::string_view name, std::string_view help = "",
+                            Unit unit = Unit::Nanoseconds);
 
   /// Starts a new measurement epoch: counters and histograms zero; gauges
   /// keep their level (see the class comment for why). Handles survive.
@@ -170,6 +205,9 @@ class Registry {
   void visit_histograms(
       const std::function<void(const std::string&, const MetricInfo&,
                                const Histogram&)>& fn) const;
+  void visit_quantiles(
+      const std::function<void(const std::string&, const MetricInfo&,
+                               const QuantileSeries&)>& fn) const;
 
   /// The process-wide registry every subsystem records into by default.
   static Registry& global();
@@ -185,6 +223,7 @@ class Registry {
   std::map<std::string, Entry<Counter>, std::less<>> counters_;
   std::map<std::string, Entry<Gauge>, std::less<>> gauges_;
   std::map<std::string, Entry<Histogram>, std::less<>> histograms_;
+  std::map<std::string, Entry<QuantileSeries>, std::less<>> quantiles_;
 };
 
 }  // namespace stf::obs

@@ -82,6 +82,10 @@ inline constexpr const char* kKernelConvCalls = "ml.kernels.conv_calls";
 inline constexpr const char* kInferenceRequests = "core.inference.requests";
 inline constexpr const char* kInferenceRequestNs =
     "core.inference.request_ns";
+inline constexpr const char* kInferenceRequestQuantileNs =
+    "core.inference.request_quantile_ns";
+inline constexpr const char* kServingRequestQuantileNs =
+    "core.serving.request_quantile_ns";
 inline constexpr const char* kServingDispatches = "core.serving.dispatches";
 inline constexpr const char* kServingDispatchFailures =
     "core.serving.dispatch_failures";
@@ -98,6 +102,8 @@ inline constexpr const char* kTrainWorkerCrashes =
 inline constexpr const char* kTrainSamplesProcessed =
     "distributed.samples_processed";
 inline constexpr const char* kTrainRoundNs = "distributed.round_ns";
+inline constexpr const char* kTrainRoundQuantileNs =
+    "distributed.round_quantile_ns";
 
 // --- spans (virtual-time intervals in the tracer ring) -------------------
 inline constexpr const char* kSpanEnclaveTransition = "tee.enclave.transition";
@@ -110,5 +116,22 @@ inline constexpr const char* kSpanRpcRetry = "runtime.rpc.retry";
 inline constexpr const char* kSpanSessionGemm = "ml.session.gemm";
 inline constexpr const char* kSpanInferenceRequest = "core.inference.request";
 inline constexpr const char* kSpanTrainRound = "distributed.round";
+inline constexpr const char* kSpanSchedIdle = "runtime.sched.idle";
+
+// --- profile: attribution categories (docs/PROFILING.md) -----------------
+// Every virtual nanosecond a SimClock advances while a ScopedAttribution is
+// active is charged to exactly one of these categories (the innermost
+// ScopedCategory on the charging thread; `profile.other` when none is
+// open). The per-profile sum plus warp equals the profiled interval's
+// duration — the conservation invariant checked by tests/obs_test.cpp.
+inline constexpr const char* kCatCompute = "profile.compute";
+inline constexpr const char* kCatEpcPaging = "profile.epc_paging";
+inline constexpr const char* kCatTransition = "profile.transition";
+inline constexpr const char* kCatSyscall = "profile.syscall";
+inline constexpr const char* kCatCrypto = "profile.crypto";
+inline constexpr const char* kCatNet = "profile.net";
+inline constexpr const char* kCatFsShield = "profile.fs_shield";
+inline constexpr const char* kCatFaultDelay = "profile.fault_delay";
+inline constexpr const char* kCatOther = "profile.other";
 
 }  // namespace stf::obs::names

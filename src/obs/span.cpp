@@ -24,7 +24,7 @@ void SpanTracer::exit() {
 
 void SpanTracer::record(std::uint32_t name_id, std::uint64_t start_ns,
                         std::uint64_t end_ns, std::uint32_t depth) {
-  SpanRecord rec{name_id, depth, start_ns, end_ns};
+  SpanRecord rec{name_id, depth, current_lane(), start_ns, end_ns};
   std::lock_guard<std::mutex> lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(rec);

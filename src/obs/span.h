@@ -33,8 +33,34 @@ namespace stf::obs {
 struct SpanRecord {
   std::uint32_t name_id = 0;  ///< intern id; resolve via SpanTracer::name()
   std::uint32_t depth = 0;    ///< open spans enclosing this one when it began
+  std::uint32_t lane = 0;     ///< (pid << 16) | tid — see ScopedLane
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
+};
+
+/// The calling thread's simulated location, packed as (pid << 16) | tid.
+/// `pid` is a node id in the simulated cluster, `tid` a simulated thread /
+/// core lane on that node. Every recorded span (and attribution profile)
+/// carries the lane that was current when it started; the Chrome trace
+/// exporter maps it to the pid/tid rows Perfetto draws. Defaults to 0/0.
+inline std::uint32_t& current_lane() {
+  thread_local std::uint32_t lane = 0;
+  return lane;
+}
+
+/// Pushes a simulated (pid, tid) location for the scope.
+class ScopedLane {
+ public:
+  ScopedLane(std::uint16_t pid, std::uint16_t tid) : prev_(current_lane()) {
+    current_lane() =
+        (static_cast<std::uint32_t>(pid) << 16) | static_cast<std::uint32_t>(tid);
+  }
+  ~ScopedLane() { current_lane() = prev_; }
+  ScopedLane(const ScopedLane&) = delete;
+  ScopedLane& operator=(const ScopedLane&) = delete;
+
+ private:
+  std::uint32_t prev_;
 };
 
 /// Per-name aggregate that survives ring overwrites.
@@ -97,18 +123,26 @@ class SpanTracer {
 
 /// RAII span over a SimClock: reads the clock at construction and
 /// destruction, records on destruction. The clock must outlive the scope.
+///
+/// `skip_empty` (opt-in, default off so existing exports stay
+/// byte-identical) suppresses the record when no virtual time elapsed in
+/// the scope — for hot paths that usually no-op (the scheduler's idle
+/// poll), where zero-length spans would only churn the ring.
 class ScopedSpan {
  public:
   ScopedSpan(SpanTracer& tracer, const tee::SimClock& clock,
-             std::uint32_t name_id)
+             std::uint32_t name_id, bool skip_empty = false)
       : tracer_(tracer),
         clock_(clock),
         name_id_(name_id),
         start_ns_(clock.now_ns()),
-        depth_(tracer.enter()) {}
+        depth_(tracer.enter()),
+        skip_empty_(skip_empty) {}
   ~ScopedSpan() {
     tracer_.exit();
-    tracer_.record(name_id_, start_ns_, clock_.now_ns(), depth_);
+    const std::uint64_t end_ns = clock_.now_ns();
+    if (skip_empty_ && end_ns == start_ns_) return;
+    tracer_.record(name_id_, start_ns_, end_ns, depth_);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -119,6 +153,7 @@ class ScopedSpan {
   std::uint32_t name_id_;
   std::uint64_t start_ns_;
   std::uint32_t depth_;
+  bool skip_empty_;
 };
 
 }  // namespace stf::obs

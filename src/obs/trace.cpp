@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace stf::obs {
+namespace {
+
+constexpr std::uint32_t pid_of(std::uint32_t lane) { return lane >> 16; }
+constexpr std::uint32_t tid_of(std::uint32_t lane) { return lane & 0xffffu; }
+
+void append_event_head(std::string& out, const char* ph, std::uint32_t lane) {
+  out += "{\"ph\": \"";
+  out += ph;
+  out += "\", \"pid\": " + std::to_string(pid_of(lane)) +
+         ", \"tid\": " + std::to_string(tid_of(lane));
+}
+
+// The subsystem prefix (up to the first dot) doubles as the event category
+// Perfetto filters on.
+std::string cat_of(const std::string& name) {
+  const auto dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const SpanTracer& tracer,
+                                const AttributionStore* store) {
+  const auto spans = tracer.snapshot();
+  const auto rows =
+      store != nullptr ? store->rows() : std::vector<AttributionRow>{};
+
+  // Metadata first: one process_name per pid, one thread_name per lane,
+  // sorted ascending so the byte layout is independent of event order.
+  std::set<std::uint32_t> lanes;
+  for (const auto& s : spans) lanes.insert(s.lane);
+  for (const auto& r : rows) lanes.insert(r.lane);
+  if (lanes.empty()) lanes.insert(0);
+
+  std::string out = "{\"traceEvents\": [\n";
+  std::uint32_t last_pid = 0xffffffffu;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (std::uint32_t lane : lanes) {
+    if (pid_of(lane) != last_pid) {
+      last_pid = pid_of(lane);
+      sep();
+      append_event_head(out, "M", lane);
+      out += ", \"name\": \"process_name\", \"args\": {\"name\": \"node-" +
+             std::to_string(pid_of(lane)) + "\"}}";
+    }
+    sep();
+    append_event_head(out, "M", lane);
+    out += ", \"name\": \"thread_name\", \"args\": {\"name\": \"lane-" +
+           std::to_string(tid_of(lane)) + "\"}}";
+  }
+
+  // Ring spans, oldest first (snapshot order is already deterministic).
+  for (const auto& s : spans) {
+    const std::string name = tracer.name(s.name_id);
+    sep();
+    append_event_head(out, "X", s.lane);
+    out += ", \"ts\": " + std::to_string(s.start_ns) +
+           ", \"dur\": " + std::to_string(s.end_ns - s.start_ns) +
+           ", \"name\": \"" + json_escape(name) + "\", \"cat\": \"" +
+           json_escape(cat_of(name)) +
+           "\", \"args\": {\"depth\": " + std::to_string(s.depth) + "}}";
+  }
+
+  // Attribution profiles: one complete event per finished profile, the
+  // decomposition as integer args.
+  for (const auto& r : rows) {
+    sep();
+    append_event_head(out, "X", r.lane);
+    const auto dur = r.duration_ns();
+    out += ", \"ts\": " + std::to_string(r.start_ns) +
+           ", \"dur\": " + std::to_string(dur < 0 ? 0 : dur) +
+           ", \"name\": \"profile:" + json_escape(r.name) +
+           "\", \"cat\": \"profile\", \"args\": {";
+    for (std::size_t i = 0; i < kCategoryCount; ++i) {
+      out += std::string("\"") + to_string(static_cast<Category>(i)) +
+             "\": " + std::to_string(r.by_category[i]) + ", ";
+    }
+    out += "\"warp_ns\": " + std::to_string(r.warp_ns) + "}}";
+  }
+
+  out += "\n], \"displayTimeUnit\": \"ns\"}\n";
+  return out;
+}
+
+}  // namespace stf::obs

@@ -1,0 +1,35 @@
+// Chrome trace-event (Perfetto-loadable) exporter.
+//
+// `export_chrome_trace` renders the SpanTracer ring and, optionally, the
+// attribution store as a JSON Object Format trace: open the file with
+// https://ui.perfetto.dev or chrome://tracing. Mapping:
+//
+//   pid  — simulated node (SpanRecord/AttributionRow lane high 16 bits)
+//   tid  — simulated thread / core lane on that node (lane low 16 bits)
+//   ts   — span start, integer *virtual nanoseconds*
+//   dur  — span duration, integer virtual nanoseconds
+//
+// The trace-event format nominally counts `ts` in microseconds; we emit
+// virtual nanoseconds unscaled so every value stays an exact integer —
+// read the viewer's "µs" as virtual ns (docs/PROFILING.md). Events are
+// emitted in a fixed order (process/thread metadata sorted by lane, then
+// the ring oldest-first, then attribution rows oldest-first), values are
+// integers, and nothing wall-clock-dependent appears, so two identical
+// seeded runs produce byte-identical trace.json files — held as a test
+// invariant next to the export_json one.
+#pragma once
+
+#include <string>
+
+#include "obs/profile.h"
+#include "obs/span.h"
+
+namespace stf::obs {
+
+/// Serializes `tracer` (and `store`, when non-null) as a Chrome trace.
+/// Attribution rows appear as "profile:<name>" complete events whose args
+/// carry the per-category breakdown and warp.
+[[nodiscard]] std::string export_chrome_trace(
+    const SpanTracer& tracer, const AttributionStore* store = nullptr);
+
+}  // namespace stf::obs

@@ -5,6 +5,7 @@
 #include "crypto/hmac.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profile.h"
 #include "obs/span.h"
 
 namespace stf::runtime {
@@ -103,6 +104,7 @@ void FsShield::write(const std::string& path, crypto::BytesView data) {
     case ShieldPolicy::Encrypt: {
       shield_obs().writes.add();
       shield_obs().bytes_sealed.add(data.size());
+      obs::ScopedCategory attribution(obs::Category::kFsShield);
       obs::ScopedSpan span(obs::SpanTracer::global(), clock_,
                            shield_obs().seal_span);
       if (policy == ShieldPolicy::Authenticate) {
@@ -200,6 +202,7 @@ crypto::Bytes FsShield::read(const std::string& path) {
       try {
         crypto::Bytes plaintext;
         {
+          obs::ScopedCategory attribution(obs::Category::kFsShield);
           obs::ScopedSpan span(obs::SpanTracer::global(), clock_,
                                shield_obs().unseal_span);
           if (meta_it == meta_.end()) {

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profile.h"
 #include "obs/span.h"
 
 namespace stf::runtime {
@@ -148,7 +149,10 @@ bool ResilientChannel::backoff_and_retransmit() {
       outstanding_->deadline_ns > clock_->now_ns()
           ? outstanding_->deadline_ns - clock_->now_ns()
           : 0;
-  clock_->advance_to(outstanding_->deadline_ns);
+  {
+    obs::ScopedCategory attribution(obs::Category::kFaultDelay);
+    clock_->advance_to(outstanding_->deadline_ns);
+  }
   backoff_history_.push_back(waited);
   channel_.send(outstanding_->frame);
   ++retransmits_;

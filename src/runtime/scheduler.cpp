@@ -23,6 +23,8 @@ struct SchedObs {
       obs::Unit::Nanoseconds);
   std::uint32_t syscall_span =
       obs::SpanTracer::global().intern(obs::names::kSpanSchedSyscall);
+  std::uint32_t idle_span =
+      obs::SpanTracer::global().intern(obs::names::kSpanSchedIdle);
 };
 
 SchedObs& sched_obs() {
@@ -66,6 +68,10 @@ std::uint64_t UserScheduler::run() {
     if (picked == nullptr) {
       // Every live task is blocked on a pending syscall: idle until the
       // earliest completes (in SCONE the OS thread backs off in-enclave).
+      // skip_empty: this poll runs every loop iteration, but only the
+      // passes that actually wait deserve a ring slot.
+      obs::ScopedSpan idle_span(obs::SpanTracer::global(), clock,
+                                sched_obs().idle_span, /*skip_empty=*/true);
       std::uint64_t wake = std::numeric_limits<std::uint64_t>::max();
       for (const TaskState& t : tasks_) {
         if (!t.done) wake = std::min(wake, t.ready_at_ns);
@@ -93,9 +99,13 @@ std::uint64_t UserScheduler::run() {
         ++stats_.syscalls;
         sched_obs().syscalls.add();
         const std::uint64_t call_start = clock.now_ns();
-        clock.advance(model.dram_ns(s->bytes));  // argument copy
+        {
+          obs::ScopedCategory attribution(obs::Category::kSyscall);
+          clock.advance(model.dram_ns(s->bytes));  // argument copy
+        }
         if (async_syscalls_) {
           // Enqueue and block; the kernel work overlaps with other tasks.
+          obs::ScopedCategory attribution(obs::Category::kSyscall);
           clock.advance(model.async_syscall_ns);
           picked->ready_at_ns = clock.now_ns() + model.syscall_kernel_ns;
           keep_running = false;
@@ -106,9 +116,18 @@ std::uint64_t UserScheduler::run() {
                                            call_start, picked->ready_at_ns);
         } else {
           // Synchronous exit: the whole call serializes on this thread.
+          // The EENTER/EEXIT pair is transition time; the kernel part is
+          // syscall time (same split as Enclave::syscall).
           ++stats_.transitions;
           sched_obs().transitions.add();
-          clock.advance(model.transition_ns + model.syscall_kernel_ns);
+          {
+            obs::ScopedCategory attribution(obs::Category::kTransition);
+            clock.advance(model.transition_ns);
+          }
+          {
+            obs::ScopedCategory attribution(obs::Category::kSyscall);
+            clock.advance(model.syscall_kernel_ns);
+          }
           obs::SpanTracer::global().record(sched_obs().syscall_span,
                                            call_start, clock.now_ns());
         }

@@ -3,6 +3,7 @@
 #include "crypto/hmac.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profile.h"
 
 namespace stf::runtime {
 
@@ -91,7 +92,10 @@ SecureChannel ChannelHandshake::finish(crypto::BytesView peer_hello,
 
   // The fixed handshake latency stands in for certificate validation and the
   // wider TLS state machine; the ECDHE itself ran for real above.
-  clock.advance(model.tls_handshake_ns);
+  {
+    obs::ScopedCategory attribution(obs::Category::kCrypto);
+    clock.advance(model.tls_handshake_ns);
+  }
 
   if (role_ == Role::Client) {
     return SecureChannel(std::move(conn), client_key, server_key, client_iv,
@@ -135,7 +139,10 @@ void SecureChannel::send(crypto::BytesView plaintext) {
   const auto nonce = nonce_for(send_iv_, send_seq_);
   const auto sealed = send_aead_->seal(
       crypto::BytesView(nonce.data(), nonce.size()), header, plaintext);
-  clock_->advance(model_->netshield_ns(plaintext.size()));
+  {
+    obs::ScopedCategory attribution(obs::Category::kCrypto);
+    clock_->advance(model_->netshield_ns(plaintext.size()));
+  }
 
   crypto::Bytes record = header;
   crypto::append(record, sealed);
@@ -183,7 +190,10 @@ std::optional<crypto::Bytes> SecureChannel::recv() {
     if (opened->size() != crypto::load_be32(raw->data() + 8)) {
       throw SecurityError("network shield: length mismatch");
     }
-    clock_->advance(model_->netshield_ns(opened->size()));
+    {
+      obs::ScopedCategory attribution(obs::Category::kCrypto);
+      clock_->advance(model_->netshield_ns(opened->size()));
+    }
     recv_seq_ = seq + 1;
     channel_obs().records_received.add();
     return opened;

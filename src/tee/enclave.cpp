@@ -3,6 +3,7 @@
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profile.h"
 #include "obs/span.h"
 #include "tee/platform.h"
 
@@ -90,13 +91,18 @@ void Enclave::release_region(RegionId id) {
 void Enclave::access(RegionId id, std::uint64_t offset, std::uint64_t len,
                      bool write) {
   // Baseline DRAM traffic cost applies in every mode; the EPC manager adds
-  // MEE and paging costs in Hardware mode.
-  platform_.clock().advance(platform_.model().dram_ns(len));
+  // MEE and paging costs in Hardware mode (attributed to epc_paging by the
+  // manager itself).
+  {
+    obs::ScopedCategory attribution(obs::Category::kCompute);
+    platform_.clock().advance(platform_.model().dram_ns(len));
+  }
   platform_.epc().access(id, offset, len, write, platform_.clock());
 }
 
 void Enclave::compute(double flops) {
   const CostModel& m = platform_.model();
+  obs::ScopedCategory attribution(obs::Category::kCompute);
   // Base compute, inflated by the SCONE runtime overhead for this container.
   platform_.clock().advance(static_cast<std::uint64_t>(
       static_cast<double>(m.compute_ns(flops)) * runtime_overhead_));
@@ -118,6 +124,7 @@ void Enclave::touch_binary(double fraction) {
 }
 
 void Enclave::charge_transition() {
+  obs::ScopedCategory attribution(obs::Category::kTransition);
   const std::uint64_t start = platform_.clock().now_ns();
   platform_.clock().advance(platform_.model().transition_ns);
   transitions_counter().add();
@@ -134,15 +141,26 @@ void Enclave::syscall(std::uint64_t bytes_copied, bool asynchronous) {
   if (asynchronous) {
     // SCONE exit-less syscall: the request crosses a shared queue; an
     // outside thread runs the kernel part while the enclave thread yields.
+    obs::ScopedCategory attribution(obs::Category::kSyscall);
     clock.advance(m.async_syscall_ns + m.syscall_kernel_ns);
   } else {
-    clock.advance(m.transition_ns + m.syscall_kernel_ns);
+    // The EENTER/EEXIT pair is a transition cost even when a syscall
+    // triggers it; only the kernel part is syscall time. The split leaves
+    // the total unchanged.
+    {
+      obs::ScopedCategory attribution(obs::Category::kTransition);
+      clock.advance(m.transition_ns);
+    }
+    obs::ScopedCategory attribution(obs::Category::kSyscall);
+    clock.advance(m.syscall_kernel_ns);
   }
   // Arguments/results are copied across the enclave boundary.
+  obs::ScopedCategory attribution(obs::Category::kSyscall);
   clock.advance(m.dram_ns(bytes_copied));
 }
 
 void Enclave::charge_uthread_switch() {
+  obs::ScopedCategory attribution(obs::Category::kTransition);
   platform_.clock().advance(platform_.model().uthread_switch_ns);
 }
 

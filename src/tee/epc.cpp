@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/names.h"
+#include "obs/profile.h"
 
 namespace stf::tee {
 
@@ -148,6 +149,11 @@ void EpcManager::access(RegionId id, std::uint64_t offset, std::uint64_t len,
   obs_bytes_accessed_.add(len);
 
   if (!limited_) return;  // SIM mode: runtime active, but no EPC boundary
+
+  // Everything the EPC boundary costs — MEE traffic, faults, evictions,
+  // loads — is attributed to epc_paging (fault_in/evict_one run inside
+  // this scope).
+  obs::ScopedCategory attribution(obs::Category::kEpcPaging);
 
   // Cache lines crossing the EPC boundary pass through the MEE.
   clock.advance(static_cast<std::uint64_t>(

@@ -29,7 +29,10 @@ Quote Platform::quote(const Report& report,
     throw std::logic_error("Platform '" + name_ +
                            "' has no provisioned quoting enclave");
   }
-  clock().advance(model_.quote_generation_ns);
+  {
+    obs::ScopedCategory attribution(obs::Category::kCrypto);
+    clock().advance(model_.quote_generation_ns);
+  }
   return quoting_enclave_->quote(report, nonce);
 }
 

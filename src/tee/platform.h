@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/profile.h"
 #include "tee/attestation.h"
 #include "tee/cost_model.h"
 #include "tee/enclave.h"
@@ -78,9 +79,11 @@ class NativeEnv final : public MemoryEnv {
   }
   void release(std::uint64_t) override {}
   void access(std::uint64_t, std::uint64_t, std::uint64_t len, bool) override {
+    obs::ScopedCategory attribution(obs::Category::kCompute);
     clock_->advance(model_.dram_ns(len));
   }
   void compute(double flops) override {
+    obs::ScopedCategory attribution(obs::Category::kCompute);
     clock_->advance(model_.compute_ns(flops));
   }
   [[nodiscard]] std::uint64_t now_ns() const override {

@@ -13,29 +13,65 @@
 
 namespace stf::tee {
 
+/// Observer of clock mutations, used by the attribution profiler
+/// (obs::ScopedAttribution). `on_advance` fires for every elapsed-time
+/// charge (advance / forward advance_to); `on_warp` fires for timeline
+/// adjustments (set_ns / reset), which model logically-parallel lanes
+/// replayed on one clock and are *not* elapsed work. A clock with no sink
+/// pays one null-pointer check per mutation, so profiling off leaves every
+/// figure byte-identical.
+class ClockSink {
+ public:
+  virtual ~ClockSink() = default;
+  virtual void on_advance(std::uint64_t delta_ns) = 0;
+  virtual void on_warp(std::int64_t delta_ns) = 0;
+};
+
 /// Monotonic virtual clock, nanosecond resolution.
 class SimClock {
  public:
   using Ns = std::uint64_t;
 
-  void advance(Ns ns) { now_ns_ += ns; }
+  void advance(Ns ns) {
+    now_ns_ += ns;
+    if (sink_ != nullptr && ns != 0) sink_->on_advance(ns);
+  }
   [[nodiscard]] Ns now_ns() const { return now_ns_; }
   [[nodiscard]] double now_ms() const { return static_cast<double>(now_ns_) / 1e6; }
   [[nodiscard]] double now_s() const { return static_cast<double>(now_ns_) / 1e9; }
 
   /// Jumps forward to `t` if it is in the future (used when synchronizing
   /// with another lane, e.g. after a network receive or a barrier).
-  void advance_to(Ns t) { now_ns_ = std::max(now_ns_, t); }
+  void advance_to(Ns t) {
+    if (t > now_ns_) {
+      const Ns delta = t - now_ns_;
+      now_ns_ = t;
+      if (sink_ != nullptr) sink_->on_advance(delta);
+    }
+  }
 
   /// Simulation control: sets the clock to an absolute time, including
   /// backwards. Used by orchestrators that replay logically-parallel work
-  /// (e.g. sharded parameter-server pushes) on one physical clock.
-  void set_ns(Ns t) { now_ns_ = t; }
+  /// (e.g. sharded parameter-server pushes) on one physical clock. Reported
+  /// to the sink as a warp, not elapsed time.
+  void set_ns(Ns t) {
+    if (sink_ != nullptr && t != now_ns_) {
+      sink_->on_warp(static_cast<std::int64_t>(t) -
+                     static_cast<std::int64_t>(now_ns_));
+    }
+    now_ns_ = t;
+  }
 
-  void reset() { now_ns_ = 0; }
+  void reset() { set_ns(0); }
+
+  /// Attribution hook. The installer must restore the previous sink when
+  /// done (see obs::ScopedAttribution, which chains nested sinks).
+  [[nodiscard]] ClockSink* sink() const { return sink_; }
+  void set_sink(ClockSink* sink) { sink_ = sink; }
 
  private:
   Ns now_ns_ = 0;
+  ClockSink* sink_ = nullptr;
 };
 
 /// Elapsed-time probe: measures the virtual time spent in a scope.

@@ -10,15 +10,26 @@
 //  3. Bounded tracing: the span ring overwrites oldest-first and counts
 //     drops; summaries never drop.
 //  4. Thread safety: concurrent increments lose no updates (tsan-labeled).
+//  5. Attribution conservation: for every finished profile,
+//     duration == sum(categories) + warp, exactly — checked end to end for
+//     a seeded inference and a seeded training round.
+//  6. Trace export: two identical seeded runs produce byte-identical
+//     Chrome-trace JSON and attribution exports.
 #include <gtest/gtest.h>
 
 #include <thread>
 #include <vector>
 
+#include "core/securetf.h"
+#include "distributed/training.h"
+#include "ml/dataset.h"
+#include "ml/models.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profile.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "tee/cost_model.h"
 #include "tee/epc.h"
 #include "tee/platform.h"
@@ -303,6 +314,275 @@ TEST(ObsConcurrency, RegistrationRacesResolveToOneMetric) {
   EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
 }
 
+// --- JSON escaping (names are user-extensible strings) -------------------
+
+TEST(ObsExport, JsonEscapeHandlesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(obs::json_escape("plain.name"), "plain.name");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+}
+
+TEST(ObsExport, SpecialCharactersInNamesCannotCorruptTheDocument) {
+  obs::Registry reg;
+  reg.counter("t.we\"ird\\name").add(1);
+  obs::SpanTracer tracer;
+  tracer.record(tracer.intern("s.line\nbreak"), 0, 5);
+  const std::string json = obs::export_json(reg, &tracer);
+  EXPECT_NE(json.find("\"t.we\\\"ird\\\\name\""), std::string::npos);
+  EXPECT_NE(json.find("\"s.line\\nbreak\""), std::string::npos);
+  EXPECT_EQ(json.find("s.line\nbreak"), std::string::npos)
+      << "raw control characters must never reach the document";
+}
+
+// --- exact quantiles ------------------------------------------------------
+
+TEST(ObsQuantile, NearestRankQuantilesAreExact) {
+  obs::Registry reg;
+  obs::QuantileSeries& q = reg.quantiles("t.q_ns");
+  EXPECT_EQ(q.quantile(0.50), 0u) << "empty series reads as zero";
+  // 1..100 inserted in reverse: order of observation must not matter.
+  for (std::uint64_t v = 100; v >= 1; --v) q.observe(v);
+  EXPECT_EQ(q.count(), 100u);
+  EXPECT_EQ(q.quantile(0.50), 50u) << "nearest rank: ceil(0.50*100) = 50th";
+  EXPECT_EQ(q.quantile(0.95), 95u);
+  EXPECT_EQ(q.quantile(0.99), 99u);
+  EXPECT_EQ(q.quantile(1.00), 100u);
+
+  obs::QuantileSeries& single = reg.quantiles("t.single_ns");
+  single.observe(7'777);
+  EXPECT_EQ(single.quantile(0.50), 7'777u);
+  EXPECT_EQ(single.quantile(0.99), 7'777u);
+
+  reg.reset();
+  EXPECT_EQ(q.count(), 0u) << "quantiles are flow metrics: reset clears";
+  EXPECT_EQ(q.quantile(0.95), 0u);
+}
+
+// --- skip_empty spans -----------------------------------------------------
+
+TEST(ObsSpans, SkipEmptySuppressesZeroLengthRecordsOnly) {
+  obs::SpanTracer tracer;
+  tee::SimClock clock;
+  const std::uint32_t id = tracer.intern("t.maybe_idle");
+  { obs::ScopedSpan s(tracer, clock, id, /*skip_empty=*/true); }
+  EXPECT_TRUE(tracer.snapshot().empty())
+      << "zero-length skip_empty span leaves no record";
+  EXPECT_TRUE(tracer.summaries().empty());
+  {
+    obs::ScopedSpan s(tracer, clock, id, /*skip_empty=*/true);
+    clock.advance(5);
+  }
+  ASSERT_EQ(tracer.snapshot().size(), 1u);
+  { obs::ScopedSpan s(tracer, clock, id); }  // default keeps empty spans
+  ASSERT_EQ(tracer.snapshot().size(), 2u);
+  EXPECT_EQ(tracer.summaries().at("t.maybe_idle").count, 2u);
+}
+
+// --- cost attribution: unit-level conservation ---------------------------
+
+namespace profile_test {
+
+/// Enables profiling for one test body and resets the global observability
+/// state so seeded workloads start from a clean epoch.
+struct ProfilingGuard {
+  ProfilingGuard() {
+    obs::Registry::global().reset();
+    obs::SpanTracer::global().reset();
+    obs::AttributionStore::global().reset();
+    obs::set_profiling_enabled(true);
+  }
+  ~ProfilingGuard() { obs::set_profiling_enabled(false); }
+};
+
+}  // namespace profile_test
+
+TEST(ObsProfile, DisabledProfilingInstallsNoSinkAndRecordsNothing) {
+  ASSERT_FALSE(obs::profiling_enabled()) << "off by default";
+  obs::AttributionStore store;
+  tee::SimClock clock;
+  {
+    obs::ScopedAttribution profile(clock, "t.noop", store);
+    EXPECT_FALSE(profile.active());
+    EXPECT_EQ(clock.sink(), nullptr);
+    clock.advance(100);
+  }
+  EXPECT_TRUE(store.rows().empty());
+}
+
+TEST(ObsProfile, CategoriesAndWarpSumExactlyToDuration) {
+  profile_test::ProfilingGuard guard;
+  obs::AttributionStore store;
+  tee::SimClock clock;
+  clock.advance(1'000);  // nonzero origin: start_ns is captured, not assumed
+  {
+    obs::ScopedAttribution profile(clock, "t.unit", store);
+    ASSERT_TRUE(profile.active());
+    {
+      obs::ScopedCategory c(obs::Category::kCrypto);
+      clock.advance(100);
+      {
+        obs::ScopedCategory inner(obs::Category::kNet);
+        clock.advance(40);
+      }
+      clock.advance(10);  // back to crypto: innermost wins, stack restores
+    }
+    clock.set_ns(1'050);  // rewind: warp -100
+    clock.advance(25);    // uncategorized -> other
+  }
+  const auto rows = store.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  const obs::AttributionRow& row = rows[0];
+  EXPECT_EQ(row.start_ns, 1'000u);
+  EXPECT_EQ(row.end_ns, 1'075u);
+  EXPECT_EQ(row.warp_ns, -100);
+  using C = obs::Category;
+  EXPECT_EQ(row.by_category[static_cast<std::size_t>(C::kCrypto)], 110u);
+  EXPECT_EQ(row.by_category[static_cast<std::size_t>(C::kNet)], 40u);
+  EXPECT_EQ(row.by_category[static_cast<std::size_t>(C::kOther)], 25u);
+  EXPECT_EQ(row.duration_ns(), 75);
+  EXPECT_TRUE(row.conserved())
+      << "duration == sum(categories) + warp must hold exactly";
+}
+
+TEST(ObsProfile, NestedProfilesChainAndBothConserve) {
+  profile_test::ProfilingGuard guard;
+  obs::AttributionStore store;
+  tee::SimClock clock;
+  {
+    obs::ScopedAttribution outer(clock, "t.outer", store);
+    {
+      obs::ScopedCategory c(obs::Category::kCompute);
+      clock.advance(50);
+    }
+    {
+      obs::ScopedAttribution inner(clock, "t.inner", store);
+      obs::ScopedCategory c(obs::Category::kFsShield);
+      clock.advance(30);
+    }
+    clock.advance(20);
+  }
+  const auto rows = store.rows();
+  ASSERT_EQ(rows.size(), 2u);  // inner finishes first
+  EXPECT_EQ(rows[0].name, "t.inner");
+  EXPECT_EQ(rows[0].duration_ns(), 30);
+  EXPECT_TRUE(rows[0].conserved());
+  EXPECT_EQ(rows[1].name, "t.outer");
+  EXPECT_EQ(rows[1].duration_ns(), 100);
+  EXPECT_TRUE(rows[1].conserved())
+      << "the outer profile must see charges made while the inner one was "
+         "installed (sink chaining)";
+  using C = obs::Category;
+  EXPECT_EQ(rows[1].by_category[static_cast<std::size_t>(C::kFsShield)], 30u);
+}
+
+// --- cost attribution: end-to-end conservation ---------------------------
+
+namespace profile_test {
+
+/// A seeded hardware-mode classification workload small enough for a unit
+/// test but big enough to exercise EPC paging, syscalls and transitions.
+void run_seeded_inference() {
+  core::SecureTfConfig cfg;
+  cfg.mode = tee::TeeMode::Hardware;
+  cfg.model.epc_bytes = 256 * 1024;  // force paging at this model size
+  const ml::Graph graph = ml::mnist_mlp(16, 3);
+  ml::Session session(graph);
+  const auto model = ml::lite::FlatModel::from_frozen(
+      ml::freeze(graph, session), "input", "probs");
+  const ml::Dataset mnist = ml::synthetic_mnist(3, 5);
+  core::SecureTfContext ctx(cfg);
+  core::InferenceOptions opts;
+  opts.sync_syscalls = true;  // cover the transition+kernel split too
+  auto service = ctx.create_lite_service(model, opts);
+  for (std::int64_t i = 0; i < 3; ++i) (void)service->classify(mnist.sample(i));
+}
+
+}  // namespace profile_test
+
+TEST(ObsProfile, SeededInferenceDecomposesExactlyWithNoOtherLeakage) {
+  profile_test::ProfilingGuard guard;
+  profile_test::run_seeded_inference();
+  const auto rows = obs::AttributionStore::global().rows();
+  ASSERT_EQ(rows.size(), 3u);
+  using C = obs::Category;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.name, obs::names::kSpanInferenceRequest);
+    EXPECT_TRUE(row.conserved()) << "request " << row.start_ns;
+    EXPECT_EQ(row.warp_ns, 0) << "straight-line workload: no clock warps";
+    EXPECT_EQ(row.by_category[static_cast<std::size_t>(C::kOther)], 0u)
+        << "every inference-path charge site is categorized (the documented "
+           "other-leakage bound for inference is zero, docs/PROFILING.md)";
+    EXPECT_GT(row.by_category[static_cast<std::size_t>(C::kEpcPaging)], 0u);
+    EXPECT_GT(row.by_category[static_cast<std::size_t>(C::kCompute)], 0u);
+    EXPECT_GT(row.by_category[static_cast<std::size_t>(C::kTransition)], 0u);
+    EXPECT_GT(row.by_category[static_cast<std::size_t>(C::kSyscall)], 0u);
+  }
+  // The attribution interval is the request span's interval: totals agree.
+  const auto sums = obs::SpanTracer::global().summaries();
+  ASSERT_EQ(sums.count(obs::names::kSpanInferenceRequest), 1u);
+  std::int64_t attributed_total = 0;
+  for (const auto& row : rows) attributed_total += row.duration_ns();
+  EXPECT_EQ(static_cast<std::uint64_t>(attributed_total),
+            sums.at(obs::names::kSpanInferenceRequest).total_ns);
+}
+
+TEST(ObsProfile, SeededTrainingRoundConservesThroughClockWarps) {
+  profile_test::ProfilingGuard guard;
+  distributed::ClusterConfig cfg;
+  cfg.mode = tee::TeeMode::Simulation;
+  cfg.network_shield = true;
+  cfg.num_workers = 2;
+  cfg.batch_size = 10;
+  cfg.framework_scratch_bytes = 1ull << 20;
+  const ml::Graph graph = ml::mnist_mlp(16, 3);
+  const ml::Dataset data = ml::synthetic_mnist(20, 7);
+  distributed::TrainingCluster cluster(graph, cfg);
+  (void)cluster.train(data, 20);  // one round of 2x10
+
+  bool saw_round = false;
+  bool saw_warp = false;
+  for (const auto& row : obs::AttributionStore::global().rows()) {
+    if (row.name != obs::names::kSpanTrainRound) continue;
+    saw_round = true;
+    EXPECT_TRUE(row.conserved())
+        << "round starting at " << row.start_ns
+        << ": duration == sum(categories) + warp must hold exactly";
+    if (row.warp_ns != 0) saw_warp = true;
+  }
+  EXPECT_TRUE(saw_round);
+  EXPECT_TRUE(saw_warp) << "the PS replays parallel shards by rewinding its "
+                           "clock; warp accounting must be exercised";
+}
+
+// --- trace export determinism --------------------------------------------
+
+TEST(ObsProfile, SeededRunsProduceByteIdenticalTraceAndProfileExports) {
+  auto run = [] {
+    profile_test::ProfilingGuard guard;
+    profile_test::run_seeded_inference();
+    return std::pair{
+        obs::export_chrome_trace(obs::SpanTracer::global(),
+                                 &obs::AttributionStore::global()),
+        obs::export_profile_json(obs::AttributionStore::global())};
+  };
+  const auto [trace_a, profile_a] = run();
+  const auto [trace_b, profile_b] = run();
+  EXPECT_EQ(trace_a, trace_b) << "trace.json must be byte-reproducible";
+  EXPECT_EQ(profile_a, profile_b)
+      << "attribution export must be byte-reproducible";
+  // Shape spot-checks: metadata first, integer-only complete events, the
+  // attribution rows ride along as "profile:" events.
+  EXPECT_EQ(trace_a.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(trace_a.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(trace_a.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace_a.find("\"profile:core.inference.request\""),
+            std::string::npos);
+  EXPECT_NE(trace_a.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_NE(profile_a.find(obs::names::kCatEpcPaging), std::string::npos);
+}
+
 TEST(ObsConcurrency, TracerRecordsConcurrentlyWithoutCorruption) {
   obs::SpanTracer tracer(/*capacity=*/64);
   const std::uint32_t id = tracer.intern("t.par");
@@ -322,6 +602,42 @@ TEST(ObsConcurrency, TracerRecordsConcurrentlyWithoutCorruption) {
   EXPECT_EQ(tracer.snapshot().size(), 64u);
   EXPECT_EQ(tracer.dropped(),
             static_cast<std::uint64_t>(kThreads) * kPerThread - 64u);
+}
+
+TEST(ObsConcurrency, ConcurrentAttributionOnDistinctClocksIsRaceFree) {
+  // One lane = one clock = one ScopedAttribution, all publishing into one
+  // shared store; the category stack is thread-local. tsan-checked.
+  obs::AttributionStore store(/*capacity=*/64);
+  obs::set_profiling_enabled(true);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 50; ++i) {
+        tee::SimClock clock;
+        obs::ScopedAttribution profile(clock, "t.lane", store);
+        {
+          obs::ScopedCategory c(obs::Category::kCrypto);
+          clock.advance(static_cast<std::uint64_t>(t) * 100 + 10);
+        }
+        {
+          obs::ScopedCategory c(obs::Category::kNet);
+          clock.advance(40);
+        }
+        clock.set_ns(25);  // warp: exercised concurrently too
+        clock.advance(5);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  obs::set_profiling_enabled(false);
+  const auto sums = store.summaries();
+  ASSERT_EQ(sums.count("t.lane"), 1u);
+  EXPECT_EQ(sums.at("t.lane").count, 8u * 50u);
+  for (const auto& row : store.rows()) {
+    EXPECT_TRUE(row.conserved());
+  }
 }
 
 }  // namespace

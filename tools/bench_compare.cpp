@@ -1,0 +1,328 @@
+// Bench regression gate: diffs a fresh BENCH_*.json payload (registry +
+// profile sections, see bench/bench_common.h) against a committed baseline
+// under bench/baselines/.
+//
+//   bench_compare <baseline.json> <fresh.json>
+//                 [--tolerance PCT]            default 5
+//                 [--self-test-slowdown PCT]   scales fresh ns leaves; used
+//                                              by the WILL_FAIL ctest that
+//                                              proves the gate can fire
+//
+// Comparison policy, per flattened leaf:
+//   * structural drift (missing / extra keys) fails;
+//   * string leaves must match exactly;
+//   * timing leaves (*_ns, p50/p95/p99, sum, per-category attribution
+//     values) compare under a relative tolerance;
+//   * every other number (counts, bucket edges) must match exactly.
+// Exit code 0 when everything is within tolerance, 1 otherwise, with a
+// per-leaf report on stdout. The parser covers exactly the JSON subset the
+// exporters emit: objects, arrays, escaped strings, integers, and no
+// floating point (values are virtual-time integers by contract).
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Flat {
+  std::map<std::string, long double> nums;
+  std::map<std::string, std::string> strs;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, Flat& out) : s_(text), out_(out) {}
+
+  void run() {
+    value("");
+    ws();
+    if (i_ != s_.size()) fail("trailing content");
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("parse error at byte " + std::to_string(i_) +
+                             ": " + why);
+  }
+
+  void ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    ws();
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  std::string string_token() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (i_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) fail("truncated \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16));
+          i_ += 4;
+          // The exporters only \u-escape control bytes; keep it one byte.
+          out.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  void value(const std::string& path) {
+    const char c = peek();
+    if (c == '{') {
+      object(path);
+    } else if (c == '[') {
+      array(path);
+    } else if (c == '"') {
+      out_.strs[path] = string_token();
+    } else if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      number(path);
+    } else {
+      fail("unsupported value (exports are objects/arrays/strings/integers)");
+    }
+  }
+
+  void object(const std::string& path) {
+    expect('{');
+    if (peek() == '}') {
+      ++i_;
+      return;
+    }
+    while (true) {
+      const std::string key = string_token();
+      expect(':');
+      value(path.empty() ? key : path + "/" + key);
+      const char c = peek();
+      if (c == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void array(const std::string& path) {
+    expect('[');
+    if (peek() == ']') {
+      ++i_;
+      return;
+    }
+    std::size_t index = 0;
+    while (true) {
+      value(path + "[" + std::to_string(index++) + "]");
+      const char c = peek();
+      if (c == ',') {
+        ++i_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  void number(const std::string& path) {
+    const std::size_t start = i_;
+    if (s_[i_] == '-') ++i_;
+    while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+    if (i_ < s_.size() && (s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E')) {
+      fail("non-integer number (exports are integer-valued by contract)");
+    }
+    out_.nums[path] = std::strtold(s_.substr(start, i_ - start).c_str(),
+                                   nullptr);
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  Flat& out_;
+};
+
+Flat load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Flat flat;
+  Parser(buf.str(), flat).run();
+  return flat;
+}
+
+std::string leaf_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Timing-valued leaves tolerate relative drift; everything else is exact.
+bool is_timing_leaf(const std::string& path) {
+  const std::string leaf = leaf_of(path);
+  if (leaf.size() > 3 && leaf.compare(leaf.size() - 3, 3, "_ns") == 0) {
+    return true;
+  }
+  if (leaf == "p50" || leaf == "p95" || leaf == "p99" || leaf == "sum") {
+    return true;
+  }
+  // Per-category attribution values: .../categories/profile.<category>
+  return path.find("/categories/") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, fresh_path;
+  double tolerance_pct = 5.0;
+  double slowdown_pct = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance_pct = std::atof(argv[++i]);
+    } else if (arg == "--self-test-slowdown" && i + 1 < argc) {
+      slowdown_pct = std::atof(argv[++i]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else {
+      std::fprintf(stderr, "bench_compare: unexpected argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <fresh.json> "
+                 "[--tolerance PCT] [--self-test-slowdown PCT]\n");
+    return 2;
+  }
+
+  Flat baseline;
+  Flat fresh;
+  try {
+    baseline = load(baseline_path);
+    fresh = load(fresh_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  if (slowdown_pct != 0.0) {
+    // Synthetic regression: inflate the fresh run's timing leaves so the
+    // WILL_FAIL ctest can prove the gate actually fires.
+    for (auto& [path, v] : fresh.nums) {
+      if (is_timing_leaf(path)) {
+        v *= static_cast<long double>(1.0 + slowdown_pct / 100.0);
+      }
+    }
+    std::printf("self-test: fresh timing leaves scaled by +%.1f%%\n",
+                slowdown_pct);
+  }
+
+  std::size_t compared = 0;
+  std::size_t failures = 0;
+  auto report = [&](const std::string& line) {
+    ++failures;
+    if (failures <= 50) std::printf("FAIL %s\n", line.c_str());
+  };
+
+  for (const auto& [path, base] : baseline.nums) {
+    const auto it = fresh.nums.find(path);
+    if (it == fresh.nums.end()) {
+      report(path + ": missing from fresh run");
+      continue;
+    }
+    ++compared;
+    const long double got = it->second;
+    if (is_timing_leaf(path)) {
+      const long double scale =
+          std::max<long double>(std::fabs(base), std::fabs(got));
+      const long double rel =
+          scale == 0 ? 0 : std::fabs(got - base) / scale * 100.0L;
+      if (rel > static_cast<long double>(tolerance_pct)) {
+        report(path + ": " + std::to_string(static_cast<double>(base)) +
+               " -> " + std::to_string(static_cast<double>(got)) + " (" +
+               std::to_string(static_cast<double>(rel)) + "% > " +
+               std::to_string(tolerance_pct) + "%)");
+      }
+    } else if (base != got) {
+      report(path + ": expected " + std::to_string(static_cast<double>(base)) +
+             ", got " + std::to_string(static_cast<double>(got)) +
+             " (exact-match leaf)");
+    }
+  }
+  for (const auto& [path, v] : fresh.nums) {
+    (void)v;
+    if (baseline.nums.find(path) == baseline.nums.end()) {
+      report(path + ": not in baseline (new metric? refresh the baseline)");
+    }
+  }
+  for (const auto& [path, base] : baseline.strs) {
+    const auto it = fresh.strs.find(path);
+    if (it == fresh.strs.end()) {
+      report(path + ": missing string leaf");
+    } else {
+      ++compared;
+      if (it->second != base) {
+        report(path + ": \"" + base + "\" != \"" + it->second + "\"");
+      }
+    }
+  }
+  for (const auto& [path, v] : fresh.strs) {
+    (void)v;
+    if (baseline.strs.find(path) == baseline.strs.end()) {
+      report(path + ": string leaf not in baseline");
+    }
+  }
+
+  if (failures > 50) {
+    std::printf("... and %zu more failures\n", failures - 50);
+  }
+  std::printf("bench_compare: %zu leaves compared, %zu failures "
+              "(tolerance %.1f%% on timing leaves)\n",
+              compared, failures, tolerance_pct);
+  return failures == 0 ? 0 : 1;
+}
