@@ -53,8 +53,8 @@ InferenceService::InferenceService(tee::Platform& platform,
     enclave_env_ = std::make_unique<tee::EnclaveEnv>(*enclave_);
     env = enclave_env_.get();
   }
-  interpreter_ = std::make_unique<ml::lite::LiteInterpreter>(*model_, env,
-                                                             options_.kernels);
+  interpreter_ = std::make_unique<ml::lite::LiteInterpreter>(
+      *model_, env, options_.kernels, options_.weight_streaming);
 }
 
 InferenceService::InferenceService(tee::Platform& platform,
@@ -79,7 +79,10 @@ InferenceService::InferenceService(tee::Platform& platform,
                                             options_.framework_heap_bytes);
     }
   }
-  session_ = std::make_unique<ml::Session>(*graph_, env, options_.kernels);
+  session_ = std::make_unique<ml::Session>(
+      *graph_, env, options_.kernels,
+      ml::SessionOptions{.use_memory_planner = options_.memory_planner,
+                         .weight_streaming = options_.weight_streaming});
 }
 
 InferenceService::~InferenceService() = default;

@@ -51,6 +51,14 @@ struct InferenceOptions {
   /// Thread pool the real ML kernels execute on (wall time only; virtual
   /// time and results are thread-count independent).
   ml::kernels::KernelContext kernels = ml::kernels::KernelContext::shared();
+  /// EPC-aware activation planning for the full-TensorFlow path
+  /// (docs/MEMORY_PLANNER.md): liveness-packed arena instead of the legacy
+  /// bump cursor. Results are bit-identical either way.
+  bool memory_planner = false;
+  /// Layer-wise weight streaming: overlap next-layer weight fault-in with
+  /// current-layer compute and retire dead weights early. Applies to both
+  /// paths (full TF requires `memory_planner` too).
+  bool weight_streaming = false;
 };
 
 class InferenceService {

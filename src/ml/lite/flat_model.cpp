@@ -252,12 +252,44 @@ FlatModel FlatModel::quantized() const {
 }
 
 LiteInterpreter::LiteInterpreter(const FlatModel& model, tee::MemoryEnv* env,
-                                 kernels::KernelContext kernel_ctx)
-    : model_(model), env_(env), kernel_ctx_(kernel_ctx) {
+                                 kernels::KernelContext kernel_ctx,
+                                 bool weight_streaming)
+    : model_(model),
+      env_(env),
+      kernel_ctx_(kernel_ctx),
+      weight_streaming_(weight_streaming) {
   if (env_ != nullptr) {
     weights_region_ = env_->alloc("lite/weights", model_.weight_bytes());
     activation_bytes_ = 256 * 1024;
     activation_region_ = env_->alloc("lite/activations", activation_bytes_);
+  }
+  if (env_ != nullptr && weight_streaming_) {
+    // Streaming schedule over the linear program: for each op, the weight
+    // windows it reads, plus the windows dead after it (their last reader).
+    const std::uint64_t elem_size = model_.is_quantized() ? 1 : sizeof(float);
+    const auto& ops = model_.ops();
+    op_weight_spans_.resize(ops.size());
+    op_dead_spans_.resize(ops.size());
+    std::map<std::int32_t, std::size_t> last_use;
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      for (const std::int32_t idx : ops[j].inputs) {
+        const auto& desc = model_.tensors()[static_cast<std::size_t>(idx)];
+        if (!desc.is_weight()) continue;
+        op_weight_spans_[j].emplace_back(
+            static_cast<std::uint64_t>(desc.weight_offset) * elem_size,
+            static_cast<std::uint64_t>(num_elements(desc.shape)) * elem_size);
+        last_use[idx] = j;
+      }
+    }
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      for (const std::int32_t idx : ops[j].inputs) {
+        const auto& desc = model_.tensors()[static_cast<std::size_t>(idx)];
+        if (!desc.is_weight() || last_use.at(idx) != j) continue;
+        op_dead_spans_[j].emplace_back(
+            static_cast<std::uint64_t>(desc.weight_offset) * elem_size,
+            static_cast<std::uint64_t>(num_elements(desc.shape)) * elem_size);
+      }
+    }
   }
 }
 
@@ -302,10 +334,35 @@ Tensor LiteInterpreter::invoke(const Tensor& input) {
     return slot;
   };
 
-  for (const LiteOp& op : model_.ops()) {
+  // The first op has no predecessor to prefetch it; issue its windows up
+  // front so repeated invokes don't demand-fault what the previous invoke
+  // streamed out.
+  if (env_ != nullptr && weight_streaming_ && !op_weight_spans_.empty()) {
+    for (const auto& [off, len] : op_weight_spans_.front()) {
+      env_->prefetch(weights_region_, off, len);
+    }
+  }
+
+  for (std::size_t j = 0; j < model_.ops().size(); ++j) {
+    const LiteOp& op = model_.ops()[j];
     std::vector<const Tensor*> inputs;
     inputs.reserve(op.inputs.size());
     for (const auto idx : op.inputs) inputs.push_back(&materialize(idx));
+
+    if (env_ != nullptr && weight_streaming_) {
+      // Retire the previous op's dead weight windows off the critical path,
+      // then overlap the next op's fault-in with this op's compute.
+      if (j >= 1) {
+        for (const auto& [off, len] : op_dead_spans_[j - 1]) {
+          env_->advise_evict(weights_region_, off, len);
+        }
+      }
+      if (j + 1 < model_.ops().size()) {
+        for (const auto& [off, len] : op_weight_spans_[j + 1]) {
+          env_->prefetch(weights_region_, off, len);
+        }
+      }
+    }
 
     // Cost accounting: weight reads hit the weights region at their true
     // offset (page-accurate for the EPC model); activations ping-pong.

@@ -94,11 +94,15 @@ class LiteInterpreter {
   /// reference to `model`, which must outlive it (passing a temporary is
   /// rejected below). `kernel_ctx` picks the thread pool the kernels run
   /// on — wall time only; outputs stay bit-identical to the Session's at
-  /// any thread count.
+  /// any thread count. With `weight_streaming` the interpreter prefetches
+  /// op k+1's weight window while op k computes and advise-evicts windows
+  /// past their last use (docs/MEMORY_PLANNER.md) — cost model only, math
+  /// unchanged.
   explicit LiteInterpreter(const FlatModel& model,
                            tee::MemoryEnv* env = nullptr,
                            kernels::KernelContext kernel_ctx =
-                               kernels::KernelContext::shared());
+                               kernels::KernelContext::shared(),
+                           bool weight_streaming = false);
   LiteInterpreter(FlatModel&&, tee::MemoryEnv* = nullptr) = delete;
   ~LiteInterpreter();
 
@@ -118,9 +122,16 @@ class LiteInterpreter {
   const FlatModel& model_;
   tee::MemoryEnv* env_;
   kernels::KernelContext kernel_ctx_;
+  bool weight_streaming_ = false;
   std::uint64_t weights_region_ = 0;
   std::uint64_t activation_region_ = 0;
   std::uint64_t activation_bytes_ = 0;
+  /// Per-op weight windows of the arena, precomputed for streaming:
+  /// everything op k reads, and the subset dead after op k (last consumer).
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      op_weight_spans_;
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      op_dead_spans_;
   double last_flops_ = 0;
 };
 

@@ -20,6 +20,14 @@ struct SessionObs {
   obs::Counter& flops = obs::Registry::global().counter(
       obs::names::kSessionFlops, "floating-point operations charged",
       obs::Unit::Flops);
+  obs::Counter& planner_plans = obs::Registry::global().counter(
+      obs::names::kPlannerPlans, "memory plans computed (cache misses)");
+  obs::Gauge& planner_peak = obs::Registry::global().gauge(
+      obs::names::kPlannerPeakBytes, "packed activation arena peak",
+      obs::Unit::Bytes);
+  obs::Gauge& planner_saved = obs::Registry::global().gauge(
+      obs::names::kPlannerSavedBytes,
+      "arena bytes saved vs the legacy bump-cursor rule", obs::Unit::Bytes);
   std::uint32_t gemm_span =
       obs::SpanTracer::global().intern(obs::names::kSpanSessionGemm);
 };
@@ -76,8 +84,8 @@ struct Session::Tape {
 };
 
 Session::Session(const Graph& graph, tee::MemoryEnv* env,
-                 kernels::KernelContext kernel_ctx)
-    : graph_(graph), env_(env), kernel_ctx_(kernel_ctx) {
+                 kernels::KernelContext kernel_ctx, SessionOptions options)
+    : graph_(graph), env_(env), kernel_ctx_(kernel_ctx), options_(options) {
   for (const Node& n : graph_.nodes()) {
     if (n.type == OpType::Variable) {
       if (!n.value.has_value()) {
@@ -100,6 +108,7 @@ Session::~Session() {
   if (env_ != nullptr) {
     for (const auto& [id, region] : param_regions_) env_->release(region);
     env_->release(arena_region_);
+    if (plan_arena_mapped_) env_->release(plan_arena_region_);
   }
 }
 
@@ -203,6 +212,12 @@ std::vector<Tensor> Session::run_internal(
     const std::vector<NodeId>& fetch_ids,
     const std::map<std::string, Tensor>& feeds, Tape* tape) {
   const auto order = graph_.topological_order(fetch_ids);
+  // Planned execution applies to accounted forward passes. Training keeps
+  // the legacy arena: the tape pins every activation to the end of the pass,
+  // so there is no lifetime sharing for the planner to exploit.
+  if (options_.use_memory_planner && env_ != nullptr && tape == nullptr) {
+    return run_planned(order, fetch_ids, feeds);
+  }
   std::map<NodeId, Tensor> values;
   last_run_flops_ = 0;
   arena_cursor_ = 0;
@@ -254,6 +269,182 @@ std::vector<Tensor> Session::run_internal(
         break;
       }
     }
+  }
+
+  std::vector<Tensor> out;
+  out.reserve(fetch_ids.size());
+  for (const NodeId id : fetch_ids) out.push_back(values.at(id));
+  session_obs().runs.add();
+  session_obs().flops.add(static_cast<std::uint64_t>(last_run_flops_));
+  return out;
+}
+
+std::vector<Tensor> Session::run_planned(
+    const std::vector<NodeId>& order, const std::vector<NodeId>& fetch_ids,
+    const std::map<std::string, Tensor>& feeds) {
+  last_run_flops_ = 0;
+  std::map<NodeId, Tensor> values;
+  std::map<NodeId, std::uint64_t> sizes;
+  std::map<NodeId, double> node_flops;
+
+  // --- Phase A: evaluate. Same order, same eval_node, same kernels as the
+  // legacy path — outputs are bit-identical by construction. No cost is
+  // charged here; the plan decides where every access lands first.
+  for (const NodeId id : order) {
+    const Node& node = graph_.node(id);
+    switch (node.type) {
+      case OpType::Const:
+        values[id] = *node.value;
+        break;
+      case OpType::Variable:
+        values[id] = variables_.at(node.name);
+        break;
+      case OpType::Placeholder: {
+        const auto it = feeds.find(node.name);
+        if (it == feeds.end()) {
+          throw std::invalid_argument("placeholder '" + node.name +
+                                      "' was not fed");
+        }
+        values[id] = it->second;
+        break;
+      }
+      default: {
+        std::vector<const Tensor*> inputs;
+        inputs.reserve(node.inputs.size());
+        for (const NodeId in : node.inputs) inputs.push_back(&values.at(in));
+        double flops = 0;
+        values[id] = eval_node(node, inputs, flops);
+        node_flops[id] = flops;
+        last_run_flops_ += flops;
+        break;
+      }
+    }
+    sizes[id] = values.at(id).byte_size();
+  }
+
+  // --- Phase B: look up / build the plan. The signature captures exactly
+  // what placement depends on: which nodes stay live to the end (fetches)
+  // and the fed tensor sizes (batch-size polymorphism).
+  std::string key;
+  for (const NodeId id : fetch_ids) key += std::to_string(id) + ",";
+  key += '|';
+  for (const NodeId id : order) {
+    const Node& node = graph_.node(id);
+    if (node.type == OpType::Placeholder) {
+      key += node.name + ':' + std::to_string(sizes.at(id)) + ';';
+    }
+  }
+  auto pit = plan_cache_.find(key);
+  if (pit == plan_cache_.end()) {
+    pit = plan_cache_
+              .emplace(key, MemoryPlanner::plan(graph_, order, sizes, fetch_ids))
+              .first;
+    session_obs().planner_plans.add();
+  }
+  const MemoryPlan& plan = pit->second;
+  const PlanReport& rep = plan.report();
+  last_plan_report_ = rep;
+  session_obs().planner_peak.set(rep.peak_bytes);
+  session_obs().planner_saved.set(
+      rep.bump_peak_bytes > rep.peak_bytes ? rep.bump_peak_bytes - rep.peak_bytes
+                                           : 0);
+
+  // The packed arena is sized to the exact peak (grow-only across plans).
+  if (!plan_arena_mapped_ || plan_arena_bytes_ < rep.peak_bytes) {
+    if (plan_arena_mapped_) env_->release(plan_arena_region_);
+    plan_arena_bytes_ = std::max(plan_arena_bytes_, rep.peak_bytes);
+    plan_arena_region_ = env_->alloc(
+        "planned-arena", std::max<std::uint64_t>(plan_arena_bytes_, 1));
+    plan_arena_mapped_ = true;
+  }
+
+  // Weight-streaming schedule: for every op, its weight regions; for every
+  // region, the last op that reads it (shared weights must not be evicted
+  // between uses).
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> op_params;
+  std::map<std::uint64_t, std::size_t> region_last_use;
+  if (options_.weight_streaming) {
+    for (const NodeId id : order) {
+      const Node& node = graph_.node(id);
+      if (is_parameter(node.type) || node.type == OpType::Placeholder) continue;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> params;
+      for (const NodeId in : node.inputs) {
+        if (const auto it = param_regions_.find(in);
+            it != param_regions_.end()) {
+          params.emplace_back(it->second, sizes.at(in));
+          region_last_use[it->second] = op_params.size();
+        }
+      }
+      op_params.push_back(std::move(params));
+    }
+  }
+
+  // --- Phase C: replay the pass against the plan. Every access is charged
+  // at its exact [offset, offset+bytes) window — including fed batches,
+  // which the legacy path clamped to the arena size.
+  //
+  // The first op has no predecessor to prefetch it, so its weights are
+  // issued up front, overlapping feed ingestion — otherwise a repeated run
+  // demand-faults the whole first layer that the previous run streamed out.
+  if (options_.weight_streaming && !op_params.empty()) {
+    for (const auto& [region, bytes] : op_params.front()) {
+      env_->prefetch(region, 0, bytes);
+    }
+  }
+  std::size_t op_index = 0;
+  for (const NodeId id : order) {
+    const Node& node = graph_.node(id);
+    if (is_parameter(node.type)) continue;
+    if (node.type == OpType::Placeholder) {
+      // Feeding copies the batch into enclave memory: a full write at the
+      // tensor's planned slot.
+      if (plan.has(id)) {
+        env_->access(plan_arena_region_, plan.offset_of(id), sizes.at(id),
+                     /*write=*/true);
+      }
+      continue;
+    }
+    if (options_.weight_streaming) {
+      // Retire dead weights first (frees EPC pages off the critical path),
+      // then fault in the next layer's weights under the current layer's
+      // compute.
+      if (op_index >= 1) {
+        for (const auto& [region, bytes] : op_params[op_index - 1]) {
+          if (region_last_use.at(region) == op_index - 1) {
+            env_->advise_evict(region, 0, bytes);
+          }
+        }
+      }
+      if (op_index + 1 < op_params.size()) {
+        for (const auto& [region, bytes] : op_params[op_index + 1]) {
+          env_->prefetch(region, 0, bytes);
+        }
+      }
+    }
+    const bool is_gemm =
+        node.type == OpType::MatMul || node.type == OpType::Conv2D;
+    const std::uint64_t gemm_start = is_gemm ? env_->now_ns() : 0;
+    for (const NodeId in : node.inputs) {
+      if (const auto it = param_regions_.find(in); it != param_regions_.end()) {
+        env_->access(it->second, 0, sizes.at(in), /*write=*/false);
+      } else if (plan.has(in)) {
+        env_->access(plan_arena_region_, plan.offset_of(in), sizes.at(in),
+                     /*write=*/false);
+      }
+    }
+    if (plan.has(id)) {
+      env_->access(plan_arena_region_, plan.offset_of(id), sizes.at(id),
+                   /*write=*/true);
+    }
+    env_->compute(node_flops.at(id));
+    if (is_gemm) {
+      const std::uint64_t gemm_end = env_->now_ns();
+      if (gemm_end > gemm_start) {
+        obs::SpanTracer::global().record(session_obs().gemm_span, gemm_start,
+                                         gemm_end);
+      }
+    }
+    ++op_index;
   }
 
   std::vector<Tensor> out;

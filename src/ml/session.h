@@ -13,10 +13,24 @@
 #include <vector>
 
 #include "ml/graph.h"
+#include "ml/memory_planner.h"
 #include "ml/ops.h"
 #include "tee/memory_env.h"
 
 namespace stf::ml {
+
+/// Cost-model execution options (the math is unaffected by every one).
+struct SessionOptions {
+  /// Plan activation placement with liveness analysis + best-fit packing
+  /// (docs/MEMORY_PLANNER.md) instead of the legacy bump-cursor arena.
+  /// Forward runs only; training passes keep the legacy arena (the tape
+  /// keeps every activation live anyway).
+  bool use_memory_planner = false;
+  /// Layer-wise weight streaming: while op k executes, prefetch op k+1's
+  /// weights and advise-evict dead weights of op k-1. Only effective
+  /// together with `use_memory_planner` (it rides the planned replay).
+  bool weight_streaming = false;
+};
 
 class Session {
  public:
@@ -26,7 +40,8 @@ class Session {
   /// virtual-time charges are shape functions).
   explicit Session(const Graph& graph, tee::MemoryEnv* env = nullptr,
                    kernels::KernelContext kernel_ctx =
-                       kernels::KernelContext::shared());
+                       kernels::KernelContext::shared(),
+                   SessionOptions options = {});
   ~Session();
 
   Session(const Session&) = delete;
@@ -69,12 +84,21 @@ class Session {
 
   [[nodiscard]] const Graph& graph() const { return graph_; }
 
+  /// Report of the plan used by the most recent planned run; empty until a
+  /// run executes with `use_memory_planner` and an environment.
+  [[nodiscard]] const std::optional<PlanReport>& last_plan_report() const {
+    return last_plan_report_;
+  }
+
  private:
   struct Tape;  // records per-node inputs/outputs of one forward pass
 
   std::vector<Tensor> run_internal(const std::vector<NodeId>& fetch_ids,
                                    const std::map<std::string, Tensor>& feeds,
                                    Tape* tape);
+  std::vector<Tensor> run_planned(const std::vector<NodeId>& order,
+                                  const std::vector<NodeId>& fetch_ids,
+                                  const std::map<std::string, Tensor>& feeds);
   Tensor eval_node(const Node& node, const std::vector<const Tensor*>& inputs,
                    double& flops) const;
   void charge(const Node& node, const std::vector<const Tensor*>& inputs,
@@ -85,6 +109,7 @@ class Session {
   const Graph& graph_;
   tee::MemoryEnv* env_;
   kernels::KernelContext kernel_ctx_;
+  SessionOptions options_;
   std::map<std::string, Tensor> variables_;
   /// Per-parameter-node env regions (weights live in the EPC persistently).
   std::map<NodeId, std::uint64_t> param_regions_;
@@ -92,6 +117,14 @@ class Session {
   std::uint64_t arena_region_ = 0;
   std::uint64_t arena_bytes_ = 0;
   std::uint64_t arena_cursor_ = 0;
+  /// Packed arena for planned runs, sized to the exact plan peak.
+  std::uint64_t plan_arena_region_ = 0;
+  std::uint64_t plan_arena_bytes_ = 0;
+  bool plan_arena_mapped_ = false;
+  /// Plans keyed by (fetches, fed shapes) signature — a steady-state serving
+  /// loop plans once and replays forever.
+  std::map<std::string, MemoryPlan> plan_cache_;
+  std::optional<PlanReport> last_plan_report_;
   double last_run_flops_ = 0;
   float last_loss_ = 0;
 };

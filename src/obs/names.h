@@ -25,6 +25,10 @@ inline constexpr const char* kEpcAccesses = "tee.epc.accesses";
 inline constexpr const char* kEpcBytesAccessed = "tee.epc.bytes_accessed";
 inline constexpr const char* kEpcResidentPages = "tee.epc.resident_pages";
 inline constexpr const char* kEpcMappedBytes = "tee.epc.mapped_bytes";
+inline constexpr const char* kEpcPrefetches = "tee.epc.prefetches";
+inline constexpr const char* kEpcPrefetchedPages = "tee.epc.prefetched_pages";
+inline constexpr const char* kEpcAdvisedEvictions =
+    "tee.epc.advised_evictions";
 inline constexpr const char* kEnclaveLaunches = "tee.enclave.launches";
 inline constexpr const char* kEnclaveTransitions = "tee.enclave.transitions";
 inline constexpr const char* kEnclaveSyscalls = "tee.enclave.syscalls";
@@ -77,6 +81,9 @@ inline constexpr const char* kSessionTrainSteps = "ml.session.train_steps";
 inline constexpr const char* kSessionFlops = "ml.session.flops";
 inline constexpr const char* kKernelGemmCalls = "ml.kernels.gemm_calls";
 inline constexpr const char* kKernelConvCalls = "ml.kernels.conv_calls";
+inline constexpr const char* kPlannerPlans = "ml.planner.plans";
+inline constexpr const char* kPlannerPeakBytes = "ml.planner.peak_bytes";
+inline constexpr const char* kPlannerSavedBytes = "ml.planner.saved_bytes";
 
 // --- core: inference + serving fleet (Figures 5-7) -----------------------
 inline constexpr const char* kInferenceRequests = "core.inference.requests";
@@ -109,6 +116,7 @@ inline constexpr const char* kTrainRoundQuantileNs =
 inline constexpr const char* kSpanEnclaveTransition = "tee.enclave.transition";
 inline constexpr const char* kSpanEpcEvict = "tee.epc.evict";
 inline constexpr const char* kSpanEpcLoad = "tee.epc.load";
+inline constexpr const char* kSpanEpcPrefetch = "tee.epc.prefetch";
 inline constexpr const char* kSpanFsShieldSeal = "runtime.fs_shield.seal";
 inline constexpr const char* kSpanFsShieldUnseal = "runtime.fs_shield.unseal";
 inline constexpr const char* kSpanSchedSyscall = "runtime.sched.syscall";
@@ -132,6 +140,7 @@ inline constexpr const char* kCatCrypto = "profile.crypto";
 inline constexpr const char* kCatNet = "profile.net";
 inline constexpr const char* kCatFsShield = "profile.fs_shield";
 inline constexpr const char* kCatFaultDelay = "profile.fault_delay";
+inline constexpr const char* kCatEpcPrefetch = "profile.epc_prefetch";
 inline constexpr const char* kCatOther = "profile.other";
 
 }  // namespace stf::obs::names

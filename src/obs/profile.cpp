@@ -34,6 +34,7 @@ const char* to_string(Category c) {
     case Category::kNet: return names::kCatNet;
     case Category::kFsShield: return names::kCatFsShield;
     case Category::kFaultDelay: return names::kCatFaultDelay;
+    case Category::kEpcPrefetch: return names::kCatEpcPrefetch;
     case Category::kOther: return names::kCatOther;
   }
   return "profile.other";

@@ -10,7 +10,8 @@
 // net, ml and distributed open the matching category around their clock
 // charges, so a profiled inference request decomposes into
 // compute / epc_paging / transition / syscall / crypto / net / fs_shield /
-// fault_delay / other with nothing double-counted and nothing lost.
+// fault_delay / epc_prefetch / other with nothing double-counted and
+// nothing lost.
 //
 // Conservation invariant (checked in tests/obs_test.cpp): for every
 // finished profile,
@@ -55,10 +56,11 @@ enum class Category : std::uint8_t {
   kNet,           ///< serialization, RTTs, waiting for message arrival
   kFsShield,      ///< file-system shield seal/unseal AEAD work
   kFaultDelay,    ///< retransmit backoff, round timeouts (injected weather)
+  kEpcPrefetch,   ///< overlapped weight prefetch + advise-evict (streaming)
   kOther,         ///< anything charged with no category open (barrier waits)
 };
 
-inline constexpr std::size_t kCategoryCount = 9;
+inline constexpr std::size_t kCategoryCount = 10;
 
 /// Canonical `profile.*` name of a category (from names.h).
 [[nodiscard]] const char* to_string(Category c);
@@ -194,8 +196,8 @@ class ScopedAttribution final : public tee::ClockSink {
 };
 
 /// Serializes `store` as stable-ordered, integer-only JSON (same byte
-/// contract as export_json): drop count, then per-name aggregates with all
-/// nine categories always present in enum order. 2-space indented,
+/// contract as export_json): drop count, then per-name aggregates with
+/// every category always present in enum order. 2-space indented,
 /// trailing newline.
 [[nodiscard]] std::string export_profile_json(
     const AttributionStore& store = AttributionStore::global(),

@@ -70,6 +70,14 @@ struct CostModel {
   std::uint64_t page_load_ns = 14000;
   /// Page fault kernel entry/exit + enclave AEX on an EPC miss.
   std::uint64_t page_fault_ns = 7000;
+  /// Prefetching a page ahead of use (EPC-aware streaming, §3.3 async-queue
+  /// analog): the ELDU runs on a host thread while the enclave computes, so
+  /// only the enqueue hop plus the non-overlappable decrypt tail lands on
+  /// the critical path — no AEX, no demand fault.
+  std::uint64_t page_prefetch_ns = 2500;
+  /// Advising a page out ahead of reuse pressure: enqueue on the async
+  /// syscall queue; the EWB itself runs off the critical path.
+  std::uint64_t page_advise_evict_ns = 700;
 
   // --- transitions & syscalls -------------------------------------------
   /// Synchronous enclave transition (EENTER/EEXIT pair), ~8k cycles.

@@ -116,6 +116,20 @@ void Enclave::compute(double flops) {
   }
 }
 
+void Enclave::prefetch_region(RegionId id, std::uint64_t offset,
+                              std::uint64_t len) {
+  platform_.epc().prefetch(id, offset, len, platform_.clock());
+}
+
+void Enclave::advise_evict_region(RegionId id, std::uint64_t offset,
+                                  std::uint64_t len) {
+  platform_.epc().advise_evict(id, offset, len, platform_.clock());
+}
+
+void Enclave::pin_region(RegionId id) { platform_.epc().pin(id); }
+
+void Enclave::unpin_region(RegionId id) { platform_.epc().unpin(id); }
+
 void Enclave::touch_binary(double fraction) {
   const std::uint64_t bytes = static_cast<std::uint64_t>(
       static_cast<double>(image_.binary_bytes) * std::min(1.0, fraction));

@@ -60,6 +60,13 @@ class Enclave {
   void release_region(RegionId id);
   void access(RegionId id, std::uint64_t offset, std::uint64_t len, bool write);
   void compute(double flops);
+  /// EPC streaming hints (forwarded to the platform's EpcManager; no-ops
+  /// outside Hardware mode). See docs/MEMORY_PLANNER.md.
+  void prefetch_region(RegionId id, std::uint64_t offset, std::uint64_t len);
+  void advise_evict_region(RegionId id, std::uint64_t offset,
+                           std::uint64_t len);
+  void pin_region(RegionId id);
+  void unpin_region(RegionId id);
 
   // --- transitions and syscalls -----------------------------------------
   /// A synchronous enclave transition pair (EENTER + EEXIT).
@@ -116,6 +123,16 @@ class EnclaveEnv final : public MemoryEnv {
     enclave_.access(region, offset, len, write);
   }
   void compute(double flops) override { enclave_.compute(flops); }
+  void prefetch(std::uint64_t region, std::uint64_t offset,
+                std::uint64_t len) override {
+    enclave_.prefetch_region(region, offset, len);
+  }
+  void advise_evict(std::uint64_t region, std::uint64_t offset,
+                    std::uint64_t len) override {
+    enclave_.advise_evict_region(region, offset, len);
+  }
+  void pin(std::uint64_t region) override { enclave_.pin_region(region); }
+  void unpin(std::uint64_t region) override { enclave_.unpin_region(region); }
   [[nodiscard]] std::uint64_t now_ns() const override {
     return enclave_.now_ns();
   }

@@ -22,6 +22,14 @@ EpcManager::EpcManager(const CostModel& model, bool limited)
       obs_bytes_accessed_(obs::Registry::global().counter(
           obs::names::kEpcBytesAccessed, "bytes crossing the EPC boundary",
           obs::Unit::Bytes)),
+      obs_prefetches_(obs::Registry::global().counter(
+          obs::names::kEpcPrefetches, "prefetch batches that loaded pages")),
+      obs_prefetched_pages_(obs::Registry::global().counter(
+          obs::names::kEpcPrefetchedPages, "pages loaded ahead of use",
+          obs::Unit::Pages)),
+      obs_advised_evictions_(obs::Registry::global().counter(
+          obs::names::kEpcAdvisedEvictions,
+          "pages evicted off the critical path", obs::Unit::Pages)),
       obs_resident_pages_(obs::Registry::global().gauge(
           obs::names::kEpcResidentPages, "live resident EPC pages",
           obs::Unit::Pages)),
@@ -29,7 +37,9 @@ EpcManager::EpcManager(const CostModel& model, bool limited)
           obs::names::kEpcMappedBytes, "bytes of mapped enclave regions",
           obs::Unit::Bytes)),
       span_evict_id_(obs::SpanTracer::global().intern(obs::names::kSpanEpcEvict)),
-      span_load_id_(obs::SpanTracer::global().intern(obs::names::kSpanEpcLoad)) {
+      span_load_id_(obs::SpanTracer::global().intern(obs::names::kSpanEpcLoad)),
+      span_prefetch_id_(
+          obs::SpanTracer::global().intern(obs::names::kSpanEpcPrefetch)) {
   if (capacity_pages_ == 0) {
     throw std::invalid_argument("EpcManager: EPC must hold at least one page");
   }
@@ -57,9 +67,26 @@ RegionId EpcManager::map_region(std::string label, std::uint64_t bytes) {
   return id;
 }
 
+EpcManager::Region& EpcManager::find_region(RegionId id) {
+  if (id == cached_id_ && cached_region_ != nullptr) return *cached_region_;
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw std::invalid_argument("EpcManager: access to unmapped region");
+  }
+  // unordered_map node pointers are stable until erase, so the cache stays
+  // valid across map_region() rehashes; unmap_region() drops it.
+  cached_id_ = id;
+  cached_region_ = &it->second;
+  return it->second;
+}
+
 void EpcManager::unmap_region(RegionId id) {
   auto it = regions_.find(id);
   if (it == regions_.end()) return;
+  if (id == cached_id_) {
+    cached_id_ = 0;
+    cached_region_ = nullptr;
+  }
   const std::uint64_t resident_before = resident_count_;
   for (std::uint32_t p = 0; p < it->second.pages.size(); ++p) {
     Page& page = it->second.pages[p];
@@ -73,6 +100,7 @@ void EpcManager::unmap_region(RegionId id) {
       regions_.at(moved_region).pages[moved_page].resident_pos = pos;
     }
     --resident_count_;
+    if (it->second.pinned) --pinned_resident_;
     page.resident = false;
   }
   stats_.resident_pages = resident_count_;
@@ -83,15 +111,10 @@ void EpcManager::unmap_region(RegionId id) {
   regions_.erase(it);
 }
 
-void EpcManager::evict_one(SimClock& clock) {
-  if (resident_list_.empty()) {
-    throw std::logic_error("EpcManager: EPC full with no evictable page");
-  }
-  const std::uint32_t pos = static_cast<std::uint32_t>(
-      next_random() % resident_list_.size());
-  const auto [victim_region, victim_page] = resident_list_[pos];
-  Region& region = regions_.at(victim_region);
-  region.pages[victim_page].resident = false;
+void EpcManager::drop_resident(Region& region, std::uint32_t page_index) {
+  Page& page = region.pages[page_index];
+  const std::uint32_t pos = page.resident_pos;
+  page.resident = false;
   --region.resident;
 
   resident_list_[pos] = resident_list_.back();
@@ -102,9 +125,26 @@ void EpcManager::evict_one(SimClock& clock) {
   }
 
   --resident_count_;
+  if (region.pinned) --pinned_resident_;
+  obs_resident_pages_.sub(1);
+}
+
+void EpcManager::evict_one(SimClock& clock) {
+  if (resident_list_.size() <= pinned_resident_) {
+    throw std::logic_error("EpcManager: EPC full with no evictable page");
+  }
+  // Random victim, probing forward past pinned pages (the kernel's reclaim
+  // scan skips EPCM-locked entries the same way).
+  std::uint32_t pos = static_cast<std::uint32_t>(
+      next_random() % resident_list_.size());
+  while (regions_.at(resident_list_[pos].first).pinned) {
+    pos = static_cast<std::uint32_t>((pos + 1) % resident_list_.size());
+  }
+  const auto [victim_region, victim_page] = resident_list_[pos];
+  drop_resident(regions_.at(victim_region), victim_page);
+
   ++stats_.evictions;
   obs_evictions_.add();
-  obs_resident_pages_.sub(1);
   const std::uint64_t start = clock.now_ns();
   clock.advance(model_.page_evict_ns);
   obs::SpanTracer::global().record(span_evict_id_, start, clock.now_ns());
@@ -122,23 +162,20 @@ void EpcManager::fault_in(Region& region, RegionId id, std::uint32_t page_index,
   resident_list_.emplace_back(id, page_index);
   ++region.resident;
   ++resident_count_;
+  if (region.pinned) ++pinned_resident_;
   ++stats_.loads;
   obs_loads_.add();
   obs_resident_pages_.add(1);
-  const std::uint64_t start = clock.now_ns();
   clock.advance(model_.page_load_ns);
-  obs::SpanTracer::global().record(span_load_id_, start, clock.now_ns());
+  // The load span is recorded by the caller, coalesced over the whole
+  // access()/prefetch() batch — one ring record per call, not per page.
 }
 
 void EpcManager::access(RegionId id, std::uint64_t offset, std::uint64_t len,
                         bool write, SimClock& clock) {
   (void)write;  // SGX pays EWB for clean and dirty pages alike
-  auto it = regions_.find(id);
-  if (it == regions_.end()) {
-    throw std::invalid_argument("EpcManager: access to unmapped region");
-  }
+  Region& region = find_region(id);
   if (len == 0) return;
-  Region& region = it->second;
   if (offset + len > region.pages.size() * model_.page_size) {
     throw std::out_of_range("EpcManager: access beyond region");
   }
@@ -168,18 +205,105 @@ void EpcManager::access(RegionId id, std::uint64_t offset, std::uint64_t len,
   const std::uint32_t first = static_cast<std::uint32_t>(offset / model_.page_size);
   const std::uint32_t last =
       static_cast<std::uint32_t>((offset + len - 1) / model_.page_size);
+  const std::uint64_t loads_before = stats_.loads;
+  const std::uint64_t span_start = clock.now_ns();
   for (std::uint32_t p = first; p <= last; ++p) {
     if (!region.pages[p].resident) fault_in(region, id, p, clock);
+  }
+  if (stats_.loads != loads_before) {
+    // One coalesced paging span for the whole access (covers every fault,
+    // demand eviction, and load this call performed).
+    obs::SpanTracer::global().record(span_load_id_, span_start, clock.now_ns());
   }
   stats_.resident_pages = resident_count_;
 }
 
 void EpcManager::access_all(RegionId id, bool write, SimClock& clock) {
-  const auto it = regions_.find(id);
-  if (it == regions_.end()) {
-    throw std::invalid_argument("EpcManager: access to unmapped region");
+  access(id, 0, find_region(id).bytes, write, clock);
+}
+
+void EpcManager::prefetch(RegionId id, std::uint64_t offset, std::uint64_t len,
+                          SimClock& clock) {
+  if (!limited_ || len == 0) return;
+  Region& region = find_region(id);
+  if (offset + len > region.pages.size() * model_.page_size) {
+    throw std::out_of_range("EpcManager: prefetch beyond region");
   }
-  access(id, 0, it->second.bytes, write, clock);
+  if (region.resident == region.pages.size()) return;  // nothing to load
+
+  obs::ScopedCategory attribution(obs::Category::kEpcPrefetch);
+  const std::uint32_t first =
+      static_cast<std::uint32_t>(offset / model_.page_size);
+  const std::uint32_t last =
+      static_cast<std::uint32_t>((offset + len - 1) / model_.page_size);
+  const std::uint64_t span_start = clock.now_ns();
+  std::uint64_t loaded = 0;
+  for (std::uint32_t p = first; p <= last; ++p) {
+    if (region.pages[p].resident) continue;
+    // Make room first (counts as demand eviction when it happens — the
+    // streaming caller is expected to advise_evict cold spans beforehand).
+    while (resident_count_ >= capacity_pages_) evict_one(clock);
+    Page& page = region.pages[p];
+    page.resident = true;
+    page.resident_pos = static_cast<std::uint32_t>(resident_list_.size());
+    resident_list_.emplace_back(id, p);
+    ++region.resident;
+    ++resident_count_;
+    if (region.pinned) ++pinned_resident_;
+    obs_resident_pages_.add(1);
+    // Overlapped ELDU: only the enqueue hop + decrypt tail hits the
+    // critical path; no AEX, no demand fault.
+    clock.advance(model_.page_prefetch_ns);
+    ++loaded;
+  }
+  if (loaded > 0) {
+    ++stats_.prefetches;
+    stats_.prefetched_pages += loaded;
+    obs_prefetches_.add();
+    obs_prefetched_pages_.add(loaded);
+    obs::SpanTracer::global().record(span_prefetch_id_, span_start,
+                                     clock.now_ns());
+  }
+  stats_.resident_pages = resident_count_;
+}
+
+void EpcManager::advise_evict(RegionId id, std::uint64_t offset,
+                              std::uint64_t len, SimClock& clock) {
+  if (!limited_ || len == 0) return;
+  Region& region = find_region(id);
+  if (region.pinned || region.resident == 0) return;
+  if (offset + len > region.pages.size() * model_.page_size) {
+    throw std::out_of_range("EpcManager: advise_evict beyond region");
+  }
+
+  obs::ScopedCategory attribution(obs::Category::kEpcPrefetch);
+  const std::uint32_t first =
+      static_cast<std::uint32_t>(offset / model_.page_size);
+  const std::uint32_t last =
+      static_cast<std::uint32_t>((offset + len - 1) / model_.page_size);
+  for (std::uint32_t p = first; p <= last; ++p) {
+    if (!region.pages[p].resident) continue;
+    drop_resident(region, p);
+    ++stats_.advised_evictions;
+    obs_advised_evictions_.add();
+    // Async enqueue only: the EWB runs off the critical path.
+    clock.advance(model_.page_advise_evict_ns);
+  }
+  stats_.resident_pages = resident_count_;
+}
+
+void EpcManager::pin(RegionId id) {
+  Region& region = find_region(id);
+  if (region.pinned) return;
+  region.pinned = true;
+  pinned_resident_ += region.resident;
+}
+
+void EpcManager::unpin(RegionId id) {
+  Region& region = find_region(id);
+  if (!region.pinned) return;
+  region.pinned = false;
+  pinned_resident_ -= region.resident;
 }
 
 }  // namespace stf::tee

@@ -31,10 +31,13 @@ using RegionId = std::uint64_t;
 struct EpcStats {
   std::uint64_t faults = 0;       ///< page accesses that found the page absent
   std::uint64_t loads = 0;        ///< pages brought into EPC (ELDU)
-  std::uint64_t evictions = 0;    ///< pages pushed out of EPC (EWB)
+  std::uint64_t evictions = 0;    ///< pages pushed out of EPC (EWB, on demand)
   std::uint64_t accesses = 0;     ///< access() calls
   std::uint64_t bytes_accessed = 0;
   std::uint64_t resident_pages = 0;
+  std::uint64_t prefetches = 0;        ///< prefetch() calls
+  std::uint64_t prefetched_pages = 0;  ///< pages loaded ahead of use
+  std::uint64_t advised_evictions = 0; ///< pages evicted off the critical path
 };
 
 class EpcManager {
@@ -59,6 +62,30 @@ class EpcManager {
 
   /// Touches an entire region (e.g. initial load of a model file).
   void access_all(RegionId id, bool write, SimClock& clock);
+
+  // --- EPC-aware streaming (docs/MEMORY_PLANNER.md) ----------------------
+
+  /// Faults the pages of [offset, offset+len) in *ahead of use*: the ELDU
+  /// work overlaps enclave compute via the async-syscall-queue analog, so
+  /// each page charges the cheap `page_prefetch_ns` instead of the demand
+  /// fault + load pair. Already-resident pages are free. Demand evictions
+  /// still occur (and are counted) when the EPC is full. No-op when the
+  /// EPC is unlimited (SIM mode).
+  void prefetch(RegionId id, std::uint64_t offset, std::uint64_t len,
+                SimClock& clock);
+
+  /// Proactively evicts the resident pages of [offset, offset+len), paying
+  /// only the async enqueue cost per page (the EWB runs off the critical
+  /// path). Counted as `advised_evictions`, *not* as demand `evictions`.
+  /// Pinned regions and unlimited EPCs are no-ops.
+  void advise_evict(RegionId id, std::uint64_t offset, std::uint64_t len,
+                    SimClock& clock);
+
+  /// Exempts a region's pages from victim selection (both demand eviction
+  /// and advise_evict). Throws std::logic_error if an access later finds
+  /// the EPC full with nothing evictable.
+  void pin(RegionId id);
+  void unpin(RegionId id);
 
   /// Per-instance view of this manager's activity. The same events also
   /// feed the process-wide obs::Registry (tee.epc.* series, aggregated
@@ -92,11 +119,14 @@ class EpcManager {
     std::uint64_t bytes = 0;
     std::vector<Page> pages;
     std::uint64_t resident = 0;  // fast path: fully-resident regions skip scan
+    bool pinned = false;         // exempt from victim selection
   };
 
+  Region& find_region(RegionId id);
   void fault_in(Region& region, RegionId id, std::uint32_t page_index,
                 SimClock& clock);
   void evict_one(SimClock& clock);
+  void drop_resident(Region& region, std::uint32_t page_index);
   std::uint64_t next_random();
 
   const CostModel& model_;
@@ -106,6 +136,13 @@ class EpcManager {
   std::uint64_t mapped_bytes_ = 0;
   RegionId next_id_ = 1;
   std::unordered_map<RegionId, Region> regions_;
+  // access()/prefetch() fast path: the executor touches the same region many
+  // times in a row (weights, then the arena), so one cached (id, Region*)
+  // pair removes the hash lookup from the hot path. Node pointers are stable
+  // across rehash; the cache is dropped when its region is unmapped.
+  RegionId cached_id_ = 0;
+  Region* cached_region_ = nullptr;
+  std::uint64_t pinned_resident_ = 0;  // resident pages in pinned regions
   // Resident pages in arbitrary order for O(1) random victim selection.
   // Real EPC reclaim scans accessed bits imprecisely; a randomized victim
   // models that and avoids the pathological 100%-miss cliff strict LRU shows
@@ -122,10 +159,14 @@ class EpcManager {
   obs::Counter& obs_evictions_;
   obs::Counter& obs_accesses_;
   obs::Counter& obs_bytes_accessed_;
+  obs::Counter& obs_prefetches_;
+  obs::Counter& obs_prefetched_pages_;
+  obs::Counter& obs_advised_evictions_;
   obs::Gauge& obs_resident_pages_;
   obs::Gauge& obs_mapped_bytes_;
   std::uint32_t span_evict_id_;
   std::uint32_t span_load_id_;
+  std::uint32_t span_prefetch_id_;
 };
 
 }  // namespace stf::tee

@@ -29,6 +29,33 @@ class MemoryEnv {
   /// Reports `flops` floating-point operations of compute.
   virtual void compute(double flops) = 0;
 
+  // --- EPC-aware streaming hints (docs/MEMORY_PLANNER.md) ----------------
+  // Default no-ops: environments without an EPC boundary (native DRAM, SIM
+  // mode) ignore residency hints, so planner/streaming code never needs to
+  // know where it runs.
+
+  /// Hints that [offset, offset+len) will be read soon; an enclave
+  /// environment faults those pages in ahead of use at overlapped cost.
+  virtual void prefetch(std::uint64_t region, std::uint64_t offset,
+                        std::uint64_t len) {
+    (void)region;
+    (void)offset;
+    (void)len;
+  }
+
+  /// Hints that [offset, offset+len) will not be reused soon; an enclave
+  /// environment evicts those pages off the critical path.
+  virtual void advise_evict(std::uint64_t region, std::uint64_t offset,
+                            std::uint64_t len) {
+    (void)region;
+    (void)offset;
+    (void)len;
+  }
+
+  /// Exempts / re-admits a region's pages from victim selection.
+  virtual void pin(std::uint64_t region) { (void)region; }
+  virtual void unpin(std::uint64_t region) { (void)region; }
+
   /// Current virtual time of the clock this environment charges into, for
   /// observability (span endpoints). Environments without a clock return 0;
   /// callers must treat 0-duration spans as "no timing available" and skip

@@ -24,6 +24,7 @@
 #include "distributed/training.h"
 #include "ml/dataset.h"
 #include "ml/models.h"
+#include "ml/session.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
@@ -638,6 +639,41 @@ TEST(ObsConcurrency, ConcurrentAttributionOnDistinctClocksIsRaceFree) {
   for (const auto& row : store.rows()) {
     EXPECT_TRUE(row.conserved());
   }
+}
+
+TEST(ObsConcurrency, ConcurrentPlannedSessionsShareTheGlobalPlaneSafely) {
+  // Two planned sessions on distinct graphs/platforms run concurrently; the
+  // only shared state is the global registry + span tracer (ml.planner.*,
+  // tee.epc.*). tsan-checked: the planner must not add unsynchronized
+  // global state.
+  auto& plans = obs::Registry::global().counter(obs::names::kPlannerPlans);
+  const std::uint64_t plans_before = plans.value();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      tee::CostModel cost;
+      cost.epc_bytes = 256 * cost.page_size;
+      tee::Platform platform("plan-" + std::to_string(t),
+                             tee::TeeMode::Hardware, cost);
+      auto enclave = platform.launch_enclave(
+          {.name = "sess", .content = crypto::to_bytes("sess")});
+      tee::EnclaveEnv env(*enclave);
+      ml::Graph g = ml::mnist_mlp(16, static_cast<std::uint64_t>(t) + 1);
+      ml::Session session(
+          g, &env, ml::kernels::KernelContext::shared(),
+          {.use_memory_planner = true, .weight_streaming = true});
+      const ml::Dataset d =
+          ml::synthetic_mnist(8, static_cast<std::uint64_t>(t) + 3);
+      for (int i = 0; i < 5; ++i) {
+        (void)session.run1("probs", d.batch_feeds(0, 8));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(plans.value(), plans_before + kThreads)
+      << "one plan per session (then cached), regardless of interleaving";
 }
 
 }  // namespace

@@ -141,6 +141,123 @@ TEST(EpcTest, ZeroLengthAccessIsNoop) {
   EXPECT_EQ(clock.now_ns(), 0u);
 }
 
+TEST(EpcTest, PrefetchAvoidsDemandFaults) {
+  const CostModel m = tiny_epc_model();
+  EpcManager epc(m, /*limited=*/true);
+  SimClock clock;
+  const auto region = epc.map_region("weights", 8 * m.page_size);
+  const auto t0 = clock.now_ns();
+  epc.prefetch(region, 0, 8 * m.page_size, clock);
+  EXPECT_EQ(epc.stats().prefetches, 1u);
+  EXPECT_EQ(epc.stats().prefetched_pages, 8u);
+  EXPECT_EQ(epc.stats().faults, 0u) << "prefetched pages are not demand faults";
+  EXPECT_EQ(epc.stats().loads, 0u);
+  EXPECT_EQ(epc.resident_pages(), 8u);
+  // Overlapped cost: the cheap per-page prefetch charge, not fault + load.
+  EXPECT_EQ(clock.now_ns() - t0, 8 * m.page_prefetch_ns);
+  EXPECT_LT(m.page_prefetch_ns, m.page_fault_ns + m.page_load_ns);
+
+  // The later demand access finds everything resident: zero faults, and a
+  // fully-prefetched region re-prefetches for free.
+  epc.access_all(region, false, clock);
+  EXPECT_EQ(epc.stats().faults, 0u);
+  epc.prefetch(region, 0, 8 * m.page_size, clock);
+  EXPECT_EQ(epc.stats().prefetches, 1u)
+      << "a no-op prefetch must not count as a prefetch batch";
+}
+
+TEST(EpcTest, AdviseEvictRetiresPagesOffCriticalPath) {
+  const CostModel m = tiny_epc_model();
+  EpcManager epc(m, true);
+  SimClock clock;
+  const auto region = epc.map_region("layer", 6 * m.page_size);
+  epc.access_all(region, true, clock);
+  EXPECT_EQ(epc.resident_pages(), 6u);
+
+  const auto t0 = clock.now_ns();
+  epc.advise_evict(region, 0, 6 * m.page_size, clock);
+  EXPECT_EQ(epc.resident_pages(), 0u);
+  EXPECT_EQ(epc.stats().advised_evictions, 6u);
+  EXPECT_EQ(epc.stats().evictions, 0u)
+      << "advised evictions must not count as demand evictions";
+  EXPECT_EQ(clock.now_ns() - t0, 6 * m.page_advise_evict_ns);
+  EXPECT_LT(m.page_advise_evict_ns, m.page_evict_ns);
+
+  // Evicted pages fault again on the next touch.
+  const auto faults_before = epc.stats().faults;
+  epc.access(region, 0, m.page_size, false, clock);
+  EXPECT_EQ(epc.stats().faults, faults_before + 1);
+}
+
+TEST(EpcTest, PinnedRegionSurvivesPressure) {
+  const CostModel m = tiny_epc_model();  // 16 pages
+  EpcManager epc(m, true);
+  SimClock clock;
+  const auto hot = epc.map_region("hot", 4 * m.page_size);
+  epc.access_all(hot, true, clock);
+  epc.pin(hot);
+
+  // Sweep a working set larger than the EPC: pressure evicts something every
+  // pass, but never the pinned pages.
+  const auto big = epc.map_region("big", 14 * m.page_size);
+  for (int pass = 0; pass < 4; ++pass) epc.access_all(big, false, clock);
+  EXPECT_GT(epc.stats().evictions, 0u);
+  const auto faults_before = epc.stats().faults;
+  epc.access_all(hot, false, clock);
+  EXPECT_EQ(epc.stats().faults, faults_before)
+      << "pinned pages must stay resident under pressure";
+
+  // Pinned pages also refuse advise_evict; unpinning re-admits them.
+  epc.advise_evict(hot, 0, 4 * m.page_size, clock);
+  EXPECT_EQ(epc.stats().advised_evictions, 0u);
+  epc.unpin(hot);
+  epc.advise_evict(hot, 0, 4 * m.page_size, clock);
+  EXPECT_EQ(epc.stats().advised_evictions, 4u);
+}
+
+TEST(EpcTest, FullyPinnedEpcThrowsInsteadOfLooping) {
+  const CostModel m = tiny_epc_model();  // 16 pages
+  EpcManager epc(m, true);
+  SimClock clock;
+  const auto pinned = epc.map_region("pinned", 16 * m.page_size);
+  epc.access_all(pinned, true, clock);
+  epc.pin(pinned);
+  const auto extra = epc.map_region("extra", m.page_size);
+  EXPECT_THROW(epc.access_all(extra, false, clock), std::logic_error);
+}
+
+TEST(EpcTest, RegionCacheSurvivesInterleavingAndUnmap) {
+  // The access() fast path caches the last region lookup; interleaved
+  // traffic and unmapping must never read through a stale cache entry.
+  const CostModel m = tiny_epc_model();
+  EpcManager epc(m, true);
+  SimClock clock;
+  const auto a = epc.map_region("a", 4 * m.page_size);
+  const auto b = epc.map_region("b", 4 * m.page_size);
+  for (int i = 0; i < 3; ++i) {
+    epc.access(a, 0, m.page_size, false, clock);
+    epc.access(b, 0, m.page_size, false, clock);
+  }
+  EXPECT_EQ(epc.stats().faults, 2u);  // one cold touch per region
+  epc.unmap_region(a);
+  EXPECT_THROW(epc.access(a, 0, 1, false, clock), std::invalid_argument);
+  epc.access(b, 0, m.page_size, false, clock);  // b keeps working
+  epc.prefetch(b, m.page_size, m.page_size, clock);
+  EXPECT_EQ(epc.stats().prefetched_pages, 1u);
+}
+
+TEST(EpcTest, StreamingHintsAreNoopsWithoutEpcBoundary) {
+  CostModel m = tiny_epc_model();
+  EpcManager epc(m, /*limited=*/false);  // SIM mode
+  SimClock clock;
+  const auto region = epc.map_region("r", 8 * m.page_size);
+  epc.prefetch(region, 0, 8 * m.page_size, clock);
+  epc.advise_evict(region, 0, 8 * m.page_size, clock);
+  EXPECT_EQ(epc.stats().prefetches, 0u);
+  EXPECT_EQ(epc.stats().advised_evictions, 0u);
+  EXPECT_EQ(clock.now_ns(), 0u);
+}
+
 TEST(EnclaveTest, MeasurementDependsOnContent) {
   EnclaveImage a{.name = "tf-lite", .content = crypto::to_bytes("code-v1")};
   EnclaveImage b = a;
