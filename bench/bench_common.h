@@ -70,6 +70,39 @@ inline std::string indent_member(const char* name, const std::string& json) {
 
 }  // namespace detail
 
+/// One workload-config entry for the BENCH JSON "config" section. `value`
+/// is pre-rendered JSON: a bare integer ("42") or a quoted string
+/// ("\"poisson\"") — never a float, per the integer-only export contract.
+struct ConfigEntry {
+  std::string key;
+  std::string value;
+};
+
+inline ConfigEntry config_int(const std::string& key, long long value) {
+  return {key, std::to_string(value)};
+}
+
+inline ConfigEntry config_str(const std::string& key,
+                              const std::string& value) {
+  return {key, "\"" + value + "\""};
+}
+
+/// Appends `"config": {...},\n`: the workload parameters (seed, arrival
+/// model, offered load, batch window, ...) that produced the run. Committed
+/// baselines are thereby self-describing, and tools/bench_compare refuses
+/// to diff two runs whose configs disagree — comparing different workloads
+/// silently would make the regression gate meaningless.
+inline void fprint_config_section(std::FILE* out,
+                                  const std::vector<ConfigEntry>& entries) {
+  std::fputs("  \"config\": {\n", out);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::fprintf(out, "    \"%s\": %s%s\n", entries[i].key.c_str(),
+                 entries[i].value.c_str(),
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fputs("  },\n", out);
+}
+
 /// Appends `"registry": {...},\n"profile": {...}\n` (call between the last
 /// figure section's "],\n" and the closing "}"). Every BENCH_*.json thus
 /// carries both the metric registry and the cost-attribution table, which is

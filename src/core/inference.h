@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/workloads.h"
 #include "ml/lite/flat_model.h"
@@ -77,6 +78,16 @@ class InferenceService {
 
   /// Classifies one input; returns class probabilities.
   ml::Tensor classify(const ml::Tensor& input);
+
+  /// Classifies a batch of same-shaped inputs in ONE container invocation:
+  /// per-inference framework overheads (binary touch, syscalls, extra
+  /// convolution flops) and per-layer weight paging are charged once for
+  /// the whole batch, which is where cross-request batching wins its
+  /// throughput (docs/SERVING.md). Outputs are bit-identical to calling
+  /// classify() per input. Lite path only; the full-TensorFlow session
+  /// path throws std::logic_error.
+  std::vector<ml::Tensor> classify_batch(
+      const std::vector<const ml::Tensor*>& inputs);
 
   /// Argmax convenience.
   std::int64_t classify_label(const ml::Tensor& input);

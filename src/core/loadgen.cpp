@@ -1,0 +1,230 @@
+#include "core/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace stf::core {
+namespace {
+
+constexpr double kNsPerSecond = 1e9;
+
+/// Uniform double in (0, 1]: never 0, so -log(u) stays finite. Drawn from
+/// 53 bits so the value is exactly representable and platform-independent.
+double uniform_unit(crypto::HmacDrbg& drbg) {
+  constexpr std::uint64_t kBits = 1ull << 53;
+  return static_cast<double>(drbg.uniform(kBits) + 1) /
+         static_cast<double>(kBits);
+}
+
+/// Exponential gap with the given rate (events per second), in seconds.
+double exponential_gap(crypto::HmacDrbg& drbg, double rate_per_s) {
+  return -std::log(uniform_unit(drbg)) / rate_per_s;
+}
+
+void validate(const LoadGenConfig& cfg) {
+  auto reject = [](const std::string& why) {
+    throw std::invalid_argument("generate_load: " + why);
+  };
+  if (!(cfg.offered_rps > 0)) reject("offered_rps must be > 0");
+  if (cfg.request_count <= 0) reject("request_count must be > 0");
+  if (cfg.input_dim <= 0) reject("input_dim must be > 0");
+  if (cfg.input_pool <= 0) reject("input_pool must be > 0");
+  if (cfg.slo_s < 0) reject("slo_s must be >= 0");
+  if (cfg.process == ArrivalProcess::Bursty) {
+    if (!(cfg.burst_rate_factor > 1)) reject("burst_rate_factor must be > 1");
+    if (!(cfg.burst_duty > 0) || !(cfg.burst_duty < 1)) {
+      reject("burst_duty must be in (0, 1)");
+    }
+    // The quiet-state rate rate*(1 - duty*factor)/(1 - duty) must stay
+    // positive for the long-run mean to equal offered_rps.
+    if (cfg.burst_duty * cfg.burst_rate_factor >= 1) {
+      reject("burst_duty * burst_rate_factor must be < 1");
+    }
+    if (!(cfg.burst_dwell_s > 0)) reject("burst_dwell_s must be > 0");
+  }
+  if (cfg.process == ArrivalProcess::Diurnal) {
+    if (!(cfg.diurnal_period_s > 0)) reject("diurnal_period_s must be > 0");
+    if (cfg.diurnal_amplitude < 0 || cfg.diurnal_amplitude >= 1) {
+      reject("diurnal_amplitude must be in [0, 1)");
+    }
+  }
+}
+
+/// Emits arrival times (seconds) for a two-state MMPP: a burst state at
+/// factor*rate and a quiet state chosen so the long-run mean is `rate`.
+/// State dwells are exponential; a gap that crosses the dwell boundary is
+/// discarded past the boundary and redrawn in the new state (memorylessness
+/// makes this exact, not an approximation).
+std::vector<double> bursty_arrivals(crypto::HmacDrbg& drbg,
+                                    const LoadGenConfig& cfg) {
+  const double rate_hi = cfg.burst_rate_factor * cfg.offered_rps;
+  const double rate_lo = cfg.offered_rps *
+                         (1.0 - cfg.burst_duty * cfg.burst_rate_factor) /
+                         (1.0 - cfg.burst_duty);
+  const double dwell_hi = cfg.burst_dwell_s;
+  const double dwell_lo =
+      cfg.burst_dwell_s * (1.0 - cfg.burst_duty) / cfg.burst_duty;
+
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(cfg.request_count));
+  bool in_burst = false;
+  double now = 0;
+  double state_end = exponential_gap(drbg, 1.0 / dwell_lo);
+  while (arrivals.size() < static_cast<std::size_t>(cfg.request_count)) {
+    const double rate = in_burst ? rate_hi : rate_lo;
+    const double next = now + exponential_gap(drbg, rate);
+    if (next > state_end) {
+      now = state_end;
+      in_burst = !in_burst;
+      state_end =
+          now + exponential_gap(drbg, 1.0 / (in_burst ? dwell_hi : dwell_lo));
+      continue;
+    }
+    now = next;
+    arrivals.push_back(now);
+  }
+  return arrivals;
+}
+
+/// Lewis-Shedler thinning against the peak rate rate*(1+A): candidate
+/// arrivals are homogeneous-Poisson at the peak and kept with probability
+/// lambda(t)/peak, yielding the sinusoidal intensity exactly.
+std::vector<double> diurnal_arrivals(crypto::HmacDrbg& drbg,
+                                     const LoadGenConfig& cfg) {
+  const double amplitude = cfg.diurnal_amplitude;
+  const double peak = cfg.offered_rps * (1.0 + amplitude);
+  const double two_pi = 2.0 * std::acos(-1.0);
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(cfg.request_count));
+  double now = 0;
+  while (arrivals.size() < static_cast<std::size_t>(cfg.request_count)) {
+    now += exponential_gap(drbg, peak);
+    const double lambda =
+        cfg.offered_rps *
+        (1.0 + amplitude * std::sin(two_pi * now / cfg.diurnal_period_s));
+    if (uniform_unit(drbg) * peak <= lambda) arrivals.push_back(now);
+  }
+  return arrivals;
+}
+
+std::vector<double> poisson_arrivals(crypto::HmacDrbg& drbg,
+                                     const LoadGenConfig& cfg) {
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(cfg.request_count));
+  double now = 0;
+  for (std::int64_t i = 0; i < cfg.request_count; ++i) {
+    now += exponential_gap(drbg, cfg.offered_rps);
+    arrivals.push_back(now);
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+const char* to_string(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::Poisson: return "poisson";
+    case ArrivalProcess::Bursty: return "bursty";
+    case ArrivalProcess::Diurnal: return "diurnal";
+  }
+  return "unknown";
+}
+
+LoadTrace generate_load(const LoadGenConfig& config) {
+  validate(config);
+
+  // One DRBG stream drives images first, then arrivals, so the trace is a
+  // pure function of (seed, config).
+  crypto::Bytes seed_material = crypto::to_bytes("stf-loadgen");
+  std::uint8_t seed_be[8];
+  crypto::store_be64(seed_be, config.seed);
+  seed_material.insert(seed_material.end(), seed_be, seed_be + 8);
+  crypto::HmacDrbg drbg(seed_material);
+
+  LoadTrace trace;
+  const auto pool = static_cast<std::size_t>(
+      std::min<std::int64_t>(config.input_pool, config.request_count));
+  trace.images.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    ml::Tensor image(ml::Shape{1, config.input_dim});
+    for (std::int64_t j = 0; j < config.input_dim; ++j) {
+      image.data()[j] = static_cast<float>(uniform_unit(drbg));
+    }
+    trace.images.push_back(std::move(image));
+  }
+
+  std::vector<double> arrivals;
+  switch (config.process) {
+    case ArrivalProcess::Poisson:
+      arrivals = poisson_arrivals(drbg, config);
+      break;
+    case ArrivalProcess::Bursty:
+      arrivals = bursty_arrivals(drbg, config);
+      break;
+    case ArrivalProcess::Diurnal:
+      arrivals = diurnal_arrivals(drbg, config);
+      break;
+  }
+
+  const auto slo_ns =
+      static_cast<std::uint64_t>(std::llround(config.slo_s * kNsPerSecond));
+  trace.requests.reserve(arrivals.size());
+  std::uint64_t prev_ns = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    Request r;
+    r.id = static_cast<std::int64_t>(i);
+    r.arrival_ns =
+        static_cast<std::uint64_t>(std::llround(arrivals[i] * kNsPerSecond));
+    // Rounding to integer nanoseconds could in principle reorder two
+    // near-coincident arrivals; clamp to keep the trace sorted.
+    r.arrival_ns = std::max(r.arrival_ns, prev_ns);
+    prev_ns = r.arrival_ns;
+    r.deadline_ns = slo_ns == 0 ? 0 : r.arrival_ns + slo_ns;
+    r.input = &trace.images[i % pool];
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+std::string LoadTrace::fingerprint() const {
+  crypto::Sha256 hash;
+  auto absorb_u64 = [&hash](std::uint64_t v) {
+    std::uint8_t buf[8];
+    crypto::store_be64(buf, v);
+    hash.update(crypto::BytesView(buf, sizeof buf));
+  };
+  absorb_u64(requests.size());
+  for (const Request& r : requests) {
+    absorb_u64(static_cast<std::uint64_t>(r.id));
+    absorb_u64(r.arrival_ns);
+    absorb_u64(r.deadline_ns);
+    // Record which pool image backs the request (pointer identity rendered
+    // as a stable index).
+    std::uint64_t index = 0;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      if (&images[i] == r.input) {
+        index = i;
+        break;
+      }
+    }
+    absorb_u64(index);
+  }
+  absorb_u64(images.size());
+  for (const ml::Tensor& image : images) {
+    hash.update(crypto::BytesView(
+        reinterpret_cast<const std::uint8_t*>(image.data()),
+        image.byte_size()));
+  }
+  const auto digest = hash.finish();
+  return crypto::to_hex(crypto::BytesView(digest.data(), digest.size()));
+}
+
+}  // namespace stf::core

@@ -1,6 +1,10 @@
 #include "core/serving.h"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/names.h"
@@ -27,7 +31,77 @@ ServingObs& serving_obs() {
   return *o;
 }
 
+// Request-plane traffic series, kept separate from ServingObs so code paths
+// that never run serve_trace (all pre-existing benches) do not register
+// them — registry exports list every registered series and the committed
+// BENCH baselines must stay byte-identical with batching off.
+struct TrafficObs {
+  obs::Counter& offered = obs::Registry::global().counter(
+      obs::names::kServingRequestsOffered, "requests offered to serve_trace");
+  obs::Counter& completed = obs::Registry::global().counter(
+      obs::names::kServingRequestsCompleted, "requests served to completion");
+  obs::Counter& shed_queue_full = obs::Registry::global().counter(
+      obs::names::kServingShedQueueFull,
+      "requests shed at admission (queue at capacity)");
+  obs::Counter& shed_expired = obs::Registry::global().counter(
+      obs::names::kServingShedExpired,
+      "requests shed at dispatch (deadline already passed)");
+  obs::Counter& slo_misses = obs::Registry::global().counter(
+      obs::names::kServingSloMisses, "completed requests past their deadline");
+  obs::QuantileSeries& queue_wait_ns = obs::Registry::global().quantiles(
+      obs::names::kServingQueueWaitQuantileNs,
+      "exact p50/p95/p99 of arrival-to-dispatch queueing delay");
+  obs::QuantileSeries& e2e_ns = obs::Registry::global().quantiles(
+      obs::names::kServingE2eQuantileNs,
+      "exact p50/p95/p99 of arrival-to-completion request latency");
+};
+
+TrafficObs& traffic_obs() {
+  static TrafficObs* o = new TrafficObs();
+  return *o;
+}
+
+/// Nearest-rank quantile (same rule as obs::QuantileSeries): the
+/// ceil(q*n)-th smallest, rank clamped to [1, n]; 0 on an empty set.
+std::uint64_t nearest_rank(std::vector<std::uint64_t>& values, double q) {
+  if (values.empty()) return 0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), values.size());
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                   values.end());
+  return values[rank - 1];
+}
+
 }  // namespace
+
+TrafficSummary summarize(const std::vector<RequestOutcome>& outcomes) {
+  TrafficSummary s;
+  std::vector<std::uint64_t> e2e;
+  bool first = true;
+  for (const RequestOutcome& o : outcomes) {
+    ++s.offered;
+    if (first || o.arrival_ns < s.first_arrival_ns) {
+      s.first_arrival_ns = o.arrival_ns;
+      first = false;
+    }
+    switch (o.status) {
+      case RequestStatus::Completed:
+        ++s.completed;
+        if (o.slo_miss) ++s.slo_misses;
+        s.last_completion_ns = std::max(s.last_completion_ns, o.completion_ns);
+        e2e.push_back(o.completion_ns - o.arrival_ns);
+        break;
+      case RequestStatus::ShedQueueFull: ++s.shed_queue_full; break;
+      case RequestStatus::ShedExpired: ++s.shed_expired; break;
+    }
+  }
+  s.p50_ns = nearest_rank(e2e, 0.50);
+  s.p95_ns = nearest_rank(e2e, 0.95);
+  s.p99_ns = nearest_rank(e2e, 0.99);
+  return s;
+}
 
 ServingNode::ServingNode(const ml::lite::FlatModel& model,
                          ServingConfig config, unsigned ordinal)
@@ -84,15 +158,149 @@ void ServingNode::classify_on_lane(unsigned lane, const ml::Tensor& image) {
   platform_->set_active_lane(nullptr);
 }
 
+unsigned ServingNode::least_loaded_lane() const {
+  unsigned best = 0;
+  for (unsigned i = 1; i < lanes_.size(); ++i) {
+    if (lanes_[i].now_ns() < lanes_[best].now_ns()) best = i;
+  }
+  return best;
+}
+
 double ServingNode::classify_stream(const ml::Tensor& image,
                                     std::int64_t count) {
   const std::uint64_t start = lanes_.empty() ? 0 : lanes_[0].now_ns();
   for (std::int64_t i = 0; i < count; ++i) {
-    classify_on_lane(static_cast<unsigned>(i % config_.threads), image);
+    // Least-loaded dispatch instead of round-robin: fixed-order assignment
+    // drifts out of balance as per-request costs diverge (reclaim jitter,
+    // mixed batch sizes), leaving some lanes idle while others queue.
+    classify_on_lane(least_loaded_lane(), image);
   }
   std::uint64_t end = start;
   for (const auto& lane : lanes_) end = std::max(end, lane.now_ns());
   return static_cast<double>(end - start) / 1e9;
+}
+
+std::vector<RequestOutcome> ServingNode::serve_trace(
+    const std::vector<Request>& requests, const BatchWindowConfig& window) {
+  if (window.max_batch < 1) {
+    throw std::invalid_argument("serve_trace: max_batch must be >= 1");
+  }
+  if (window.max_wait_s < 0) {
+    throw std::invalid_argument("serve_trace: max_wait_s must be >= 0");
+  }
+  const auto wait_ns =
+      static_cast<std::uint64_t>(std::llround(window.max_wait_s * 1e9));
+
+  std::vector<RequestOutcome> outcomes;
+  outcomes.reserve(requests.size());
+  traffic_obs().offered.add(requests.size());
+
+  std::deque<const Request*> pending;
+  std::size_t next = 0;
+
+  // Admission control: requests arriving while the queue is at capacity are
+  // shed immediately (the client gets an instant reject, not a slow miss).
+  auto admit_until = [&](std::uint64_t t) {
+    while (next < requests.size() && requests[next].arrival_ns <= t) {
+      const Request& r = requests[next++];
+      if (window.queue_capacity > 0 &&
+          static_cast<std::int64_t>(pending.size()) >= window.queue_capacity) {
+        RequestOutcome o;
+        o.id = r.id;
+        o.status = RequestStatus::ShedQueueFull;
+        o.arrival_ns = r.arrival_ns;
+        outcomes.push_back(o);
+        traffic_obs().shed_queue_full.add();
+      } else {
+        pending.push_back(&r);
+      }
+    }
+  };
+
+  while (next < requests.size() || !pending.empty()) {
+    if (pending.empty()) {
+      admit_until(requests[next].arrival_ns);
+      continue;
+    }
+    const unsigned lane = least_loaded_lane();
+    const std::uint64_t head_arrival = pending.front()->arrival_ns;
+    std::uint64_t dispatch_at = std::max(lanes_[lane].now_ns(), head_arrival);
+    admit_until(dispatch_at);
+
+    // Batch window: the queue head waits up to `wait_ns` for the batch to
+    // fill; each admitted arrival pushes the launch to its arrival time,
+    // and an unfilled window launches at close.
+    if (static_cast<std::int64_t>(pending.size()) < window.max_batch) {
+      const std::uint64_t close = std::max(dispatch_at, head_arrival + wait_ns);
+      while (static_cast<std::int64_t>(pending.size()) < window.max_batch &&
+             next < requests.size() && requests[next].arrival_ns <= close) {
+        const std::uint64_t t = requests[next].arrival_ns;
+        admit_until(t);
+        dispatch_at = std::max(dispatch_at, t);
+      }
+      if (static_cast<std::int64_t>(pending.size()) < window.max_batch) {
+        dispatch_at = close;
+      }
+      admit_until(dispatch_at);
+    }
+
+    // Pop the batch, shedding requests whose deadline already passed — a
+    // guaranteed SLO miss is not worth a batch slot.
+    std::vector<const Request*> batch;
+    std::vector<const ml::Tensor*> batch_inputs;
+    while (!pending.empty() &&
+           static_cast<std::int64_t>(batch.size()) < window.max_batch) {
+      const Request* r = pending.front();
+      pending.pop_front();
+      if (window.shed_expired && r->deadline_ns != 0 &&
+          r->deadline_ns < dispatch_at) {
+        RequestOutcome o;
+        o.id = r->id;
+        o.status = RequestStatus::ShedExpired;
+        o.arrival_ns = r->arrival_ns;
+        outcomes.push_back(o);
+        traffic_obs().shed_expired.add();
+        continue;
+      }
+      batch.push_back(r);
+      batch_inputs.push_back(r->input);
+    }
+    if (batch.empty()) continue;  // the whole window expired
+
+    obs::ScopedLane lane_scope(static_cast<std::uint16_t>(ordinal_),
+                               static_cast<std::uint16_t>(lane));
+    platform_->set_active_lane(&lanes_[lane]);
+    lanes_[lane].advance_to(dispatch_at);  // lane idles until the batch launch
+    if (auto* enclave = const_cast<tee::Enclave*>(service_->enclave())) {
+      enclave->access(scratch_[lane], 0, config_.per_thread_scratch, true);
+    }
+    (void)service_->classify_batch(batch_inputs);
+    const std::uint64_t completion = lanes_[lane].now_ns();
+    platform_->set_active_lane(nullptr);
+
+    for (const Request* r : batch) {
+      RequestOutcome o;
+      o.id = r->id;
+      o.status = RequestStatus::Completed;
+      o.arrival_ns = r->arrival_ns;
+      o.dispatch_ns = dispatch_at;
+      o.completion_ns = completion;
+      o.batch_size = static_cast<std::int64_t>(batch.size());
+      o.slo_miss = r->deadline_ns != 0 && completion > r->deadline_ns;
+      outcomes.push_back(o);
+      traffic_obs().completed.add();
+      if (o.slo_miss) traffic_obs().slo_misses.add();
+      traffic_obs().queue_wait_ns.observe(dispatch_at - r->arrival_ns);
+      traffic_obs().e2e_ns.observe(completion - r->arrival_ns);
+      serving_obs().request_quantile_ns.observe(completion - dispatch_at);
+    }
+  }
+
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const RequestOutcome& a, const RequestOutcome& b) {
+              return a.id < b.id;
+            });
+  return outcomes;
 }
 
 double ServingNode::estimate_stream_seconds(const ml::Tensor& image,
@@ -162,6 +370,53 @@ double ServingFleet::estimate_stream_seconds(const ml::Tensor& image,
                           config_.model.lan_transfer_ns(image.byte_size())) /
       1e9;
   return slowest + per_request_s * static_cast<double>(per_node);
+}
+
+std::vector<RequestOutcome> ServingFleet::serve_trace(
+    const std::vector<Request>& requests, const BatchWindowConfig& window) {
+  if (alive_node_count() == 0) {
+    throw runtime::TransientError("serving fleet: no live nodes");
+  }
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < status_.size(); ++i) {
+    if (status_[i].alive) live.push_back(i);
+  }
+
+  // Partition round-robin by request order; each request reaches its node's
+  // queue only after paying the network shield + LAN shipping cost.
+  std::vector<std::vector<Request>> shifted(live.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Request r = requests[i];
+    const std::uint64_t bytes = r.input->byte_size();
+    r.arrival_ns += config_.model.netshield_ns(bytes) +
+                    config_.model.lan_transfer_ns(bytes);
+    shifted[i % live.size()].push_back(r);
+  }
+
+  std::vector<RequestOutcome> merged;
+  merged.reserve(requests.size());
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    std::vector<RequestOutcome> part =
+        nodes_[live[k]]->serve_trace(shifted[k], window);
+    status_[live[k]].served +=
+        static_cast<std::int64_t>(summarize(part).completed);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+
+  // Report client-side arrivals so e2e latency includes the wire; deadlines
+  // were absolute all along, so slo_miss already accounts for it.
+  std::unordered_map<std::int64_t, std::uint64_t> client_arrival;
+  client_arrival.reserve(requests.size());
+  for (const Request& r : requests) client_arrival[r.id] = r.arrival_ns;
+  for (RequestOutcome& o : merged) {
+    const auto it = client_arrival.find(o.id);
+    if (it != client_arrival.end()) o.arrival_ns = it->second;
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RequestOutcome& a, const RequestOutcome& b) {
+              return a.id < b.id;
+            });
+  return merged;
 }
 
 // Health-tracking dispatch loop: the stream is served in dispatch rounds;

@@ -13,11 +13,75 @@
 #include <vector>
 
 #include "core/inference.h"
+#include "core/loadgen.h"
 #include "ml/lite/flat_model.h"
 #include "runtime/thread_pool.h"
 #include "tee/platform.h"
 
 namespace stf::core {
+
+/// Dynamic cross-request batching policy (docs/SERVING.md). A batch
+/// launches when it reaches `max_batch` requests or when `max_wait_s` has
+/// elapsed since the queue head arrived, whichever comes first — the
+/// classic batch-window tradeoff between amortization and queueing delay.
+struct BatchWindowConfig {
+  /// Requests per batched container invocation; 1 disables batching.
+  std::int64_t max_batch = 8;
+  /// Longest the queue head waits for the batch to fill, virtual seconds.
+  double max_wait_s = 0.002;
+  /// Admission bound on queued requests; arrivals beyond it are shed
+  /// immediately (ShedQueueFull). <= 0 means unbounded.
+  std::int64_t queue_capacity = 64;
+  /// Drop requests whose deadline already passed at dispatch time instead
+  /// of wasting a batch slot on a guaranteed SLO miss.
+  bool shed_expired = true;
+};
+
+enum class RequestStatus {
+  Completed,
+  /// Shed at admission: the queue was at capacity when the request arrived.
+  ShedQueueFull,
+  /// Shed at dispatch: the deadline had already passed.
+  ShedExpired,
+};
+
+/// Per-request result of a serve_trace run (virtual timestamps).
+struct RequestOutcome {
+  std::int64_t id = 0;
+  RequestStatus status = RequestStatus::Completed;
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t dispatch_ns = 0;     ///< batch launch time (0 when shed)
+  std::uint64_t completion_ns = 0;   ///< batch completion time (0 when shed)
+  std::int64_t batch_size = 0;       ///< size of the batch it rode in
+  bool slo_miss = false;             ///< completed after its deadline
+};
+
+/// Aggregate view of a serve_trace run.
+struct TrafficSummary {
+  std::int64_t offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed_queue_full = 0;
+  std::int64_t shed_expired = 0;
+  std::int64_t slo_misses = 0;
+  std::uint64_t first_arrival_ns = 0;
+  std::uint64_t last_completion_ns = 0;
+  /// Exact nearest-rank quantiles of completed requests' e2e latency
+  /// (completion - arrival), same rule as obs::QuantileSeries.
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+
+  [[nodiscard]] double duration_s() const {
+    return static_cast<double>(last_completion_ns - first_arrival_ns) / 1e9;
+  }
+  [[nodiscard]] double throughput_rps() const {
+    const double d = duration_s();
+    return d > 0 ? static_cast<double>(completed) / d : 0;
+  }
+};
+
+[[nodiscard]] TrafficSummary summarize(
+    const std::vector<RequestOutcome>& outcomes);
 
 struct ServingConfig {
   tee::TeeMode mode = tee::TeeMode::Hardware;
@@ -47,9 +111,18 @@ class ServingNode {
   ServingNode(const ml::lite::FlatModel& model, ServingConfig config,
               unsigned ordinal = 0);
 
-  /// Classifies `count` copies of `image`, round-robin across the thread
-  /// lanes; returns the virtual seconds until the last lane finishes.
+  /// Classifies `count` copies of `image`, dispatching each to the
+  /// least-loaded thread lane; returns the virtual seconds until the last
+  /// lane finishes.
   double classify_stream(const ml::Tensor& image, std::int64_t count);
+
+  /// Serves an open-loop request trace (sorted by arrival) with dynamic
+  /// cross-request batching and SLO-aware shedding per `window`. Each batch
+  /// runs on the least-loaded lane as ONE batched container invocation.
+  /// Deterministic in virtual time; returns one outcome per request, in
+  /// request order.
+  std::vector<RequestOutcome> serve_trace(const std::vector<Request>& requests,
+                                          const BatchWindowConfig& window);
 
   /// Steady-state estimate for long streams: warms the EPC, measures a few
   /// steady rounds for real, and extrapolates (exact for the deterministic
@@ -65,6 +138,10 @@ class ServingNode {
 
  private:
   void classify_on_lane(unsigned lane, const ml::Tensor& image);
+  /// Lane whose clock is furthest behind (ties to the lowest index), so
+  /// dispatch keeps lane finish times balanced when per-request costs
+  /// diverge (reclaim jitter, mixed batch sizes).
+  [[nodiscard]] unsigned least_loaded_lane() const;
 
   ServingConfig config_;
   unsigned ordinal_ = 0;
@@ -120,6 +197,15 @@ class ServingFleet {
   /// With every node down, throws runtime::TransientError instead of
   /// spinning. Without faults/resilience this is the exact legacy estimate.
   double estimate_stream_seconds(const ml::Tensor& image, std::int64_t count);
+
+  /// Serves an open-loop trace across the live nodes: requests are
+  /// partitioned round-robin by id, each arrival is delayed by its network
+  /// shield + LAN shipping cost before reaching its node's queue, and every
+  /// node batches/sheds per `window` (ServingNode::serve_trace). Outcomes
+  /// keep client-side arrival times, so e2e latency includes the wire.
+  /// Throws runtime::TransientError when no node is alive.
+  std::vector<RequestOutcome> serve_trace(const std::vector<Request>& requests,
+                                          const BatchWindowConfig& window);
 
   /// Enables health tracking with the given knobs (fail_node() implies a
   /// default-configured enable).

@@ -301,6 +301,63 @@ LiteInterpreter::~LiteInterpreter() {
 }
 
 Tensor LiteInterpreter::invoke(const Tensor& input) {
+  return execute(input, 1);
+}
+
+std::vector<Tensor> LiteInterpreter::invoke_batch(
+    const std::vector<const Tensor*>& inputs) {
+  if (inputs.empty()) return {};
+  if (inputs.size() == 1) {
+    std::vector<Tensor> out;
+    out.push_back(invoke(*inputs.front()));
+    return out;
+  }
+  const Tensor& first = *inputs.front();
+  if (first.rank() == 0 || first.dim(0) != 1) {
+    throw std::invalid_argument(
+        "invoke_batch: inputs must have a leading batch dimension of 1");
+  }
+  for (const Tensor* t : inputs) {
+    if (t == nullptr || !t->same_shape(first)) {
+      throw std::invalid_argument("invoke_batch: input shapes must match");
+    }
+  }
+
+  // Stack [1, ...] inputs into one [n, ...] tensor; each row keeps its
+  // original bytes, so the batched kernels see exactly the same per-row
+  // operands as n single invokes would.
+  const auto batch = static_cast<std::int64_t>(inputs.size());
+  Shape batched_shape = first.shape();
+  batched_shape[0] = batch;
+  Tensor batched(batched_shape);
+  const std::int64_t row = first.size();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::copy(inputs[static_cast<std::size_t>(b)]->data(),
+              inputs[static_cast<std::size_t>(b)]->data() + row,
+              batched.data() + b * row);
+  }
+
+  Tensor out = execute(batched, batch);
+  if (out.rank() == 0 || out.dim(0) != batch) {
+    throw std::logic_error("invoke_batch: output lost the batch dimension");
+  }
+
+  // Split the batched output back into per-request [1, ...] tensors.
+  Shape out_shape = out.shape();
+  out_shape[0] = 1;
+  const std::int64_t out_row = out.size() / batch;
+  std::vector<Tensor> results;
+  results.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    Tensor slice(out_shape);
+    std::copy(out.data() + b * out_row, out.data() + (b + 1) * out_row,
+              slice.data());
+    results.push_back(std::move(slice));
+  }
+  return results;
+}
+
+Tensor LiteInterpreter::execute(const Tensor& input, std::int64_t batch) {
   std::vector<Tensor> values(model_.tensors().size());
   std::vector<bool> ready(model_.tensors().size(), false);
   values[static_cast<std::size_t>(model_.input_tensor())] = input;
@@ -422,6 +479,11 @@ Tensor LiteInterpreter::invoke(const Tensor& input) {
         }
         if (infer >= 0) {
           target[static_cast<std::size_t>(infer)] = in(0).size() / known;
+        } else if (batch > 1 && known * batch == in(0).size() &&
+                   !target.empty()) {
+          // Fully specified target written for batch 1: scale the leading
+          // dimension so the reshape stays element-count exact.
+          target[0] *= batch;
         }
         r = {in(0).reshaped(std::move(target)), 0};
         break;

@@ -112,6 +112,17 @@ class LiteInterpreter {
   /// Runs one forward pass.
   Tensor invoke(const Tensor& input);
 
+  /// Runs one forward pass over a whole batch of same-shaped inputs
+  /// (leading dimension 1 each), executing ONE batched GEMM/conv per layer
+  /// so per-layer weight paging — streaming prefetch, demand faults,
+  /// advise-evicts — is paid once per batch instead of once per request.
+  /// Row b of every intermediate equals the single-request computation for
+  /// inputs[b] bit-for-bit (the blocked kernels fix the reduction order per
+  /// output row independent of the batch size), so the returned per-request
+  /// outputs are identical to calling invoke() n times. Throws
+  /// std::invalid_argument on shape-mismatched inputs.
+  std::vector<Tensor> invoke_batch(const std::vector<const Tensor*>& inputs);
+
   /// Peak activation bytes the interpreter keeps live (two buffers).
   [[nodiscard]] std::uint64_t activation_bytes() const {
     return activation_bytes_;
@@ -119,6 +130,11 @@ class LiteInterpreter {
   [[nodiscard]] double last_invoke_flops() const { return last_flops_; }
 
  private:
+  /// Shared forward-pass body. `batch` is the leading batch dimension of
+  /// `input` (1 for single requests); it only matters for Reshape ops with
+  /// fully specified target shapes, which are scaled to the batch.
+  Tensor execute(const Tensor& input, std::int64_t batch);
+
   const FlatModel& model_;
   tee::MemoryEnv* env_;
   kernels::KernelContext kernel_ctx_;

@@ -91,12 +91,29 @@ inline constexpr const char* kInferenceRequestNs =
     "core.inference.request_ns";
 inline constexpr const char* kInferenceRequestQuantileNs =
     "core.inference.request_quantile_ns";
+inline constexpr const char* kInferenceBatches = "core.inference.batches";
 inline constexpr const char* kServingRequestQuantileNs =
     "core.serving.request_quantile_ns";
 inline constexpr const char* kServingDispatches = "core.serving.dispatches";
 inline constexpr const char* kServingDispatchFailures =
     "core.serving.dispatch_failures";
 inline constexpr const char* kServingEjections = "core.serving.ejections";
+// Request-plane traffic (docs/SERVING.md): registered lazily by the
+// serve_trace path only, so benches that never run traffic keep their
+// registry exports byte-identical.
+inline constexpr const char* kServingRequestsOffered =
+    "core.serving.requests_offered";
+inline constexpr const char* kServingRequestsCompleted =
+    "core.serving.requests_completed";
+inline constexpr const char* kServingShedQueueFull =
+    "core.serving.shed_queue_full";
+inline constexpr const char* kServingShedExpired =
+    "core.serving.shed_expired";
+inline constexpr const char* kServingSloMisses = "core.serving.slo_misses";
+inline constexpr const char* kServingQueueWaitQuantileNs =
+    "core.serving.queue_wait_quantile_ns";
+inline constexpr const char* kServingE2eQuantileNs =
+    "core.serving.e2e_latency_quantile_ns";
 
 // --- distributed: parameter-server training (Figure 8) -------------------
 inline constexpr const char* kTrainRounds = "distributed.rounds";
@@ -123,6 +140,7 @@ inline constexpr const char* kSpanSchedSyscall = "runtime.sched.syscall";
 inline constexpr const char* kSpanRpcRetry = "runtime.rpc.retry";
 inline constexpr const char* kSpanSessionGemm = "ml.session.gemm";
 inline constexpr const char* kSpanInferenceRequest = "core.inference.request";
+inline constexpr const char* kSpanInferenceBatch = "core.inference.batch";
 inline constexpr const char* kSpanTrainRound = "distributed.round";
 inline constexpr const char* kSpanSchedIdle = "runtime.sched.idle";
 

@@ -361,6 +361,48 @@ TEST(ObsQuantile, NearestRankQuantilesAreExact) {
   EXPECT_EQ(q.quantile(0.95), 0u);
 }
 
+TEST(ObsQuantile, EdgeCasesBackUserFacingSloNumbers) {
+  obs::Registry reg;
+
+  // Empty series: every quantile reads zero, including the extremes.
+  obs::QuantileSeries& empty = reg.quantiles("t.empty_ns");
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+
+  // Single sample: every quantile is that sample (rank clamps to [1, n]).
+  obs::QuantileSeries& one = reg.quantiles("t.one_ns");
+  one.observe(42);
+  EXPECT_EQ(one.quantile(0.0), 42u) << "rank ceil(0*1)=0 clamps up to 1";
+  EXPECT_EQ(one.quantile(0.01), 42u);
+  EXPECT_EQ(one.quantile(0.50), 42u);
+  EXPECT_EQ(one.quantile(1.00), 42u);
+
+  // All-equal samples: the answer is the common value at every quantile
+  // (a stalled SLO series must not fabricate spread).
+  obs::QuantileSeries& flat = reg.quantiles("t.flat_ns");
+  for (int i = 0; i < 64; ++i) flat.observe(1'000);
+  EXPECT_EQ(flat.quantile(0.01), 1'000u);
+  EXPECT_EQ(flat.quantile(0.50), 1'000u);
+  EXPECT_EQ(flat.quantile(0.99), 1'000u);
+  EXPECT_EQ(flat.quantile(1.00), 1'000u);
+
+  // Nearest-rank boundary indices, n = 4 (values 10, 20, 30, 40):
+  // rank = clamp(ceil(q * 4), 1, 4).
+  obs::QuantileSeries& four = reg.quantiles("t.four_ns");
+  for (const std::uint64_t v : {40u, 10u, 30u, 20u}) four.observe(v);
+  EXPECT_EQ(four.quantile(0.24), 10u) << "ceil(0.96) = 1st smallest";
+  EXPECT_EQ(four.quantile(0.25), 10u) << "ceil(1.00) = 1st smallest";
+  EXPECT_EQ(four.quantile(0.26), 20u) << "ceil(1.04) = 2nd smallest";
+  EXPECT_EQ(four.quantile(0.50), 20u);
+  EXPECT_EQ(four.quantile(0.51), 30u);
+  EXPECT_EQ(four.quantile(0.75), 30u);
+  EXPECT_EQ(four.quantile(0.76), 40u);
+  EXPECT_EQ(four.quantile(0.99), 40u);
+  EXPECT_EQ(four.quantile(1.00), 40u);
+  EXPECT_EQ(four.quantile(0.001), 10u) << "tiny q still clamps to rank 1";
+}
+
 // --- skip_empty spans -----------------------------------------------------
 
 TEST(ObsSpans, SkipEmptySuppressesZeroLengthRecordsOnly) {

@@ -9,6 +9,9 @@
 //                                              proves the gate can fire
 //
 // Comparison policy, per flattened leaf:
+//   * any drift under the "config" section (the workload parameters that
+//     produced the run) aborts with exit 2 before metrics are diffed —
+//     comparing different workloads is never a valid regression check;
 //   * structural drift (missing / extra keys) fails;
 //   * string leaves must match exactly;
 //   * timing leaves (*_ns, p50/p95/p99, sum, per-category attribution
@@ -248,6 +251,52 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_compare: %s\n", e.what());
     return 2;
+  }
+
+  // Workload-config gate: a "config" section (bench_common.h
+  // fprint_config_section) describes the workload that produced the run —
+  // seed, arrival model, offered load, batch window. Comparing runs from
+  // different workloads is meaningless, so any config drift is a hard error
+  // before a single metric leaf is diffed.
+  {
+    bool config_mismatch = false;
+    auto config_error = [&](const std::string& detail) {
+      config_mismatch = true;
+      std::fprintf(stderr, "bench_compare: workload config mismatch: %s\n",
+                   detail.c_str());
+    };
+    auto check_side = [&](const auto& base_map, const auto& fresh_map,
+                          auto render) {
+      for (const auto& [path, base] : base_map) {
+        if (path.compare(0, 7, "config/") != 0) continue;
+        const auto it = fresh_map.find(path);
+        if (it == fresh_map.end()) {
+          config_error(path + ": missing from fresh run");
+        } else if (it->second != base) {
+          config_error(path + ": baseline " + render(base) + " vs fresh " +
+                       render(it->second));
+        }
+      }
+      for (const auto& [path, v] : fresh_map) {
+        (void)v;
+        if (path.compare(0, 7, "config/") != 0) continue;
+        if (base_map.find(path) == base_map.end()) {
+          config_error(path + ": not in baseline");
+        }
+      }
+    };
+    check_side(baseline.nums, fresh.nums, [](long double v) {
+      return std::to_string(static_cast<long long>(v));
+    });
+    check_side(baseline.strs, fresh.strs,
+               [](const std::string& v) { return "\"" + v + "\""; });
+    if (config_mismatch) {
+      std::fprintf(stderr,
+                   "bench_compare: refusing to compare runs with different "
+                   "workload configs; regenerate the baseline with the same "
+                   "workload config\n");
+      return 2;
+    }
   }
 
   if (slowdown_pct != 0.0) {
