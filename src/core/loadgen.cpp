@@ -38,6 +38,7 @@ void validate(const LoadGenConfig& cfg) {
   if (cfg.input_dim <= 0) reject("input_dim must be > 0");
   if (cfg.input_pool <= 0) reject("input_pool must be > 0");
   if (cfg.slo_s < 0) reject("slo_s must be >= 0");
+  if (cfg.retry_budget < -1) reject("retry_budget must be >= -1");
   if (cfg.process == ArrivalProcess::Bursty) {
     if (!(cfg.burst_rate_factor > 1)) reject("burst_rate_factor must be > 1");
     if (!(cfg.burst_duty > 0) || !(cfg.burst_duty < 1)) {
@@ -188,6 +189,7 @@ LoadTrace generate_load(const LoadGenConfig& config) {
     r.arrival_ns = std::max(r.arrival_ns, prev_ns);
     prev_ns = r.arrival_ns;
     r.deadline_ns = slo_ns == 0 ? 0 : r.arrival_ns + slo_ns;
+    r.retry_budget = config.retry_budget;
     r.input = &trace.images[i % pool];
     trace.requests.push_back(r);
   }
@@ -206,6 +208,7 @@ std::string LoadTrace::fingerprint() const {
     absorb_u64(static_cast<std::uint64_t>(r.id));
     absorb_u64(r.arrival_ns);
     absorb_u64(r.deadline_ns);
+    absorb_u64(static_cast<std::uint64_t>(r.retry_budget));
     // Record which pool image backs the request (pointer identity rendered
     // as a stable index).
     std::uint64_t index = 0;

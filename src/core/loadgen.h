@@ -57,6 +57,10 @@ struct LoadGenConfig {
   std::int64_t input_pool = 32;
   /// Per-request deadline: arrival + slo. 0 disables deadlines.
   double slo_s = 0;
+  /// Per-request retry budget stamped on every request: how many client
+  /// retries it may consume if its node crashes mid-trace. -1 defers to the
+  /// fleet's RequestRetryPolicy::max_retries; 0 forbids retries.
+  std::int64_t retry_budget = -1;
 };
 
 /// One request of the open-loop trace. `input` points into the owning
@@ -66,6 +70,9 @@ struct Request {
   std::uint64_t arrival_ns = 0;
   /// Absolute virtual deadline; 0 means no deadline.
   std::uint64_t deadline_ns = 0;
+  /// Client retry budget for crash-lost dispatches; -1 defers to the
+  /// serving fleet's policy (LoadGenConfig::retry_budget).
+  std::int64_t retry_budget = -1;
   const ml::Tensor* input = nullptr;
 };
 

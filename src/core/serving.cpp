@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <map>
+#include <optional>
+#include <set>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "crypto/bytes.h"
+#include "crypto/drbg.h"
+#include "faults/fault_plane.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/span.h"
@@ -61,6 +67,37 @@ TrafficObs& traffic_obs() {
   return *o;
 }
 
+// Failover series, registered only when the fault-tolerant serve_trace path
+// actually runs (fault plane attached, retry or hedging on) — faults-off
+// runs must keep their registry exports byte-identical to PR-6 baselines.
+struct FailoverObs {
+  obs::Counter& detections = obs::Registry::global().counter(
+      obs::names::kServingFailoverDetections,
+      "mid-trace crash detections (dispatch timeouts)");
+  obs::Counter& resteered = obs::Registry::global().counter(
+      obs::names::kServingFailoverResteered,
+      "queued requests re-steered off a crashed node");
+  obs::Counter& retries = obs::Registry::global().counter(
+      obs::names::kServingFailoverRetries,
+      "client-side retry attempts consumed");
+  obs::Counter& failed_requests = obs::Registry::global().counter(
+      obs::names::kServingFailoverFailedRequests,
+      "requests terminally lost to crashed nodes");
+  obs::Counter& hedges = obs::Registry::global().counter(
+      obs::names::kServingFailoverHedges, "hedge duplicates enqueued");
+  obs::Counter& hedge_wins = obs::Registry::global().counter(
+      obs::names::kServingFailoverHedgeWins,
+      "requests whose hedge copy completed first");
+  obs::Counter& readmissions = obs::Registry::global().counter(
+      obs::names::kServingFailoverReadmissions,
+      "half-open probes that re-admitted a node");
+};
+
+FailoverObs& failover_obs() {
+  static FailoverObs* o = new FailoverObs();
+  return *o;
+}
+
 /// Nearest-rank quantile (same rule as obs::QuantileSeries): the
 /// ceil(q*n)-th smallest, rank clamped to [1, n]; 0 on an empty set.
 std::uint64_t nearest_rank(std::vector<std::uint64_t>& values, double q) {
@@ -93,8 +130,16 @@ TrafficSummary summarize(const std::vector<RequestOutcome>& outcomes) {
         s.last_completion_ns = std::max(s.last_completion_ns, o.completion_ns);
         e2e.push_back(o.completion_ns - o.arrival_ns);
         break;
+      case RequestStatus::Retried:
+        ++s.retried;
+        s.retries_total += o.retries;
+        if (o.slo_miss) ++s.slo_misses;
+        s.last_completion_ns = std::max(s.last_completion_ns, o.completion_ns);
+        e2e.push_back(o.completion_ns - o.arrival_ns);
+        break;
       case RequestStatus::ShedQueueFull: ++s.shed_queue_full; break;
       case RequestStatus::ShedExpired: ++s.shed_expired; break;
+      case RequestStatus::FailedNodeDown: ++s.failed_node_down; break;
     }
   }
   s.p50_ns = nearest_rank(e2e, 0.50);
@@ -166,6 +211,26 @@ unsigned ServingNode::least_loaded_lane() const {
   return best;
 }
 
+std::uint64_t ServingNode::next_free_ns() const {
+  return lanes_[least_loaded_lane()].now_ns();
+}
+
+std::uint64_t ServingNode::serve_batch(
+    const std::vector<const ml::Tensor*>& inputs, std::uint64_t dispatch_ns) {
+  const unsigned lane = least_loaded_lane();
+  obs::ScopedLane lane_scope(static_cast<std::uint16_t>(ordinal_),
+                             static_cast<std::uint16_t>(lane));
+  platform_->set_active_lane(&lanes_[lane]);
+  lanes_[lane].advance_to(dispatch_ns);  // lane idles until the batch launch
+  if (auto* enclave = const_cast<tee::Enclave*>(service_->enclave())) {
+    enclave->access(scratch_[lane], 0, config_.per_thread_scratch, true);
+  }
+  (void)service_->classify_batch(inputs);
+  const std::uint64_t completion = lanes_[lane].now_ns();
+  platform_->set_active_lane(nullptr);
+  return completion;
+}
+
 double ServingNode::classify_stream(const ml::Tensor& image,
                                     std::int64_t count) {
   const std::uint64_t start = lanes_.empty() ? 0 : lanes_[0].now_ns();
@@ -209,6 +274,7 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
         o.id = r.id;
         o.status = RequestStatus::ShedQueueFull;
         o.arrival_ns = r.arrival_ns;
+        o.node = static_cast<std::int64_t>(ordinal_);
         outcomes.push_back(o);
         traffic_obs().shed_queue_full.add();
       } else {
@@ -222,9 +288,8 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
       admit_until(requests[next].arrival_ns);
       continue;
     }
-    const unsigned lane = least_loaded_lane();
     const std::uint64_t head_arrival = pending.front()->arrival_ns;
-    std::uint64_t dispatch_at = std::max(lanes_[lane].now_ns(), head_arrival);
+    std::uint64_t dispatch_at = std::max(next_free_ns(), head_arrival);
     admit_until(dispatch_at);
 
     // Batch window: the queue head waits up to `wait_ns` for the batch to
@@ -258,6 +323,7 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
         o.id = r->id;
         o.status = RequestStatus::ShedExpired;
         o.arrival_ns = r->arrival_ns;
+        o.node = static_cast<std::int64_t>(ordinal_);
         outcomes.push_back(o);
         traffic_obs().shed_expired.add();
         continue;
@@ -267,16 +333,9 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
     }
     if (batch.empty()) continue;  // the whole window expired
 
-    obs::ScopedLane lane_scope(static_cast<std::uint16_t>(ordinal_),
-                               static_cast<std::uint16_t>(lane));
-    platform_->set_active_lane(&lanes_[lane]);
-    lanes_[lane].advance_to(dispatch_at);  // lane idles until the batch launch
-    if (auto* enclave = const_cast<tee::Enclave*>(service_->enclave())) {
-      enclave->access(scratch_[lane], 0, config_.per_thread_scratch, true);
-    }
-    (void)service_->classify_batch(batch_inputs);
-    const std::uint64_t completion = lanes_[lane].now_ns();
-    platform_->set_active_lane(nullptr);
+    // No lane advanced since dispatch_at was computed, so serve_batch picks
+    // the same least-loaded lane that priced it.
+    const std::uint64_t completion = serve_batch(batch_inputs, dispatch_at);
 
     for (const Request* r : batch) {
       RequestOutcome o;
@@ -287,6 +346,7 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
       o.completion_ns = completion;
       o.batch_size = static_cast<std::int64_t>(batch.size());
       o.slo_miss = r->deadline_ns != 0 && completion > r->deadline_ns;
+      o.node = static_cast<std::int64_t>(ordinal_);
       outcomes.push_back(o);
       traffic_obs().completed.add();
       if (o.slo_miss) traffic_obs().slo_misses.add();
@@ -338,6 +398,23 @@ void ServingFleet::configure_resilience(FleetResilienceConfig cfg) {
   resilience_ = cfg;
 }
 
+void ServingFleet::attach_fault_plane(faults::FaultPlane& plane,
+                                      std::uint32_t base_node_id) {
+  fault_plane_ = &plane;
+  fault_base_id_ = base_node_id;
+  if (!resilience_.has_value()) resilience_ = FleetResilienceConfig{};
+}
+
+void ServingFleet::configure_retry(RequestRetryPolicy policy) {
+  retry_ = policy;
+  if (!resilience_.has_value()) resilience_ = FleetResilienceConfig{};
+}
+
+void ServingFleet::configure_hedging(HedgePolicy policy) {
+  hedge_ = policy;
+  if (!resilience_.has_value()) resilience_ = FleetResilienceConfig{};
+}
+
 void ServingFleet::fail_node(unsigned index) {
   status_.at(index).alive = false;
   if (!resilience_.has_value()) resilience_ = FleetResilienceConfig{};
@@ -374,6 +451,7 @@ double ServingFleet::estimate_stream_seconds(const ml::Tensor& image,
 
 std::vector<RequestOutcome> ServingFleet::serve_trace(
     const std::vector<Request>& requests, const BatchWindowConfig& window) {
+  if (failover_active()) return serve_trace_failover(requests, window);
   if (alive_node_count() == 0) {
     throw runtime::TransientError("serving fleet: no live nodes");
   }
@@ -417,6 +495,503 @@ std::vector<RequestOutcome> ServingFleet::serve_trace(
               return a.id < b.id;
             });
   return merged;
+}
+
+// Fault-tolerant request plane (docs/SERVING.md). One global event loop
+// drives every node: each step picks the node whose next batch could launch
+// earliest, runs its admission + batch window exactly like the single-node
+// path (so with no faults the outcomes match the fast path bit-for-bit),
+// and probes the fault plane's crash schedule at dispatch. A dispatch that
+// finds the node dead costs the dispatcher `detect_timeout_seconds`, opens
+// the circuit at the failure threshold (probation re-ejects in one), and
+// re-steers the queued-but-unserved requests to the least-loaded live node;
+// a crash window opening mid-service loses the in-flight batch the same
+// way. Lost requests burn client retries (exponential backoff + seeded
+// jitter) when configured, and become terminal FailedNodeDown otherwise —
+// every offered request ends in exactly one terminal RequestOutcome.
+std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
+    const std::vector<Request>& requests, const BatchWindowConfig& window) {
+  if (window.max_batch < 1) {
+    throw std::invalid_argument("serve_trace: max_batch must be >= 1");
+  }
+  if (window.max_wait_s < 0) {
+    throw std::invalid_argument("serve_trace: max_wait_s must be >= 0");
+  }
+  if (alive_node_count() == 0) {
+    throw runtime::TransientError("serving fleet: no live nodes");
+  }
+  const FleetResilienceConfig cfg =
+      resilience_.value_or(FleetResilienceConfig{});
+  const auto wait_ns =
+      static_cast<std::uint64_t>(std::llround(window.max_wait_s * 1e9));
+  const auto detect_ns =
+      static_cast<std::uint64_t>(cfg.detect_timeout_seconds * 1e9);
+  const auto cooldown_ns =
+      static_cast<std::uint64_t>(cfg.cooldown_seconds * 1e9);
+  const bool hedging = hedge_.has_value() && hedge_->enabled;
+  const std::uint64_t hedge_ns =
+      hedging ? static_cast<std::uint64_t>(
+                    std::llround(hedge_->hedge_delay_s * 1e9))
+              : 0;
+  const std::size_t n = nodes_.size();
+
+  // Each trace is its own timeline; ejection deadlines from a previous run
+  // are stale (same contract as estimate_resilient).
+  for (auto& s : status_) s.ejected_until_ns = 0;
+
+  // Seeded jitter stream for retry backoff, independent of every other DRBG
+  // in the run so the retry schedule replays bit-for-bit.
+  crypto::Bytes jseed = crypto::to_bytes("stf-serving-retry-");
+  std::uint8_t jb[8];
+  crypto::store_be64(jb, retry_ ? retry_->jitter_seed : 0);
+  crypto::append(jseed, crypto::BytesView(jb, 8));
+  crypto::HmacDrbg jitter(jseed);
+
+  struct Pending {
+    const Request* req = nullptr;
+    std::uint64_t arrival_ns = 0;    ///< node-side arrival (after the wire)
+    std::int64_t attempts = 0;       ///< client retries consumed so far
+    std::int64_t steered_from = -1;  ///< node this copy last left
+    int strikes = 0;   ///< crash encounters; a budget stops ping-pong
+    bool is_hedge = false;
+  };
+  struct NodeLoop {
+    std::vector<Pending> stream;  ///< static partition, sorted by arrival
+    std::size_t next = 0;         ///< first un-admitted stream entry
+    std::deque<Pending> inbox;    ///< re-steered/retried/hedged, sorted
+    std::deque<Pending> queue;    ///< admitted, FIFO
+    std::uint64_t not_before_ns = 0;  ///< dispatcher busy until (detections)
+  };
+  struct Terminal {
+    RequestOutcome out;
+    std::uint64_t node_arrival_ns = 0;
+    bool by_hedge = false;
+  };
+  constexpr int kStrikeBudget = 8;
+
+  std::vector<NodeLoop> loops(n);
+  std::map<std::int64_t, Terminal> done;
+  std::set<std::int64_t> hedged;
+
+  // Static partition round-robin over nodes alive at trace start (identical
+  // to the fast path when no mid-trace faults fire); every arrival pays the
+  // network shield + LAN cost before reaching its node's queue.
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (status_[i].alive) live.push_back(i);
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Pending p;
+    p.req = &requests[i];
+    const std::uint64_t bytes = requests[i].input->byte_size();
+    p.arrival_ns = requests[i].arrival_ns +
+                   config_.model.netshield_ns(bytes) +
+                   config_.model.lan_transfer_ns(bytes);
+    loops[live[i % live.size()]].stream.push_back(p);
+  }
+
+  traffic_obs().offered.add(requests.size());
+  failover_obs();  // register the failover series for this run's exports
+
+  auto down_at = [&](std::size_t i, std::uint64_t t) {
+    if (!status_[i].alive) return true;
+    return fault_plane_ != nullptr &&
+           fault_plane_->node_down(
+               fault_base_id_ + static_cast<std::uint32_t>(i), t);
+  };
+
+  auto record_shed = [&](const Pending& p, RequestStatus st, std::size_t i) {
+    if (p.is_hedge) return;  // the primary copy lives (or ended) elsewhere
+    if (done.count(p.req->id) != 0) return;  // keep the first terminal state
+    Terminal t;
+    t.out.id = p.req->id;
+    t.out.status = st;
+    t.out.retries = p.attempts;
+    t.out.steered_from = p.steered_from;
+    t.out.node = static_cast<std::int64_t>(i);
+    t.node_arrival_ns = p.arrival_ns;
+    done.emplace(p.req->id, t);
+  };
+
+  auto record_failed = [&](const Pending& p, std::uint64_t dispatch_ns,
+                           std::size_t i) {
+    if (p.is_hedge) return;
+    if (done.count(p.req->id) != 0) return;
+    Terminal t;
+    t.out.id = p.req->id;
+    t.out.status = RequestStatus::FailedNodeDown;
+    t.out.dispatch_ns = dispatch_ns;
+    t.out.retries = p.attempts;
+    t.out.steered_from = p.steered_from;
+    t.out.node = static_cast<std::int64_t>(i);
+    t.node_arrival_ns = p.arrival_ns;
+    done.emplace(p.req->id, t);
+  };
+
+  auto record_complete = [&](const Pending& p, std::size_t i,
+                             std::uint64_t dispatch_ns,
+                             std::uint64_t completion_ns,
+                             std::int64_t batch_size) {
+    Terminal t;
+    t.out.id = p.req->id;
+    t.out.status =
+        p.attempts > 0 ? RequestStatus::Retried : RequestStatus::Completed;
+    t.out.dispatch_ns = dispatch_ns;
+    t.out.completion_ns = completion_ns;
+    t.out.batch_size = batch_size;
+    t.out.slo_miss =
+        p.req->deadline_ns != 0 && completion_ns > p.req->deadline_ns;
+    t.out.retries = p.attempts;
+    t.out.steered_from = p.steered_from;
+    t.out.node = static_cast<std::int64_t>(i);
+    t.node_arrival_ns = p.arrival_ns;
+    t.by_hedge = p.is_hedge;
+    const auto it = done.find(p.req->id);
+    if (it == done.end()) {
+      done.emplace(p.req->id, t);
+    } else if (it->second.out.completion_ns == 0 ||
+               completion_ns < it->second.out.completion_ns) {
+      // A real completion overrides a shed/failed terminal; between two
+      // completions (primary vs hedge racing) the earlier one wins.
+      it->second = t;
+    }
+  };
+
+  auto inbox_push = [&](std::size_t dest, const Pending& p) {
+    auto& box = loops[dest].inbox;
+    const auto pos = std::upper_bound(
+        box.begin(), box.end(), p, [](const Pending& a, const Pending& b) {
+          if (a.arrival_ns != b.arrival_ns) return a.arrival_ns < b.arrival_ns;
+          if (a.req->id != b.req->id) return a.req->id < b.req->id;
+          return a.is_hedge < b.is_hedge;
+        });
+    box.insert(pos, p);
+  };
+
+  // Least-loaded destination whose circuit is closed, excluding `from`;
+  // falls back to the earliest-readmitted circuit when everything else is
+  // ejected, and to nothing at all in a single-node fleet.
+  auto pick_dest = [&](std::size_t from,
+                       std::uint64_t t) -> std::optional<std::size_t> {
+    std::optional<std::size_t> best;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == from || status_[j].ejected_until_ns > t) continue;
+      if (!best || nodes_[j]->next_free_ns() < nodes_[*best]->next_free_ns()) {
+        best = j;
+      }
+    }
+    if (best.has_value()) return best;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == from) continue;
+      if (!best ||
+          status_[j].ejected_until_ns < status_[*best].ejected_until_ns) {
+        best = j;
+      }
+    }
+    return best;
+  };
+
+  // One in-flight copy was lost to a crash: burn a client retry if the
+  // budget allows (exponential backoff + seeded jitter, ResilientChannel
+  // shape), otherwise the request is a terminal FailedNodeDown.
+  auto lose_in_flight = [&](Pending p, std::size_t i, std::uint64_t dispatch_ns,
+                            std::uint64_t detected_ns) {
+    if (p.is_hedge) return;  // silent: the primary copy is elsewhere
+    const auto it = done.find(p.req->id);
+    if (it != done.end() && it->second.out.completion_ns != 0) return;
+    const std::int64_t budget =
+        retry_.has_value()
+            ? (p.req->retry_budget >= 0
+                   ? p.req->retry_budget
+                   : static_cast<std::int64_t>(retry_->max_retries))
+            : 0;
+    if (p.attempts >= budget) {
+      record_failed(p, dispatch_ns, i);
+      return;
+    }
+    const std::uint64_t backoff =
+        retry_->backoff.timeout_for(static_cast<unsigned>(p.attempts));
+    const std::uint64_t jit = retry_->backoff.max_jitter_ns > 0
+                                  ? jitter.uniform(retry_->backoff.max_jitter_ns)
+                                  : 0;
+    ++p.attempts;
+    ++p.strikes;
+    p.steered_from = static_cast<std::int64_t>(i);
+    p.arrival_ns = detected_ns + backoff + jit;
+    const auto dest = pick_dest(i, p.arrival_ns);
+    inbox_push(dest.value_or(i), p);
+    failover_obs().retries.add();
+  };
+
+  // A crash was detected on node i at `t`: the dispatcher pays the
+  // detection timeout, the node takes a strike (the circuit opens at the
+  // threshold; probation re-ejects in one), and everything queued is
+  // re-steered to the least-loaded live node. Without a destination the
+  // queue rides out the outage in place, under a strike budget so an
+  // unbounded outage still terminates every request.
+  auto handle_failure = [&](std::size_t i, std::uint64_t t) {
+    NodeLoop& nl = loops[i];
+    FleetNodeStatus& st = status_[i];
+    const std::uint64_t detected = t + detect_ns;
+    nl.not_before_ns = detected;
+    {
+      static const std::uint32_t span_id = obs::SpanTracer::global().intern(
+          obs::names::kSpanServingFailoverDetect);
+      obs::ScopedLane lane_scope(static_cast<std::uint16_t>(i), 0);
+      obs::SpanTracer::global().record(span_id, t, detected);
+    }
+    failover_obs().detections.add();
+    serving_obs().dispatch_failures.add();
+    ++st.failures_total;
+    ++st.consecutive_failures;
+    if (st.probation || st.consecutive_failures >= cfg.failure_threshold) {
+      st.ejected_until_ns = detected + cooldown_ns;
+      st.probation = true;  // half-open next time: one strike re-ejects
+      ++st.ejections;
+      serving_obs().ejections.add();
+      st.consecutive_failures = 0;
+    }
+    const auto dest = pick_dest(i, detected);
+    std::deque<Pending> keep;
+    while (!nl.queue.empty()) {
+      Pending p = nl.queue.front();
+      nl.queue.pop_front();
+      if (p.is_hedge) continue;  // hedge copies die with the node, silently
+      ++p.strikes;
+      if (p.strikes > kStrikeBudget) {
+        record_failed(p, t, i);
+        continue;
+      }
+      if (dest.has_value()) {
+        p.arrival_ns = detected;
+        p.steered_from = static_cast<std::int64_t>(i);
+        inbox_push(*dest, p);
+        failover_obs().resteered.add();
+      } else {
+        keep.push_back(p);
+      }
+    }
+    nl.queue = std::move(keep);
+  };
+
+  auto next_candidate_arrival =
+      [&](const NodeLoop& nl) -> std::optional<std::uint64_t> {
+    std::optional<std::uint64_t> a;
+    if (nl.next < nl.stream.size()) a = nl.stream[nl.next].arrival_ns;
+    if (!nl.inbox.empty() && (!a.has_value() || nl.inbox.front().arrival_ns < *a)) {
+      a = nl.inbox.front().arrival_ns;
+    }
+    return a;
+  };
+
+  // Admission merges the static stream with the inbox in arrival order
+  // (stream wins ties — it was scheduled first); arrivals beyond the queue
+  // capacity are shed immediately, exactly like the single-node path.
+  auto admit_until = [&](std::size_t i, std::uint64_t t) {
+    NodeLoop& nl = loops[i];
+    while (true) {
+      const bool has_s = nl.next < nl.stream.size();
+      const bool has_b = !nl.inbox.empty();
+      if (!has_s && !has_b) break;
+      const bool take_stream =
+          has_s && (!has_b || nl.stream[nl.next].arrival_ns <=
+                                  nl.inbox.front().arrival_ns);
+      const Pending& cand = take_stream ? nl.stream[nl.next] : nl.inbox.front();
+      if (cand.arrival_ns > t) break;
+      Pending p = cand;
+      if (take_stream) {
+        ++nl.next;
+      } else {
+        nl.inbox.pop_front();
+      }
+      if (window.queue_capacity > 0 &&
+          static_cast<std::int64_t>(nl.queue.size()) >= window.queue_capacity) {
+        record_shed(p, RequestStatus::ShedQueueFull, i);
+      } else {
+        nl.queue.push_back(p);
+      }
+    }
+  };
+
+  while (true) {
+    // Pick the node with the earliest possible next dispatch (ties to the
+    // lowest index) — a deterministic global virtual-time order.
+    std::optional<std::size_t> pick;
+    std::uint64_t pick_key = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeLoop& nl = loops[i];
+      std::optional<std::uint64_t> arr;
+      if (!nl.queue.empty()) {
+        arr = nl.queue.front().arrival_ns;
+      } else {
+        arr = next_candidate_arrival(nl);
+      }
+      if (!arr.has_value()) continue;  // node has no work
+      const std::uint64_t key =
+          std::max({nodes_[i]->next_free_ns(), *arr,
+                    status_[i].ejected_until_ns, nl.not_before_ns});
+      if (!pick.has_value() || key < pick_key) {
+        pick = i;
+        pick_key = key;
+      }
+    }
+    if (!pick.has_value()) break;  // all queues, streams and inboxes drained
+    const std::size_t i = *pick;
+    NodeLoop& nl = loops[i];
+    FleetNodeStatus& st = status_[i];
+
+    if (nl.queue.empty()) {
+      admit_until(i, *next_candidate_arrival(nl));
+      if (nl.queue.empty()) continue;  // everything admitted was shed
+    }
+    const std::uint64_t head_arrival = nl.queue.front().arrival_ns;
+    std::uint64_t dispatch_at =
+        std::max({nodes_[i]->next_free_ns(), head_arrival,
+                  st.ejected_until_ns, nl.not_before_ns});
+    admit_until(i, dispatch_at);
+
+    // Batch window, same policy as the single-node path with the inbox
+    // merged in: each admitted arrival pushes the launch to its arrival
+    // time, and an unfilled window launches at close.
+    if (static_cast<std::int64_t>(nl.queue.size()) < window.max_batch) {
+      const std::uint64_t close = std::max(dispatch_at, head_arrival + wait_ns);
+      while (static_cast<std::int64_t>(nl.queue.size()) < window.max_batch) {
+        const auto cand = next_candidate_arrival(nl);
+        if (!cand.has_value() || *cand > close) break;
+        admit_until(i, *cand);
+        dispatch_at = std::max(dispatch_at, *cand);
+      }
+      if (static_cast<std::int64_t>(nl.queue.size()) < window.max_batch) {
+        dispatch_at = close;
+      }
+      admit_until(i, dispatch_at);
+    }
+
+    // Dispatch probe: does the launch find the node dead?
+    if (down_at(i, dispatch_at)) {
+      handle_failure(i, dispatch_at);
+      continue;
+    }
+    if (st.probation) {
+      st.probation = false;  // half-open probe succeeded: circuit closes
+      failover_obs().readmissions.add();
+    }
+    st.consecutive_failures = 0;
+
+    // Assemble the batch: expired requests are shed, and copies whose twin
+    // already completed in this batch's past are cancelled (hedge losers).
+    std::vector<Pending> batch;
+    std::vector<const ml::Tensor*> inputs;
+    while (!nl.queue.empty() &&
+           static_cast<std::int64_t>(batch.size()) < window.max_batch) {
+      Pending p = nl.queue.front();
+      nl.queue.pop_front();
+      const auto dit = done.find(p.req->id);
+      if (dit != done.end() && dit->second.out.completion_ns != 0 &&
+          dit->second.out.completion_ns <= dispatch_at) {
+        continue;  // the twin won before this launch — cancel the loser
+      }
+      if (window.shed_expired && p.req->deadline_ns != 0 &&
+          p.req->deadline_ns < dispatch_at) {
+        record_shed(p, RequestStatus::ShedExpired, i);
+        continue;
+      }
+      batch.push_back(p);
+      inputs.push_back(p.req->input);
+    }
+    if (batch.empty()) continue;  // the whole window expired or cancelled
+
+    const std::uint64_t completion = nodes_[i]->serve_batch(inputs, dispatch_at);
+    serving_obs().dispatches.add();
+
+    // Mid-service interruption: a crash window opening before the batch
+    // completes loses the whole batch at the crash instant; the dispatcher
+    // notices a timeout later, and every member retries or fails.
+    std::optional<std::uint64_t> crash;
+    if (fault_plane_ != nullptr) {
+      crash = fault_plane_->next_crash_after(
+          fault_base_id_ + static_cast<std::uint32_t>(i), dispatch_at);
+    }
+    if (crash.has_value() && *crash < completion) {
+      const std::uint64_t detected = *crash + detect_ns;
+      for (const Pending& p : batch) {
+        lose_in_flight(p, i, dispatch_at, detected);
+      }
+      handle_failure(i, *crash);
+      continue;
+    }
+
+    for (const Pending& p : batch) {
+      record_complete(p, i, dispatch_at, completion,
+                      static_cast<std::int64_t>(batch.size()));
+    }
+
+    // Hedging: a queue head that has already waited past the hedge delay
+    // gets a duplicate on a second node; the first completion wins and the
+    // loser is cancelled at its dispatch.
+    if (hedging && !nl.queue.empty()) {
+      const Pending& h = nl.queue.front();
+      const auto dit = done.find(h.req->id);
+      const bool settled =
+          dit != done.end() && dit->second.out.completion_ns != 0;
+      if (!h.is_hedge && !settled && hedged.count(h.req->id) == 0 &&
+          std::max(nodes_[i]->next_free_ns(), h.arrival_ns) >=
+              h.arrival_ns + hedge_ns) {
+        const auto dest = pick_dest(i, dispatch_at);
+        if (dest.has_value()) {
+          Pending twin = h;
+          twin.is_hedge = true;
+          twin.arrival_ns = std::max(dispatch_at, h.arrival_ns);
+          twin.steered_from = static_cast<std::int64_t>(i);
+          inbox_push(*dest, twin);
+          hedged.insert(h.req->id);
+          failover_obs().hedges.add();
+        }
+      }
+    }
+  }
+
+  // Finalize: every offered request must hold exactly one terminal outcome.
+  std::vector<RequestOutcome> out;
+  out.reserve(requests.size());
+  for (const Request& r : requests) {
+    const auto it = done.find(r.id);
+    if (it == done.end()) {
+      throw std::logic_error("serving fleet: request " + std::to_string(r.id) +
+                             " reached no terminal outcome");
+    }
+    RequestOutcome o = it->second.out;
+    o.arrival_ns = r.arrival_ns;  // client-side arrival: e2e includes the wire
+    out.push_back(o);
+    switch (o.status) {
+      case RequestStatus::Completed:
+      case RequestStatus::Retried:
+        traffic_obs().completed.add();
+        if (o.slo_miss) traffic_obs().slo_misses.add();
+        traffic_obs().queue_wait_ns.observe(o.dispatch_ns -
+                                            it->second.node_arrival_ns);
+        traffic_obs().e2e_ns.observe(o.completion_ns - o.arrival_ns);
+        serving_obs().request_quantile_ns.observe(o.completion_ns -
+                                                  o.dispatch_ns);
+        if (o.node >= 0) ++status_[static_cast<std::size_t>(o.node)].served;
+        if (it->second.by_hedge) failover_obs().hedge_wins.add();
+        break;
+      case RequestStatus::ShedQueueFull:
+        traffic_obs().shed_queue_full.add();
+        break;
+      case RequestStatus::ShedExpired:
+        traffic_obs().shed_expired.add();
+        break;
+      case RequestStatus::FailedNodeDown:
+        failover_obs().failed_requests.add();
+        break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestOutcome& a, const RequestOutcome& b) {
+              return a.id < b.id;
+            });
+  return out;
 }
 
 // Health-tracking dispatch loop: the stream is served in dispatch rounds;

@@ -15,8 +15,13 @@
 #include "core/inference.h"
 #include "core/loadgen.h"
 #include "ml/lite/flat_model.h"
+#include "runtime/resilient_channel.h"
 #include "runtime/thread_pool.h"
 #include "tee/platform.h"
+
+namespace stf::faults {
+class FaultPlane;
+}  // namespace stf::faults
 
 namespace stf::core {
 
@@ -43,6 +48,12 @@ enum class RequestStatus {
   ShedQueueFull,
   /// Shed at dispatch: the deadline had already passed.
   ShedExpired,
+  /// Terminal loss: its node crashed mid-trace and the retry budget (if
+  /// any) was exhausted before another node could complete it.
+  FailedNodeDown,
+  /// Completed, but only after at least one client-side retry (a re-steer
+  /// without a retry stays Completed — see steered_from).
+  Retried,
 };
 
 /// Per-request result of a serve_trace run (virtual timestamps).
@@ -54,6 +65,9 @@ struct RequestOutcome {
   std::uint64_t completion_ns = 0;   ///< batch completion time (0 when shed)
   std::int64_t batch_size = 0;       ///< size of the batch it rode in
   bool slo_miss = false;             ///< completed after its deadline
+  std::int64_t retries = 0;          ///< client-side retry attempts consumed
+  std::int64_t steered_from = -1;    ///< node it was re-steered away from
+  std::int64_t node = -1;            ///< node that produced the outcome
 };
 
 /// Aggregate view of a serve_trace run.
@@ -63,6 +77,9 @@ struct TrafficSummary {
   std::int64_t shed_queue_full = 0;
   std::int64_t shed_expired = 0;
   std::int64_t slo_misses = 0;
+  std::int64_t failed_node_down = 0;  ///< terminal losses to crashed nodes
+  std::int64_t retried = 0;           ///< completed after >= 1 retry
+  std::int64_t retries_total = 0;     ///< sum of retry attempts consumed
   std::uint64_t first_arrival_ns = 0;
   std::uint64_t last_completion_ns = 0;
   /// Exact nearest-rank quantiles of completed requests' e2e latency
@@ -71,12 +88,17 @@ struct TrafficSummary {
   std::uint64_t p95_ns = 0;
   std::uint64_t p99_ns = 0;
 
+  /// Requests that reached a completion, with or without retries.
+  [[nodiscard]] std::int64_t goodput() const { return completed + retried; }
   [[nodiscard]] double duration_s() const {
+    // An all-shed trace never completes anything (last_completion_ns == 0),
+    // so the unsigned difference would wrap; report an empty interval.
+    if (last_completion_ns <= first_arrival_ns) return 0;
     return static_cast<double>(last_completion_ns - first_arrival_ns) / 1e9;
   }
   [[nodiscard]] double throughput_rps() const {
     const double d = duration_s();
-    return d > 0 ? static_cast<double>(completed) / d : 0;
+    return d > 0 ? static_cast<double>(goodput()) / d : 0;
   }
 };
 
@@ -131,6 +153,17 @@ class ServingNode {
                                  int warmup_rounds = 3,
                                  int measured_rounds = 5);
 
+  /// Runs one batch on the least-loaded lane as a single batched container
+  /// invocation launching at `dispatch_ns` (the lane clock is advanced to
+  /// it first); returns the batch completion time. Building block of the
+  /// fleet failover loop, which owns queueing and shedding itself.
+  std::uint64_t serve_batch(const std::vector<const ml::Tensor*>& inputs,
+                            std::uint64_t dispatch_ns);
+
+  /// Clock of the least-loaded lane: the earliest time a new batch could
+  /// start computing on this node.
+  [[nodiscard]] std::uint64_t next_free_ns() const;
+
   [[nodiscard]] const tee::Platform& platform() const { return *platform_; }
   [[nodiscard]] std::uint64_t epc_faults() const {
     return platform_->epc().stats().faults;
@@ -169,6 +202,30 @@ struct FleetResilienceConfig {
   double rpc_timeout_seconds = 0.005;
   /// Images handed to one node per dispatch round (re-steering quantum).
   std::int64_t dispatch_batch = 32;
+};
+
+/// Client-side retry policy for requests lost to a mid-trace node crash
+/// (docs/SERVING.md). Re-uses the ResilientChannel backoff shape: attempt k
+/// waits `backoff.timeout_for(k)` plus a seeded jitter draw before re-
+/// queueing on another node. Off unless configure_retry() is called.
+struct RequestRetryPolicy {
+  /// Retry attempts per request beyond the first dispatch. A request's own
+  /// retry_budget (loadgen) overrides this when >= 0.
+  unsigned max_retries = 3;
+  /// Exponential backoff shape (base timeout, factor, cap). The jitter knob
+  /// inside is ignored; the fleet draws jitter from its own seeded stream
+  /// so reruns stay bit-identical.
+  runtime::RetryPolicy backoff{};
+  /// Seed of the fleet's jitter DRBG (virtual-time jitter, deterministic).
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Optional request hedging (docs/SERVING.md): when the queue head has
+/// waited `hedge_delay_s` without dispatching, a duplicate is enqueued on a
+/// second node; the first completion wins and the loser is cancelled.
+struct HedgePolicy {
+  bool enabled = false;
+  double hedge_delay_s = 0.005;
 };
 
 /// Health the fleet tracks per node (all counters deterministic).
@@ -211,6 +268,20 @@ class ServingFleet {
   /// default-configured enable).
   void configure_resilience(FleetResilienceConfig cfg);
 
+  /// Wires a PR-2 fault plane's crash schedule into serve_trace: nodes
+  /// crash and revive at the plane's seeded virtual times mid-trace, and
+  /// the failover loop (detect -> eject -> re-steer -> half-open re-admit)
+  /// takes over. Fleet node `i` maps to plane node id `base_node_id + i`.
+  /// The plane must outlive the fleet.
+  void attach_fault_plane(faults::FaultPlane& plane,
+                          std::uint32_t base_node_id = 0);
+
+  /// Enables client-side retries for crash-lost requests in serve_trace.
+  void configure_retry(RequestRetryPolicy policy);
+
+  /// Enables queue-head hedging in serve_trace.
+  void configure_hedging(HedgePolicy policy);
+
   /// Crash-stops node `index`; dispatches to it fail until restore_node().
   void fail_node(unsigned index);
 
@@ -229,11 +300,23 @@ class ServingFleet {
 
  private:
   double estimate_resilient(const ml::Tensor& image, std::int64_t count);
+  /// True when serve_trace must run the failover event loop instead of the
+  /// static-partition fast path (fault plane attached, retry or hedging on).
+  [[nodiscard]] bool failover_active() const {
+    return fault_plane_ != nullptr || retry_.has_value() ||
+           (hedge_.has_value() && hedge_->enabled);
+  }
+  std::vector<RequestOutcome> serve_trace_failover(
+      const std::vector<Request>& requests, const BatchWindowConfig& window);
 
   ServingConfig config_;
   std::vector<std::unique_ptr<ServingNode>> nodes_;
   std::vector<FleetNodeStatus> status_;
   std::optional<FleetResilienceConfig> resilience_;
+  faults::FaultPlane* fault_plane_ = nullptr;
+  std::uint32_t fault_base_id_ = 0;
+  std::optional<RequestRetryPolicy> retry_;
+  std::optional<HedgePolicy> hedge_;
 };
 
 }  // namespace stf::core

@@ -95,6 +95,19 @@ const LinkFaultSpec& FaultPlane::spec_for(net::NodeId a, net::NodeId b) const {
   return it != link_specs_.end() ? it->second : default_spec_;
 }
 
+std::optional<std::uint64_t> FaultPlane::next_crash_after(
+    net::NodeId node, std::uint64_t after_ns) const {
+  const auto it = crash_windows_.find(node);
+  if (it == crash_windows_.end()) return std::nullopt;
+  std::optional<std::uint64_t> earliest;
+  for (const auto& w : it->second) {
+    if (w.down_ns > after_ns && (!earliest || w.down_ns < *earliest)) {
+      earliest = w.down_ns;
+    }
+  }
+  return earliest;
+}
+
 bool FaultPlane::in_crash_window(net::NodeId node, std::uint64_t now_ns) const {
   const auto it = crash_windows_.find(node);
   if (it == crash_windows_.end()) return false;

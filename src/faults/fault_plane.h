@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "crypto/drbg.h"
@@ -95,6 +96,21 @@ class FaultPlane {
   /// Restarts a crash_now()'d node. Its old connections stay dead — the
   /// survivor must reconnect (and, in attested deployments, re-attest).
   void revive_now(net::NodeId node);
+
+  // --- crash-schedule queries (mid-trace failover, docs/SERVING.md) -------
+
+  /// True while `node` sits inside a scheduled crash window at `now_ns`.
+  /// The serving fleet polls this at dispatch time to decide whether a
+  /// probe finds the node dead.
+  [[nodiscard]] bool node_down(net::NodeId node, std::uint64_t now_ns) const {
+    return in_crash_window(node, now_ns);
+  }
+
+  /// Earliest scheduled crash-window start strictly after `after_ns`, or
+  /// nullopt when none remains. Lets a dispatcher decide whether a batch
+  /// launched at `after_ns` would be interrupted mid-service.
+  [[nodiscard]] std::optional<std::uint64_t> next_crash_after(
+      net::NodeId node, std::uint64_t after_ns) const;
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 

@@ -114,6 +114,23 @@ inline constexpr const char* kServingQueueWaitQuantileNs =
     "core.serving.queue_wait_quantile_ns";
 inline constexpr const char* kServingE2eQuantileNs =
     "core.serving.e2e_latency_quantile_ns";
+// Failover request plane (docs/SERVING.md): registered lazily by the
+// fault-tolerant serve_trace path only (fault plane attached, retry or
+// hedging configured), so faults-off registry exports stay byte-identical.
+inline constexpr const char* kServingFailoverDetections =
+    "core.serving.failover.crash_detections";
+inline constexpr const char* kServingFailoverResteered =
+    "core.serving.failover.resteered_requests";
+inline constexpr const char* kServingFailoverRetries =
+    "core.serving.failover.retries";
+inline constexpr const char* kServingFailoverFailedRequests =
+    "core.serving.failover.failed_requests";
+inline constexpr const char* kServingFailoverHedges =
+    "core.serving.failover.hedges";
+inline constexpr const char* kServingFailoverHedgeWins =
+    "core.serving.failover.hedge_wins";
+inline constexpr const char* kServingFailoverReadmissions =
+    "core.serving.failover.readmissions";
 
 // --- distributed: parameter-server training (Figure 8) -------------------
 inline constexpr const char* kTrainRounds = "distributed.rounds";
@@ -141,6 +158,8 @@ inline constexpr const char* kSpanRpcRetry = "runtime.rpc.retry";
 inline constexpr const char* kSpanSessionGemm = "ml.session.gemm";
 inline constexpr const char* kSpanInferenceRequest = "core.inference.request";
 inline constexpr const char* kSpanInferenceBatch = "core.inference.batch";
+inline constexpr const char* kSpanServingFailoverDetect =
+    "core.serving.failover.detect";
 inline constexpr const char* kSpanTrainRound = "distributed.round";
 inline constexpr const char* kSpanSchedIdle = "runtime.sched.idle";
 

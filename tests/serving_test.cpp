@@ -423,5 +423,106 @@ TEST(ServeTraceTest, FleetWithAllNodesDownThrows) {
                runtime::TransientError);
 }
 
+// ---- PR-7 satellites: summary wraparound, capacity edges, pre-failed ----
+
+TEST(TrafficSummaryTest, AllShedTraceReportsZeroDuration) {
+  // Every request shed: last_completion_ns stays 0 while first_arrival_ns
+  // is positive. The unsigned difference used to wrap, and throughput_rps()
+  // divided by ~5e8 seconds of garbage.
+  ServingFixture f;
+  LoadTrace trace = generate_load(trace_config(1000, 8, 0));
+  for (Request& r : trace.requests) {
+    r.arrival_ns += 1000;
+    r.deadline_ns = 1;  // already passed before the request even arrives
+  }
+  ServingNode node(f.model, f.config(tee::TeeMode::Simulation, 1));
+  BatchWindowConfig window;
+  window.max_batch = 2;
+  window.max_wait_s = 0;
+  const TrafficSummary s = summarize(node.serve_trace(trace.requests, window));
+  EXPECT_EQ(s.completed, 0);
+  EXPECT_EQ(s.shed_expired, s.offered);
+  EXPECT_GT(s.first_arrival_ns, 0u);
+  EXPECT_EQ(s.last_completion_ns, 0u);
+  EXPECT_EQ(s.duration_s(), 0.0);
+  EXPECT_EQ(s.throughput_rps(), 0.0);
+}
+
+TEST(ServeTraceTest, NonPositiveQueueCapacityMeansUnbounded) {
+  // serve_trace documents "<= 0 means unbounded": a burst far beyond any
+  // sane bound must never shed at admission for 0 or negative capacities.
+  ServingFixture f;
+  const LoadTrace trace = generate_load(trace_config(1e9, 40, 0));
+  for (const std::int64_t cap : {std::int64_t{0}, std::int64_t{-5}}) {
+    ServingNode node(f.model, f.config(tee::TeeMode::Simulation, 1));
+    BatchWindowConfig window;
+    window.max_batch = 2;
+    window.max_wait_s = 0;
+    window.queue_capacity = cap;
+    const TrafficSummary s =
+        summarize(node.serve_trace(trace.requests, window));
+    EXPECT_EQ(s.shed_queue_full, 0) << "capacity " << cap;
+    EXPECT_EQ(s.completed, s.offered) << "capacity " << cap;
+  }
+}
+
+TEST(ServeTraceTest, CapacityOneKeepsOnlyTheQueueHead) {
+  ServingFixture f;
+  const LoadTrace trace = generate_load(trace_config(1e9, 16, 0));
+  ServingNode node(f.model, f.config(tee::TeeMode::Simulation, 1));
+  BatchWindowConfig window;
+  window.max_batch = 4;
+  window.max_wait_s = 0.01;
+  window.queue_capacity = 1;
+  const std::vector<RequestOutcome> outcomes =
+      node.serve_trace(trace.requests, window);
+  const TrafficSummary s = summarize(outcomes);
+  EXPECT_EQ(s.offered, s.completed + s.shed_queue_full);
+  EXPECT_GT(s.completed, 0);
+  EXPECT_GT(s.shed_queue_full, 0);
+  // With a single queue slot no batch can ever hold more than one request.
+  for (const RequestOutcome& o : outcomes) {
+    if (o.status == RequestStatus::Completed) {
+      EXPECT_EQ(o.batch_size, 1);
+    }
+  }
+}
+
+TEST(ServeTraceTest, FleetPartitionsOverSurvivorsWhenNodeFailedBeforeTrace) {
+  ServingFixture f;
+  const LoadTrace trace = generate_load(trace_config(200, 30, 0));
+  BatchWindowConfig window;
+  window.max_batch = 4;
+  window.max_wait_s = 0.002;
+
+  ServingFleet fleet(f.model, f.config(tee::TeeMode::Simulation, 2), 3);
+  fleet.fail_node(1);
+  const std::vector<RequestOutcome> a =
+      fleet.serve_trace(trace.requests, window);
+  const TrafficSummary s = summarize(a);
+  EXPECT_EQ(s.completed, s.offered);
+  // The dead node served nothing; both survivors took round-robin shares.
+  std::set<std::int64_t> nodes;
+  for (const RequestOutcome& o : a) nodes.insert(o.node);
+  EXPECT_EQ(nodes.count(1), 0u);
+  EXPECT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(fleet.node_status(1).served, 0);
+  EXPECT_GT(fleet.node_status(0).served, 0);
+  EXPECT_GT(fleet.node_status(2).served, 0);
+
+  // Deterministic: an identical fleet re-serves the trace identically.
+  ServingFleet again(f.model, f.config(tee::TeeMode::Simulation, 2), 3);
+  again.fail_node(1);
+  const std::vector<RequestOutcome> b =
+      again.serve_trace(trace.requests, window);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a[i].status), static_cast<int>(b[i].status));
+    EXPECT_EQ(a[i].dispatch_ns, b[i].dispatch_ns);
+    EXPECT_EQ(a[i].completion_ns, b[i].completion_ns);
+    EXPECT_EQ(a[i].node, b[i].node);
+  }
+}
+
 }  // namespace
 }  // namespace stf::core
