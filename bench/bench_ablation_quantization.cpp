@@ -1,113 +1,244 @@
-// Ablation: model optimization for enclaves (§7.2) — pruning + int8 weight
-// quantization.
+// Ablation: model optimization for enclaves (§7.2) — int8 quantization as a
+// gated EPC sweep (docs/QUANTIZATION.md).
 //
 // The paper's ongoing work: shrink models so they behave well in the EPC.
-// Quantizing inception-v4-class weights 4x (163 MB -> ~41 MB) moves the
-// model from "thrashes SGXv1's EPC every pass" to "fits the EPC", and the
-// pruned graph drops dead heads. Output distributions stay within
-// quantization error.
-#include <cmath>
+// Each model size runs three ways in Hardware mode against a deliberately
+// small EPC: float32 weights, int8 storage (weights dequantized to float at
+// use — the PR-3 path), and true int8 compute (quantized GEMM/conv with
+// fused requantization). Quantized weight bytes sweep 0.5x–2x the EPC, so
+// the float expansions run 2x–8x: quantization moves a model from "thrashes
+// every pass" back toward "fits", and int8 compute then stops re-faulting
+// the float activations the dequantizing path keeps bouncing.
+//
+// The bench is also a gate: at >= 1.5x EPC oversubscription (quantized
+// bytes), int8 compute must show fewer EPC demand loads AND lower virtual
+// latency than the dequantizing int8-storage path, and every attribution
+// row must decompose exactly. Violations exit 1. Output is virtual time
+// from fixed seeds: BENCH_quantization.json is byte-reproducible and
+// committed under bench/baselines/.
+#include <cinttypes>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/securetf.h"
+#include "core/inference.h"
 #include "ml/dataset.h"
-#include "ml/optimize.h"
+#include "ml/models.h"
+#include "ml/serialize.h"
+#include "tee/platform.h"
 
 namespace {
 
 using namespace stf;
 
-constexpr double kInterpreterFlops = 2.66e9;
+// 24 MB clears sized_classifier's 12.6 MB first layer (3072x1024 floats):
+// the half-EPC config genuinely fits as int8, the 1.5x/2x configs genuinely
+// thrash even after quantization.
+constexpr std::uint64_t kEpcBytes = 24ull << 20;
+constexpr int kRequests = 4;
+constexpr std::int64_t kCalibrationSamples = 8;
 
-double hw_latency(const ml::lite::FlatModel& model,
-                  const core::ModelSpec& spec, const ml::Tensor& image) {
-  core::SecureTfConfig cfg;
-  cfg.mode = tee::TeeMode::Hardware;
-  cfg.model.flops_per_second = kInterpreterFlops;
-  core::SecureTfContext ctx(cfg);
-  core::InferenceOptions opts;
-  opts.container_name = spec.name;
-  opts.bytes_per_flop = spec.bytes_per_flop;
-  opts.extra_gflops_per_inference = spec.gflops_per_inference;
-  auto service = ctx.create_lite_service(model, opts);
-  double latency = 0;
-  for (int i = 0; i < 4; ++i) {
-    (void)service->classify(image);
-    latency = service->last_latency_ms() / 1000.0;
+enum class Config { Float32, Int8Storage, Int8Compute };
+
+const char* config_name(Config c) {
+  switch (c) {
+    case Config::Float32: return "float32";
+    case Config::Int8Storage: return "int8_storage";
+    case Config::Int8Compute: return "int8_compute";
   }
-  return latency;
+  return "?";
 }
 
-void run() {
-  bench::print_header(
-      "Ablation — model optimization for enclaves (§7.2): pruning + int8 "
-      "quantization",
-      "4x smaller weights move large models back inside the EPC");
+struct SweepResult {
+  std::string model;
+  std::uint64_t qweight_bytes = 0;
+  Config config = Config::Float32;
+  std::uint64_t total_latency_ns = 0;  // all requests, virtual time
+  std::uint64_t loads = 0;             // demand page loads (ELDU)
+  std::uint64_t evictions = 0;         // demand EWB
+  std::uint64_t faults = 0;
+  std::int64_t top1_matches = 0;  // argmax agreement with the float model
+};
 
-  const auto spec = core::inception_v4_spec();
-  ml::Graph g = spec.build_graph();
-  ml::Session session(g);
-  const ml::Graph frozen = ml::freeze(g, session);
-
-  // Graph-level optimization (prune dead heads, fold identities).
-  ml::OptimizeReport report;
-  const ml::Graph optimized = ml::optimize(frozen, {"probs"}, &report);
-  std::printf("\n  graph: %zu -> %zu nodes after prune+fold\n",
-              report.nodes_before, report.nodes_after);
-
-  const auto float_model =
-      ml::lite::FlatModel::from_frozen(optimized, "input", "probs");
-  const auto int8_model = float_model.quantized();
-  std::printf("  weights: %llu MB float32 -> %llu MB int8\n",
-              static_cast<unsigned long long>(float_model.weight_bytes() >> 20),
-              static_cast<unsigned long long>(int8_model.weight_bytes() >> 20));
-
-  const ml::Tensor image = ml::synthetic_cifar10(1, 3).sample(0);
-
-  // Accuracy effect: compare output distributions.
-  ml::lite::LiteInterpreter float_interp(float_model);
-  ml::lite::LiteInterpreter int8_interp(int8_model);
-  const ml::Tensor p_float = float_interp.invoke(image);
-  const ml::Tensor p_int8 = int8_interp.invoke(image);
-  double max_delta = 0;
-  for (std::int64_t i = 0; i < p_float.size(); ++i) {
-    max_delta = std::max(
-        max_delta, std::abs(static_cast<double>(p_float.at(i) - p_int8.at(i))));
+std::int64_t argmax_of(const ml::Tensor& probs) {
+  std::int64_t best = 0;
+  for (std::int64_t j = 1; j < probs.size(); ++j) {
+    if (probs.at(j) > probs.at(best)) best = j;
   }
+  return best;
+}
 
-  const double float_s = hw_latency(float_model, spec, image);
-  const double int8_s = hw_latency(int8_model, spec, image);
+SweepResult run_config(const std::string& name, std::uint64_t qweight_bytes,
+                       const ml::lite::FlatModel& model, Config config,
+                       const std::vector<ml::Tensor>& eval,
+                       const std::vector<std::int64_t>& reference_top1) {
+  tee::CostModel cost;
+  cost.epc_bytes = kEpcBytes;
+  tee::Platform platform("quant-bench", tee::TeeMode::Hardware, cost);
 
-  std::printf("\n");
-  bench::print_row("float32 model, HW latency", float_s, "s",
-                   "(163 MB > 94 MB EPC: paging)");
-  bench::print_row("int8 model, HW latency", int8_s, "s",
-                   "(~41 MB fits the EPC)");
-  bench::print_row("speedup from quantization", float_s / int8_s, "x");
-  bench::print_row("max class-probability delta", max_delta, "",
-                   "(quantization error)");
-  bench::print_note(
-      "inception-v4 is compute-bound, so removing the paging buys ~10%;"
-      " memory-bound models gain much more:");
+  core::InferenceOptions opts;
+  opts.container_name = name + "-" + config_name(config);
+  opts.binary_bytes = 1ull << 20;  // keep the image small: isolate the arena
+  opts.syscalls_per_inference = 4;
+  opts.int8_compute = config == Config::Int8Compute;
+  core::InferenceService service(platform, model, opts);
 
-  // A memory-bound large model (densenet-style traffic, little compute).
-  const core::ModelSpec memory_bound{"membound_dense", 163ull << 20, 2.0,
-                                     1.2};
-  ml::Graph mg = memory_bound.build_graph();
-  ml::Session ms(mg);
-  const auto m_float =
-      ml::lite::FlatModel::from_frozen(ml::freeze(mg, ms), "input", "probs");
-  const auto m_int8 = m_float.quantized();
-  const double mb_float_s = hw_latency(m_float, memory_bound, image);
-  const double mb_int8_s = hw_latency(m_int8, memory_bound, image);
-  bench::print_row("memory-bound 163 MB model, float32", mb_float_s, "s");
-  bench::print_row("memory-bound 163 MB model, int8", mb_int8_s, "s");
-  bench::print_row("speedup from quantization", mb_float_s / mb_int8_s, "x");
+  SweepResult r;
+  r.model = name;
+  r.qweight_bytes = qweight_bytes;
+  r.config = config;
+  const std::uint64_t t0 = platform.clock().now_ns();
+  for (int i = 0; i < kRequests; ++i) {
+    const ml::Tensor probs = service.classify(eval[static_cast<std::size_t>(i)]);
+    if (argmax_of(probs) == reference_top1[static_cast<std::size_t>(i)]) {
+      ++r.top1_matches;
+    }
+  }
+  r.total_latency_ns = platform.clock().now_ns() - t0;
+  const tee::EpcStats& stats = platform.epc().stats();
+  r.loads = stats.loads;
+  r.evictions = stats.evictions;
+  r.faults = stats.faults;
+  return r;
+}
+
+void check_conservation() {
+  std::uint64_t total = 0, exact = 0;
+  for (const auto& row : obs::AttributionStore::global().rows()) {
+    ++total;
+    if (row.conserved()) ++exact;
+  }
+  std::printf("\n  conservation: %" PRIu64 "/%" PRIu64
+              " attribution rows decompose exactly\n",
+              exact, total);
+  if (exact != total) {
+    std::fprintf(stderr, "conservation invariant violated\n");
+    std::exit(1);
+  }
 }
 
 }  // namespace
 
 int main() {
-  run();
+  obs::set_profiling_enabled(true);
+  bench::print_header(
+      "Quantization ablation — float32 vs int8 storage vs int8 compute "
+      "(HW mode, small EPC)",
+      "4x smaller weights move models back toward the EPC; int8 compute "
+      "stops re-faulting the float activations the dequantizing path keeps "
+      "bouncing");
+
+  // Sweep by QUANTIZED weight bytes relative to the EPC; the float
+  // expansion is 4x each.
+  const std::vector<std::pair<std::string, std::uint64_t>> sweep = {
+      {"half_epc", kEpcBytes / 2},      // 12 MB int8 / 48 MB float
+      {"at_epc", kEpcBytes},            // 24 MB int8 / 96 MB float
+      {"epc_x1_5", kEpcBytes * 3 / 2},  // 36 MB int8 / 144 MB float
+      {"epc_x2", kEpcBytes * 2},        // 48 MB int8 / 192 MB float
+  };
+
+  const ml::Dataset calib_set = ml::synthetic_cifar10(kCalibrationSamples, 11);
+  std::vector<ml::Tensor> calibration;
+  for (std::int64_t i = 0; i < kCalibrationSamples; ++i) {
+    calibration.push_back(calib_set.sample(i));
+  }
+  const ml::Dataset eval_set = ml::synthetic_cifar10(kRequests, 3);
+  std::vector<ml::Tensor> eval;
+  for (int i = 0; i < kRequests; ++i) eval.push_back(eval_set.sample(i));
+
+  std::vector<SweepResult> results;
+  std::printf("\n  %-10s %-13s %16s %12s %12s %12s %8s\n", "model", "config",
+              "latency (ms)", "loads", "evictions", "faults", "top1");
+  bool gate_ok = true;
+  for (const auto& [name, qbytes] : sweep) {
+    ml::Graph g = ml::sized_classifier(name, qbytes * 4);
+    ml::Session session(g);
+    const auto float_model =
+        ml::lite::FlatModel::from_frozen(ml::freeze(g, session), "input",
+                                         "probs");
+    const auto int8_model = float_model.quantized(calibration);
+
+    // Top-1 reference: the float model without cost accounting.
+    ml::lite::LiteInterpreter reference(float_model);
+    std::vector<std::int64_t> reference_top1;
+    for (const ml::Tensor& sample : eval) {
+      reference_top1.push_back(argmax_of(reference.invoke(sample)));
+    }
+
+    const SweepResult rows[] = {
+        run_config(name, qbytes, float_model, Config::Float32, eval,
+                   reference_top1),
+        run_config(name, qbytes, int8_model, Config::Int8Storage, eval,
+                   reference_top1),
+        run_config(name, qbytes, int8_model, Config::Int8Compute, eval,
+                   reference_top1),
+    };
+    for (const SweepResult& r : rows) {
+      std::printf("  %-10s %-13s %16.3f %12" PRIu64 " %12" PRIu64
+                  " %12" PRIu64 " %5" PRId64 "/%d\n",
+                  r.model.c_str(), config_name(r.config),
+                  static_cast<double>(r.total_latency_ns) / 1e6 / kRequests,
+                  r.loads, r.evictions, r.faults, r.top1_matches, kRequests);
+      results.push_back(r);
+    }
+
+    // The acceptance gate: at >= 1.5x EPC oversubscription int8 compute
+    // must beat the dequantizing path on both demand loads and latency.
+    const SweepResult& storage = rows[1];
+    const SweepResult& compute = rows[2];
+    if (qbytes >= kEpcBytes * 3 / 2) {
+      if (compute.loads >= storage.loads ||
+          compute.total_latency_ns >= storage.total_latency_ns) {
+        std::fprintf(stderr,
+                     "quantization gate failed for %s: loads %" PRIu64
+                     " vs %" PRIu64 ", latency %" PRIu64 " vs %" PRIu64 "\n",
+                     name.c_str(), compute.loads, storage.loads,
+                     compute.total_latency_ns, storage.total_latency_ns);
+        gate_ok = false;
+      }
+    }
+  }
+  if (!gate_ok) return 1;
+  bench::print_note(
+      "int8 storage already wins by shrinking the weight arena 4x; int8 "
+      "compute keeps the win and drops the per-invoke dequant + float "
+      "activation traffic on top");
+
+  check_conservation();
+  bench::print_registry_summary();
+
+  std::FILE* out = std::fopen("BENCH_quantization.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_quantization.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  bench::fprint_config_section(
+      out, {bench::config_int("epc_bytes", static_cast<long long>(kEpcBytes)),
+            bench::config_int("requests", kRequests),
+            bench::config_int("calibration_samples", kCalibrationSamples),
+            bench::config_int("sweep_sizes",
+                              static_cast<long long>(sweep.size())),
+            bench::config_str("eval_seed", "cifar10/3"),
+            bench::config_str("calibration_seed", "cifar10/11")});
+  std::fprintf(out, "  \"quantization_sweep\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"model\": \"%s\", \"qweight_bytes\": %" PRIu64
+                 ", \"config\": \"%s\", \"total_latency_ns\": %" PRIu64
+                 ", \"loads\": %" PRIu64 ", \"evictions\": %" PRIu64
+                 ", \"faults\": %" PRIu64 ", \"top1_matches\": %" PRId64
+                 "}%s\n",
+                 r.model.c_str(), r.qweight_bytes, config_name(r.config),
+                 r.total_latency_ns, r.loads, r.evictions, r.faults,
+                 r.top1_matches, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  bench::fprint_registry_section(out);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_quantization.json\n");
   return 0;
 }

@@ -72,7 +72,8 @@ InferenceService::InferenceService(tee::Platform& platform,
     env = enclave_env_.get();
   }
   interpreter_ = std::make_unique<ml::lite::LiteInterpreter>(
-      *model_, env, options_.kernels, options_.weight_streaming);
+      *model_, env, options_.kernels, options_.weight_streaming,
+      options_.int8_compute);
 }
 
 InferenceService::InferenceService(tee::Platform& platform,
@@ -81,6 +82,10 @@ InferenceService::InferenceService(tee::Platform& platform,
     : platform_(platform), options_(std::move(options)),
       graph_(std::move(frozen_graph)) {
   options_.full_tensorflow = true;
+  if (options_.int8_compute) {
+    throw std::invalid_argument(
+        "InferenceService: int8_compute is Lite-path only");
+  }
   tee::MemoryEnv* env = nullptr;
   if (platform_.mode() == tee::TeeMode::Native) {
     native_env_ = std::make_unique<tee::NativeEnv>(platform_.model(),

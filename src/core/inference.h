@@ -60,6 +60,12 @@ struct InferenceOptions {
   /// current-layer compute and retire dead weights early. Applies to both
   /// paths (full TF requires `memory_planner` too).
   bool weight_streaming = false;
+  /// True int8 execution (docs/QUANTIZATION.md): quantized GEMM/conv on
+  /// int8 codes with fused requantization instead of dequantizing weights
+  /// to float. Requires a calibrated int8 FlatModel
+  /// (FlatModel::quantized(calibration)); Lite path only — the full-TF
+  /// constructor throws std::invalid_argument when set.
+  bool int8_compute = false;
 };
 
 class InferenceService {

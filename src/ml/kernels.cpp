@@ -19,6 +19,18 @@ obs::Counter& conv_calls_counter() {
       obs::names::kKernelConvCalls, "im2col conv kernel invocations");
   return c;
 }
+// The int8 counters register lazily on first use so float-only runs keep
+// their registry exports (and committed BENCH baselines) byte-identical.
+obs::Counter& int8_gemm_calls_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      obs::names::kQuantGemmCalls, "int8 blocked GEMM core invocations");
+  return c;
+}
+obs::Counter& int8_conv_calls_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      obs::names::kQuantConvCalls, "int8 im2col conv kernel invocations");
+  return c;
+}
 
 // Blocking parameters. KC bounds the k-panel so one packed A block stays
 // cache-resident; it also fixes the accumulation association: elements with
@@ -196,11 +208,15 @@ void gemm_strided(const KernelContext& ctx, std::int64_t m, std::int64_t k,
 
 // im2col: col[(b*oh+oy)*ow+ox, (fy*fw+fx)*c+ci], SAME padding as zeros.
 // Iterates (image-row, fy) so the interior of every output row copies one
-// contiguous fw*c span per tap row instead of fw separate c-float pieces;
+// contiguous fw*c span per tap row instead of fw separate c-element pieces;
 // every col element is written exactly once, so the loop order is free and
 // the parallel decomposition over (b, oy) rows cannot change results.
-void im2col(const KernelContext& ctx, const ConvShape& s, const float* input,
-            float* col) {
+// Templated over the element type: the float and int8 conv paths share one
+// geometry (padding is T(0): 0.0f, or the int8 code for 0.0 under
+// symmetric quantization).
+template <typename T>
+void im2col(const KernelContext& ctx, const ConvShape& s, const T* input,
+            T* col) {
   const std::int64_t patch = s.patch_size();
   const std::int64_t span = s.fw * s.c;
   const std::int64_t grain =
@@ -210,30 +226,30 @@ void im2col(const KernelContext& ctx, const ConvShape& s, const float* input,
     for (std::int64_t t = t0; t < t1; ++t) {
       const std::int64_t b = t / s.oh;
       const std::int64_t oy = t % s.oh;
-      float* colrow = col + t * s.ow * patch;
+      T* colrow = col + t * s.ow * patch;
       for (std::int64_t fy = 0; fy < s.fh; ++fy) {
         const std::int64_t iy = oy * s.stride + fy - s.pad_h;
         if (iy < 0 || iy >= s.h) {
           for (std::int64_t ox = 0; ox < s.ow; ++ox) {
-            float* dst = colrow + ox * patch + fy * span;
-            std::fill(dst, dst + span, 0.0f);
+            T* dst = colrow + ox * patch + fy * span;
+            std::fill(dst, dst + span, T(0));
           }
           continue;
         }
-        const float* in_row = input + (b * s.h + iy) * s.w * s.c;
+        const T* in_row = input + (b * s.h + iy) * s.w * s.c;
         for (std::int64_t ox = 0; ox < s.ow; ++ox) {
-          float* dst = colrow + ox * patch + fy * span;
+          T* dst = colrow + ox * patch + fy * span;
           const std::int64_t ix0 = ox * s.stride - s.pad_w;
           if (ix0 >= 0 && ix0 + s.fw <= s.w) {
-            const float* src = in_row + ix0 * s.c;
+            const T* src = in_row + ix0 * s.c;
             for (std::int64_t i = 0; i < span; ++i) dst[i] = src[i];
           } else {
             for (std::int64_t fx = 0; fx < s.fw; ++fx) {
               const std::int64_t ix = ix0 + fx;
               if (ix < 0 || ix >= s.w) {
-                std::fill(dst + fx * s.c, dst + (fx + 1) * s.c, 0.0f);
+                std::fill(dst + fx * s.c, dst + (fx + 1) * s.c, T(0));
               } else {
-                const float* src = in_row + ix * s.c;
+                const T* src = in_row + ix * s.c;
                 std::copy(src, src + s.c, dst + fx * s.c);
               }
             }
@@ -247,6 +263,14 @@ void im2col(const KernelContext& ctx, const ConvShape& s, const float* input,
 // The im2col scratch of the current calling thread, reused across calls.
 std::vector<float>& col_scratch(std::int64_t elements) {
   thread_local std::vector<float> scratch;
+  if (static_cast<std::int64_t>(scratch.size()) < elements) {
+    scratch.resize(static_cast<std::size_t>(elements));
+  }
+  return scratch;
+}
+
+std::vector<std::int8_t>& col_scratch_s8(std::int64_t elements) {
+  thread_local std::vector<std::int8_t> scratch;
   if (static_cast<std::int64_t>(scratch.size()) < elements) {
     scratch.resize(static_cast<std::size_t>(elements));
   }
@@ -366,6 +390,67 @@ void conv2d_grad_filter(const KernelContext& ctx, const ConvShape& s,
   // grad_filter[patch, k] += colᵀ[patch, rows] x grad_output[rows, k].
   gemm_strided(ctx, patch, rows, s.k, col.data(), 1, patch, grad_output, s.k,
                1, grad_filter);
+}
+
+std::int8_t requantize(std::int32_t acc, float multiplier) {
+  const float scaled = static_cast<float>(acc) * multiplier;
+  const int q =
+      static_cast<int>(scaled >= 0 ? scaled + 0.5f : scaled - 0.5f);
+  return static_cast<std::int8_t>(std::max(-127, std::min(127, q)));
+}
+
+std::int8_t quantize_one(float value, float scale) {
+  const float scaled = value / scale;
+  const int q =
+      static_cast<int>(scaled >= 0 ? scaled + 0.5f : scaled - 0.5f);
+  return static_cast<std::int8_t>(std::max(-127, std::min(127, q)));
+}
+
+void gemm_s8(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+             std::int64_t n, const std::int8_t* a, const std::int8_t* b,
+             float multiplier, std::int8_t* c) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  int8_gemm_calls_counter().add();
+  // MR-row blocks are the parallel chunks — shape-only, each owning a
+  // disjoint slice of c. Within a row the k reduction walks KC panels in
+  // ascending order like the float core; with exact int32 accumulation the
+  // association cannot change the bits, the fixed order keeps the structure
+  // (and the batched == N singles argument) aligned with the float path.
+  parallel_for(ctx, 0, m, MR, [&](std::int64_t i0, std::int64_t i1) {
+    thread_local std::vector<std::int32_t> acc;
+    acc.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = i0; i < i1; ++i) {
+      std::fill(acc.begin(), acc.begin() + n, 0);
+      const std::int8_t* arow = a + i * k;
+      for (std::int64_t pc = 0; pc < k; pc += KC) {
+        const std::int64_t kc = std::min(KC, k - pc);
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+          const std::int32_t av = arow[pc + kk];
+          const std::int8_t* brow = b + (pc + kk) * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            acc[static_cast<std::size_t>(j)] += av * brow[j];
+          }
+        }
+      }
+      // Fused requantization epilogue: the int32 row never leaves the
+      // kernel; c stores int8 codes in the output tensor's scale.
+      std::int8_t* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] = requantize(acc[static_cast<std::size_t>(j)], multiplier);
+      }
+    }
+  });
+}
+
+void conv2d_forward_s8(const KernelContext& ctx, const ConvShape& s,
+                       const std::int8_t* input, const std::int8_t* filter,
+                       float multiplier, std::int8_t* out) {
+  int8_conv_calls_counter().add();
+  auto& col = col_scratch_s8(s.out_pixels() * s.patch_size());
+  im2col(ctx, s, input, col.data());
+  // HWIO filter memory is already the [fh*fw*c, k] GEMM operand.
+  gemm_s8(ctx, s.out_pixels(), s.patch_size(), s.k, col.data(), filter,
+          multiplier, out);
 }
 
 namespace reference {

@@ -87,6 +87,38 @@ void conv2d_grad_filter(const KernelContext& ctx, const ConvShape& s,
                         const float* input, const float* grad_output,
                         float* grad_filter);
 
+// --- int8 execution path (docs/QUANTIZATION.md) --------------------------
+// Symmetric per-tensor quantization: values are int8 codes q with one float
+// scale per tensor (v ≈ q * scale), no zero point. The kernels below
+// accumulate int8×int8 products in int32 — exact integer arithmetic — and
+// fuse the requantization back to int8 codes into the store epilogue.
+// Because integer accumulation is exact, batched == N singles holds
+// bit-for-bit with no reduction-order caveat; the kernels still partition
+// work into the same shape-only disjoint-output chunks as the float path
+// and reduce k in ascending order.
+
+/// Saturating round-half-away-from-zero requantization of one int32
+/// accumulator: clamp(round(acc * multiplier), -127, 127), with
+/// multiplier = (scale_a * scale_b) / scale_out.
+std::int8_t requantize(std::int32_t acc, float multiplier);
+
+/// Quantizes one float value to an int8 code: clamp(round(v / scale)).
+std::int8_t quantize_one(float value, float scale);
+
+/// c[m,n] = requantize(a[m,k] · b[k,n]). a/b/c are int8 codes; products
+/// accumulate in int32, k ascending, and the fused epilogue requantizes
+/// each finished output row.
+void gemm_s8(const KernelContext& ctx, std::int64_t m, std::int64_t k,
+             std::int64_t n, const std::int8_t* a, const std::int8_t* b,
+             float multiplier, std::int8_t* c);
+
+/// out[n*oh*ow, k] = requantize(im2col(input) · filter): int8 analogue of
+/// conv2d_forward with identical im2col geometry (SAME padding fills the
+/// code 0, which is exactly 0.0 under symmetric quantization).
+void conv2d_forward_s8(const KernelContext& ctx, const ConvShape& s,
+                       const std::int8_t* input, const std::int8_t* filter,
+                       float multiplier, std::int8_t* out);
+
 // --- Naive references ----------------------------------------------------
 // The pre-blocking scalar kernels, kept as the oracle for the equivalence
 // property tests and the before/after microbenchmarks. Not used on any hot

@@ -6,12 +6,40 @@
 #include <stdexcept>
 
 #include "ml/ops.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace stf::ml::lite {
 namespace {
 
 constexpr std::uint32_t kLiteMagic = 0x5354464C;  // "STFL"
 constexpr std::uint32_t kVersion = 2;
+// Version 3 = version 2 plus per-tensor calibrated activation ranges
+// (act_min/act_max after quant_scale). Only calibrated models write it;
+// uncalibrated models keep producing byte-identical version-2 files, and
+// deserialize() accepts both.
+constexpr std::uint32_t kVersionCalibrated = 3;
+
+// ml.quant.* series register lazily on first use of the int8/calibration
+// path, so float-only runs keep their registry exports (and the committed
+// BENCH baselines) byte-identical.
+struct QuantObs {
+  obs::Counter& invokes = obs::Registry::global().counter(
+      obs::names::kQuantInt8Invokes, "int8_compute forward passes");
+  obs::Counter& macs = obs::Registry::global().counter(
+      obs::names::kQuantInt8Macs, "int8 multiply-accumulates in GEMM/conv");
+  obs::Counter& requants = obs::Registry::global().counter(
+      obs::names::kQuantRequantizedElements,
+      "elements requantized or converted between int8 and float");
+  obs::Counter& calibrations = obs::Registry::global().counter(
+      obs::names::kQuantCalibrationRuns,
+      "calibration forward passes over the sample set");
+};
+
+QuantObs& quant_obs() {
+  static QuantObs* o = new QuantObs();
+  return *o;
+}
 
 }  // namespace
 
@@ -97,7 +125,7 @@ crypto::Bytes FlatModel::serialize() const {
   };
 
   u32(kLiteMagic);
-  u32(kVersion);
+  u32(calibrated_ ? kVersionCalibrated : kVersion);
   out.push_back(quantized_ ? 1 : 0);
   u32(static_cast<std::uint32_t>(tensors_.size()));
   for (const auto& t : tensors_) {
@@ -106,6 +134,13 @@ crypto::Bytes FlatModel::serialize() const {
     std::uint32_t scale_bits;
     std::memcpy(&scale_bits, &t.quant_scale, 4);
     u32(scale_bits);
+    if (calibrated_) {
+      std::uint32_t range_bits;
+      std::memcpy(&range_bits, &t.act_min, 4);
+      u32(range_bits);
+      std::memcpy(&range_bits, &t.act_max, 4);
+      u32(range_bits);
+    }
   }
   u32(static_cast<std::uint32_t>(ops_.size()));
   for (const auto& op : ops_) {
@@ -164,9 +199,13 @@ FlatModel FlatModel::deserialize(crypto::BytesView data) {
   };
 
   if (u32() != kLiteMagic) throw std::runtime_error("FlatModel: bad magic");
-  if (u32() != kVersion) throw std::runtime_error("FlatModel: bad version");
+  const std::uint32_t version = u32();
+  if (version != kVersion && version != kVersionCalibrated) {
+    throw std::runtime_error("FlatModel: bad version");
+  }
 
   FlatModel model;
+  model.calibrated_ = version == kVersionCalibrated;
   need(1);
   model.quantized_ = data[cursor++] != 0;
   const std::uint32_t n_tensors = u32();
@@ -177,6 +216,12 @@ FlatModel FlatModel::deserialize(crypto::BytesView data) {
     desc.weight_offset = i64();
     const std::uint32_t scale_bits = u32();
     std::memcpy(&desc.quant_scale, &scale_bits, 4);
+    if (model.calibrated_) {
+      std::uint32_t range_bits = u32();
+      std::memcpy(&desc.act_min, &range_bits, 4);
+      range_bits = u32();
+      std::memcpy(&desc.act_max, &range_bits, 4);
+    }
     model.tensors_.push_back(std::move(desc));
   }
   const std::uint32_t n_ops = u32();
@@ -251,16 +296,65 @@ FlatModel FlatModel::quantized() const {
   return q;
 }
 
+FlatModel FlatModel::quantized(const std::vector<Tensor>& calibration) const {
+  if (quantized_) {
+    throw std::logic_error(
+        "FlatModel: calibrate from the float model, not an int8 one");
+  }
+  if (calibration.empty()) {
+    throw std::invalid_argument(
+        "FlatModel: calibration needs at least one sample");
+  }
+  FlatModel q = quantized();
+  // Min/max calibration: run the float interpreter over the sample set and
+  // record the observed range of every activation tensor (including the
+  // input). The int8 execution path requantizes into these ranges.
+  std::vector<bool> seen(tensors_.size(), false);
+  LiteInterpreter probe(*this);
+  const auto record = std::function<void(std::int32_t, const Tensor&)>(
+      [&](std::int32_t idx, const Tensor& t) {
+        if (t.size() == 0) return;
+        auto& desc = q.tensors_[static_cast<std::size_t>(idx)];
+        float lo = seen[static_cast<std::size_t>(idx)]
+                       ? desc.act_min
+                       : t.at(0);
+        float hi = seen[static_cast<std::size_t>(idx)]
+                       ? desc.act_max
+                       : t.at(0);
+        for (std::int64_t i = 0; i < t.size(); ++i) {
+          lo = std::min(lo, t.at(i));
+          hi = std::max(hi, t.at(i));
+        }
+        desc.act_min = lo;
+        desc.act_max = hi;
+        seen[static_cast<std::size_t>(idx)] = true;
+      });
+  for (const Tensor& sample : calibration) {
+    (void)probe.invoke_observed(sample, record);
+  }
+  quant_obs().calibrations.add(calibration.size());
+  q.calibrated_ = true;
+  return q;
+}
+
 LiteInterpreter::LiteInterpreter(const FlatModel& model, tee::MemoryEnv* env,
                                  kernels::KernelContext kernel_ctx,
-                                 bool weight_streaming)
+                                 bool weight_streaming, bool int8_compute)
     : model_(model),
       env_(env),
       kernel_ctx_(kernel_ctx),
-      weight_streaming_(weight_streaming) {
+      weight_streaming_(weight_streaming),
+      int8_compute_(int8_compute) {
+  if (int8_compute_ && (!model_.is_quantized() || !model_.is_calibrated())) {
+    throw std::invalid_argument(
+        "LiteInterpreter: int8_compute needs a calibrated int8 model "
+        "(FlatModel::quantized(calibration))");
+  }
   if (env_ != nullptr) {
     weights_region_ = env_->alloc("lite/weights", model_.weight_bytes());
-    activation_bytes_ = 256 * 1024;
+    // int8 activations are a quarter the bytes, so the ping-pong floor
+    // shrinks with them — fewer EPC pages re-faulted under weight thrash.
+    activation_bytes_ = int8_compute_ ? 64 * 1024 : 256 * 1024;
     activation_region_ = env_->alloc("lite/activations", activation_bytes_);
   }
   if (env_ != nullptr && weight_streaming_) {
@@ -301,7 +395,25 @@ LiteInterpreter::~LiteInterpreter() {
 }
 
 Tensor LiteInterpreter::invoke(const Tensor& input) {
-  return execute(input, 1);
+  return int8_compute_ ? execute_int8(input, 1) : execute(input, 1);
+}
+
+Tensor LiteInterpreter::invoke_observed(
+    const Tensor& input,
+    const std::function<void(std::int32_t, const Tensor&)>& observer) {
+  if (int8_compute_) {
+    throw std::logic_error(
+        "invoke_observed: calibration runs on the float path");
+  }
+  observer_ = &observer;
+  try {
+    Tensor out = execute(input, 1);
+    observer_ = nullptr;
+    return out;
+  } catch (...) {
+    observer_ = nullptr;
+    throw;
+  }
 }
 
 std::vector<Tensor> LiteInterpreter::invoke_batch(
@@ -337,7 +449,8 @@ std::vector<Tensor> LiteInterpreter::invoke_batch(
               batched.data() + b * row);
   }
 
-  Tensor out = execute(batched, batch);
+  Tensor out = int8_compute_ ? execute_int8(batched, batch)
+                             : execute(batched, batch);
   if (out.rank() == 0 || out.dim(0) != batch) {
     throw std::logic_error("invoke_batch: output lost the batch dimension");
   }
@@ -363,6 +476,8 @@ Tensor LiteInterpreter::execute(const Tensor& input, std::int64_t batch) {
   values[static_cast<std::size_t>(model_.input_tensor())] = input;
   ready[static_cast<std::size_t>(model_.input_tensor())] = true;
   last_flops_ = 0;
+  last_int8_ops_ = 0;
+  if (observer_ != nullptr) (*observer_)(model_.input_tensor(), input);
 
   auto materialize = [&](std::int32_t idx) -> const Tensor& {
     auto& slot = values[static_cast<std::size_t>(idx)];
@@ -511,8 +626,396 @@ Tensor LiteInterpreter::execute(const Tensor& input, std::int64_t batch) {
     }
     values[static_cast<std::size_t>(op.output)] = std::move(r.output);
     ready[static_cast<std::size_t>(op.output)] = true;
+    if (observer_ != nullptr) {
+      (*observer_)(op.output, values[static_cast<std::size_t>(op.output)]);
+    }
   }
   return values[static_cast<std::size_t>(model_.output_tensor())];
+}
+
+Tensor LiteInterpreter::execute_int8(const Tensor& input, std::int64_t batch) {
+  // Hybrid-domain execution over int8 codes (docs/QUANTIZATION.md):
+  // MatMul / Conv2D / Add / Relu / MaxPool2D / Reshape run natively on int8
+  // — int32 accumulation, fused requantization into each output tensor's
+  // calibrated scale — while the remaining ops (Softmax, Sigmoid, Tanh,
+  // AvgPool, ArgMax, Scale) dequantize to float and the next int8 consumer
+  // requantizes. Weights are read zero-copy from the int8 arena: no float
+  // dequantization pass and no per-element dequant charge. All per-element
+  // maps are exact and the integer GEMM/conv accumulation is exact, so row
+  // b of a batched pass equals the single-request pass for input b
+  // bit-for-bit with no reduction-order caveat.
+  struct QTensor {
+    Shape shape;
+    std::vector<std::int8_t> data;
+    float scale = 1.0f;
+  };
+  const std::size_t n_tensors = model_.tensors().size();
+  std::vector<Tensor> fvalues(n_tensors);
+  std::vector<QTensor> qvalues(n_tensors);
+  std::vector<std::uint8_t> f_ready(n_tensors, 0);
+  std::vector<std::uint8_t> q_ready(n_tensors, 0);
+  last_flops_ = 0;
+  last_int8_ops_ = 0;
+  double macs_total = 0;
+  double requants_total = 0;
+  double conv_ops = 0;  // int8 ops of domain conversions, per charging span
+
+  const auto desc_of = [&](std::int32_t idx) -> const LiteTensorDesc& {
+    return model_.tensors()[static_cast<std::size_t>(idx)];
+  };
+  const auto quantize_into = [&](const Tensor& t, float scale, QTensor& out) {
+    out.shape = t.shape();
+    out.scale = scale;
+    out.data.resize(static_cast<std::size_t>(t.size()));
+    const float* src = t.data();
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+      out.data[static_cast<std::size_t>(i)] =
+          kernels::quantize_one(src[i], scale);
+    }
+    conv_ops += static_cast<double>(t.size());
+    requants_total += static_cast<double>(t.size());
+  };
+  const auto as_q = [&](std::int32_t idx) -> const QTensor& {
+    const auto s = static_cast<std::size_t>(idx);
+    if (!q_ready[s]) {
+      if (!f_ready[s]) {
+        throw std::logic_error("Lite: activation used before production");
+      }
+      quantize_into(fvalues[s], desc_of(idx).act_scale(), qvalues[s]);
+      q_ready[s] = 1;
+    }
+    return qvalues[s];
+  };
+  const auto as_f = [&](std::int32_t idx) -> const Tensor& {
+    const auto s = static_cast<std::size_t>(idx);
+    if (!f_ready[s]) {
+      if (!q_ready[s]) {
+        throw std::logic_error("Lite: activation used before production");
+      }
+      const QTensor& q = qvalues[s];
+      std::vector<float> data(q.data.size());
+      for (std::size_t i = 0; i < q.data.size(); ++i) {
+        data[i] = static_cast<float>(q.data[i]) * q.scale;
+      }
+      fvalues[s] = Tensor(q.shape, std::move(data));
+      f_ready[s] = 1;
+      conv_ops += static_cast<double>(q.data.size());
+      requants_total += static_cast<double>(q.data.size());
+    }
+    return fvalues[s];
+  };
+  struct WView {
+    const std::int8_t* data;
+    float scale;
+  };
+  const auto weight_view = [&](std::int32_t idx) -> WView {
+    const LiteTensorDesc& d = desc_of(idx);
+    return {model_.qweights().data() + d.weight_offset, d.quant_scale};
+  };
+
+  const std::int32_t in_idx = model_.input_tensor();
+  quantize_into(input, desc_of(in_idx).act_scale(),
+                qvalues[static_cast<std::size_t>(in_idx)]);
+  q_ready[static_cast<std::size_t>(in_idx)] = 1;
+  if (env_ != nullptr) env_->compute_int8(conv_ops);
+  last_int8_ops_ += conv_ops;
+
+  // Streaming composes unchanged: the spans were built with 1-byte elements
+  // for quantized arenas, and 1-byte weights stream 4x more layers per EPC
+  // window than their float expansions would.
+  if (env_ != nullptr && weight_streaming_ && !op_weight_spans_.empty()) {
+    for (const auto& [off, len] : op_weight_spans_.front()) {
+      env_->prefetch(weights_region_, off, len);
+    }
+  }
+
+  for (std::size_t j = 0; j < model_.ops().size(); ++j) {
+    const LiteOp& op = model_.ops()[j];
+    conv_ops = 0;
+
+    if (env_ != nullptr && weight_streaming_) {
+      if (j >= 1) {
+        for (const auto& [off, len] : op_dead_spans_[j - 1]) {
+          env_->advise_evict(weights_region_, off, len);
+        }
+      }
+      if (j + 1 < model_.ops().size()) {
+        for (const auto& [off, len] : op_weight_spans_[j + 1]) {
+          env_->prefetch(weights_region_, off, len);
+        }
+      }
+    }
+
+    // Cost accounting mirrors the float path; activation traffic is charged
+    // at the bytes actually stored — 1 byte per element in the int8 domain.
+    if (env_ != nullptr) {
+      for (const std::int32_t idx : op.inputs) {
+        const LiteTensorDesc& d = desc_of(idx);
+        if (d.is_weight()) {
+          env_->access(weights_region_,
+                       static_cast<std::uint64_t>(d.weight_offset),
+                       static_cast<std::uint64_t>(num_elements(d.shape)),
+                       false);
+        } else {
+          const auto s = static_cast<std::size_t>(idx);
+          const std::uint64_t bytes =
+              q_ready[s] ? qvalues[s].data.size() : fvalues[s].byte_size();
+          env_->access(activation_region_, 0,
+                       std::min<std::uint64_t>(bytes, activation_bytes_),
+                       false);
+        }
+      }
+    }
+
+    bool int8_out = false;
+    QTensor qout;
+    ops::OpResult r;
+    double op_ops = 0;  // int8 ops of the op proper (2*MACs + requants)
+
+    const auto in0 = [&]() { return op.inputs.at(0); };
+    switch (op.type) {
+      case OpType::MatMul: {
+        if (!desc_of(op.inputs.at(1)).is_weight()) {
+          r = ops::matmul(as_f(in0()), as_f(op.inputs[1]), kernel_ctx_);
+          break;
+        }
+        const QTensor& qa = as_q(in0());
+        const WView w = weight_view(op.inputs[1]);
+        const std::int64_t m = qa.shape[0];
+        const std::int64_t k = qa.shape[1];
+        const std::int64_t n = desc_of(op.inputs[1]).shape[1];
+        const float so = desc_of(op.output).act_scale();
+        qout.shape = {m, n};
+        qout.scale = so;
+        qout.data.resize(static_cast<std::size_t>(m * n));
+        kernels::gemm_s8(kernel_ctx_, m, k, n, qa.data.data(), w.data,
+                         qa.scale * w.scale / so, qout.data.data());
+        const double macs = static_cast<double>(m) * k * n;
+        op_ops = 2 * macs + static_cast<double>(m) * n;
+        macs_total += macs;
+        requants_total += static_cast<double>(m) * n;
+        int8_out = true;
+        break;
+      }
+      case OpType::Conv2D: {
+        if (!desc_of(op.inputs.at(1)).is_weight()) {
+          r = ops::conv2d(as_f(in0()), as_f(op.inputs[1]), op.attrs.stride,
+                          kernel_ctx_);
+          break;
+        }
+        const QTensor& qa = as_q(in0());
+        const WView w = weight_view(op.inputs[1]);
+        const Shape& fs = desc_of(op.inputs[1]).shape;  // HWIO
+        const kernels::ConvShape cs = kernels::conv_shape(
+            qa.shape[0], qa.shape[1], qa.shape[2], qa.shape[3], fs[0], fs[1],
+            fs[3], op.attrs.stride);
+        const float so = desc_of(op.output).act_scale();
+        qout.shape = {cs.n, cs.oh, cs.ow, cs.k};
+        qout.scale = so;
+        qout.data.resize(static_cast<std::size_t>(cs.out_pixels() * cs.k));
+        kernels::conv2d_forward_s8(kernel_ctx_, cs, qa.data.data(), w.data,
+                                   qa.scale * w.scale / so, qout.data.data());
+        const double macs =
+            static_cast<double>(cs.out_pixels()) * cs.patch_size() * cs.k;
+        const double out_elems =
+            static_cast<double>(cs.out_pixels()) * cs.k;
+        op_ops = 2 * macs + out_elems;
+        macs_total += macs;
+        requants_total += out_elems;
+        int8_out = true;
+        break;
+      }
+      case OpType::Add: {
+        const QTensor& qa = as_q(in0());
+        const float so = desc_of(op.output).act_scale();
+        qout.shape = qa.shape;
+        qout.scale = so;
+        qout.data.resize(qa.data.size());
+        const float sa = qa.scale;
+        const LiteTensorDesc& bd = desc_of(op.inputs.at(1));
+        const std::int8_t* pb;
+        float sb;
+        std::int64_t bn;
+        if (bd.is_weight()) {
+          const WView w = weight_view(op.inputs[1]);
+          pb = w.data;
+          sb = w.scale;
+          bn = num_elements(bd.shape);
+        } else {
+          const QTensor& qb = as_q(op.inputs[1]);
+          pb = qb.data.data();
+          sb = qb.scale;
+          bn = static_cast<std::int64_t>(qb.data.size());
+        }
+        const std::int8_t* pa = qa.data.data();
+        std::int8_t* po = qout.data.data();
+        const auto total = static_cast<std::int64_t>(qa.data.size());
+        kernels::parallel_for(
+            kernel_ctx_, 0, total, 4096,
+            [&](std::int64_t i0, std::int64_t i1) {
+              for (std::int64_t i = i0; i < i1; ++i) {
+                po[i] = kernels::quantize_one(
+                    static_cast<float>(pa[i]) * sa +
+                        static_cast<float>(pb[i % bn]) * sb,
+                    so);
+              }
+            });
+        op_ops = 2.0 * static_cast<double>(total);
+        requants_total += static_cast<double>(total);
+        int8_out = true;
+        break;
+      }
+      case OpType::Relu: {
+        const QTensor& qa = as_q(in0());
+        const float so = desc_of(op.output).act_scale();
+        qout.shape = qa.shape;
+        qout.scale = so;
+        qout.data.resize(qa.data.size());
+        const float sa = qa.scale;
+        const std::int8_t* pa = qa.data.data();
+        std::int8_t* po = qout.data.data();
+        const auto total = static_cast<std::int64_t>(qa.data.size());
+        kernels::parallel_for(
+            kernel_ctx_, 0, total, 4096,
+            [&](std::int64_t i0, std::int64_t i1) {
+              for (std::int64_t i = i0; i < i1; ++i) {
+                const std::int8_t v = pa[i] > 0 ? pa[i] : std::int8_t{0};
+                po[i] = kernels::quantize_one(static_cast<float>(v) * sa, so);
+              }
+            });
+        op_ops = static_cast<double>(total);
+        requants_total += static_cast<double>(total);
+        int8_out = true;
+        break;
+      }
+      case OpType::MaxPool2D: {
+        // Same geometry as ops::pool2d; max commutes with the positive
+        // per-tensor scale, so the window max runs on raw codes.
+        const QTensor& qa = as_q(in0());
+        const std::int64_t n = qa.shape[0], h = qa.shape[1], w = qa.shape[2],
+                           c = qa.shape[3];
+        const std::int64_t window = op.attrs.window,
+                           stride = op.attrs.stride;
+        const std::int64_t oh = (h - window) / stride + 1;
+        const std::int64_t ow = (w - window) / stride + 1;
+        const float so = desc_of(op.output).act_scale();
+        qout.shape = {n, oh, ow, c};
+        qout.scale = so;
+        qout.data.resize(static_cast<std::size_t>(n * oh * ow * c));
+        const float sa = qa.scale;
+        const std::int8_t* pi = qa.data.data();
+        std::int8_t* po = qout.data.data();
+        kernels::parallel_for(
+            kernel_ctx_, 0, n * oh, 1,
+            [&](std::int64_t r0, std::int64_t r1) {
+              for (std::int64_t row = r0; row < r1; ++row) {
+                const std::int64_t b = row / oh;
+                const std::int64_t oy = row % oh;
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                  for (std::int64_t ci = 0; ci < c; ++ci) {
+                    std::int8_t acc = -127;
+                    for (std::int64_t fy = 0; fy < window; ++fy) {
+                      for (std::int64_t fx = 0; fx < window; ++fx) {
+                        const std::int64_t iy = oy * stride + fy;
+                        const std::int64_t ix = ox * stride + fx;
+                        const std::int8_t v =
+                            pi[((b * h + iy) * w + ix) * c + ci];
+                        if (v > acc) acc = v;
+                      }
+                    }
+                    po[((b * oh + oy) * ow + ox) * c + ci] =
+                        kernels::quantize_one(static_cast<float>(acc) * sa,
+                                              so);
+                  }
+                }
+              }
+            });
+        op_ops = static_cast<double>(n) * oh * ow * c * window * window;
+        requants_total += static_cast<double>(n) * oh * ow * c;
+        int8_out = true;
+        break;
+      }
+      case OpType::Reshape: {
+        const QTensor& qa = as_q(in0());
+        const auto in_size = static_cast<std::int64_t>(qa.data.size());
+        Shape target = op.attrs.target_shape;
+        std::int64_t known = 1;
+        int infer = -1;
+        for (std::size_t i = 0; i < target.size(); ++i) {
+          if (target[i] == -1) {
+            infer = static_cast<int>(i);
+          } else {
+            known *= target[i];
+          }
+        }
+        if (infer >= 0) {
+          target[static_cast<std::size_t>(infer)] = in_size / known;
+        } else if (batch > 1 && known * batch == in_size && !target.empty()) {
+          target[0] *= batch;
+        }
+        qout.shape = std::move(target);
+        qout.scale = qa.scale;  // a reshape never changes any value
+        qout.data = qa.data;
+        int8_out = true;
+        break;
+      }
+      case OpType::Softmax: r = ops::softmax(as_f(in0())); break;
+      case OpType::Sigmoid: r = ops::sigmoid(as_f(in0()), kernel_ctx_); break;
+      case OpType::Tanh: r = ops::tanh_op(as_f(in0()), kernel_ctx_); break;
+      case OpType::AvgPool2D:
+        r = ops::avg_pool2d(as_f(in0()), op.attrs.window, op.attrs.stride,
+                            kernel_ctx_);
+        break;
+      case OpType::GlobalAvgPool:
+        r = ops::global_avg_pool(as_f(in0()));
+        break;
+      case OpType::ArgMax: r = ops::argmax(as_f(in0())); break;
+      case OpType::Scale:
+        r = ops::scale(as_f(in0()), op.attrs.scalar, kernel_ctx_);
+        break;
+      default:
+        throw std::logic_error("Lite interpreter: unsupported op");
+    }
+
+    const double op_int8 = op_ops + conv_ops;
+    if (!int8_out) last_flops_ += r.flops;
+    if (env_ != nullptr) {
+      const std::uint64_t out_bytes =
+          int8_out ? qout.data.size() : r.output.byte_size();
+      if (out_bytes * 2 > activation_bytes_) {
+        env_->release(activation_region_);
+        activation_bytes_ = out_bytes * 2;
+        activation_region_ = env_->alloc("lite/activations",
+                                         activation_bytes_);
+      }
+      env_->access(activation_region_, activation_bytes_ - out_bytes,
+                   out_bytes, true);
+      if (op_int8 > 0) env_->compute_int8(op_int8);
+      if (!int8_out) env_->compute(r.flops);
+    }
+    last_int8_ops_ += op_int8;
+
+    const auto out_slot = static_cast<std::size_t>(op.output);
+    if (int8_out) {
+      qvalues[out_slot] = std::move(qout);
+      q_ready[out_slot] = 1;
+    } else {
+      fvalues[out_slot] = std::move(r.output);
+      f_ready[out_slot] = 1;
+    }
+  }
+
+  quant_obs().invokes.add();
+  quant_obs().macs.add(static_cast<std::uint64_t>(macs_total));
+
+  // The public contract returns float tensors; dequantize the output if the
+  // final op stayed in the int8 domain.
+  conv_ops = 0;
+  const Tensor& out = as_f(model_.output_tensor());
+  if (env_ != nullptr && conv_ops > 0) env_->compute_int8(conv_ops);
+  last_int8_ops_ += conv_ops;
+  quant_obs().requants.add(static_cast<std::uint64_t>(requants_total));
+  return out;
 }
 
 }  // namespace stf::ml::lite

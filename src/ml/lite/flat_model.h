@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,8 +28,24 @@ struct LiteTensorDesc {
   std::int64_t weight_offset = -1;
   /// Dequantization scale for int8 models (w = q * scale, symmetric).
   float quant_scale = 0;
+  /// Calibrated activation range (docs/QUANTIZATION.md), recorded by
+  /// FlatModel::quantized(calibration) and serialized in format version 3.
+  /// Meaningful only on calibrated models; the int8 execution path
+  /// requantizes this tensor's values into act_scale().
+  float act_min = 0;
+  float act_max = 0;
 
   [[nodiscard]] bool is_weight() const { return weight_offset >= 0; }
+
+  /// Symmetric zero-point-free activation scale: max(|act_min|, |act_max|)
+  /// mapped onto the int8 code 127 (1.0 for never-observed / all-zero
+  /// tensors, so quantization degenerates to rounding).
+  [[nodiscard]] float act_scale() const {
+    const float lo = act_min < 0 ? -act_min : act_min;
+    const float hi = act_max < 0 ? -act_max : act_max;
+    const float m = lo > hi ? lo : hi;
+    return m > 0 ? m / 127.0f : 1.0f;
+  }
 };
 
 struct LiteOp {
@@ -55,10 +72,24 @@ class FlatModel {
   /// weight arena 4x — which can move a model from "thrashes the EPC" to
   /// "fits the EPC" (bench_ablation_quantization measures it). Results
   /// change within quantization error; the converter records per-tensor
-  /// scales so the interpreter dequantizes transparently.
+  /// scales. Without calibrated activation ranges the interpreter falls
+  /// back to dequantizing each weight tensor to float before compute; the
+  /// calibrating overload below enables the true int8 execution path
+  /// (docs/QUANTIZATION.md).
   [[nodiscard]] FlatModel quantized() const;
 
+  /// Weight quantization plus activation-range calibration: runs the float
+  /// interpreter over the `calibration` samples, records per-tensor min/max
+  /// activation ranges, and returns an int8 model the interpreter can
+  /// execute natively (LiteInterpreter with int8_compute). Serializing a
+  /// calibrated model bumps the format header to version 3; uncalibrated
+  /// models keep writing byte-identical version-2 files. Must be called on
+  /// the float model; throws std::invalid_argument on an empty sample set.
+  [[nodiscard]] FlatModel quantized(
+      const std::vector<Tensor>& calibration) const;
+
   [[nodiscard]] bool is_quantized() const { return quantized_; }
+  [[nodiscard]] bool is_calibrated() const { return calibrated_; }
 
   [[nodiscard]] const std::vector<LiteOp>& ops() const { return ops_; }
   [[nodiscard]] const std::vector<LiteTensorDesc>& tensors() const {
@@ -83,6 +114,7 @@ class FlatModel {
   std::vector<float> weights_;
   std::vector<std::int8_t> qweights_;
   bool quantized_ = false;
+  bool calibrated_ = false;
   std::int32_t input_ = -1;
   std::int32_t output_ = -1;
 };
@@ -97,12 +129,17 @@ class LiteInterpreter {
   /// any thread count. With `weight_streaming` the interpreter prefetches
   /// op k+1's weight window while op k computes and advise-evicts windows
   /// past their last use (docs/MEMORY_PLANNER.md) — cost model only, math
-  /// unchanged.
+  /// unchanged. With `int8_compute` the forward pass runs the quantized
+  /// GEMM/conv kernels on int8 codes with fused requantization
+  /// (docs/QUANTIZATION.md); requires a calibrated int8 model
+  /// (FlatModel::quantized(calibration)) and throws std::invalid_argument
+  /// otherwise.
   explicit LiteInterpreter(const FlatModel& model,
                            tee::MemoryEnv* env = nullptr,
                            kernels::KernelContext kernel_ctx =
                                kernels::KernelContext::shared(),
-                           bool weight_streaming = false);
+                           bool weight_streaming = false,
+                           bool int8_compute = false);
   LiteInterpreter(FlatModel&&, tee::MemoryEnv* = nullptr) = delete;
   ~LiteInterpreter();
 
@@ -123,22 +160,36 @@ class LiteInterpreter {
   /// std::invalid_argument on shape-mismatched inputs.
   std::vector<Tensor> invoke_batch(const std::vector<const Tensor*>& inputs);
 
+  /// Runs one float forward pass, handing the input and every produced
+  /// activation to `observer(tensor_index, value)` — the hook min/max
+  /// calibration is built on. Math identical to invoke().
+  Tensor invoke_observed(
+      const Tensor& input,
+      const std::function<void(std::int32_t, const Tensor&)>& observer);
+
   /// Peak activation bytes the interpreter keeps live (two buffers).
   [[nodiscard]] std::uint64_t activation_bytes() const {
     return activation_bytes_;
   }
   [[nodiscard]] double last_invoke_flops() const { return last_flops_; }
+  /// int8 integer ops (MACs + requantized elements) of the most recent
+  /// int8_compute invoke; 0 on the float path.
+  [[nodiscard]] double last_invoke_int8_ops() const { return last_int8_ops_; }
 
  private:
   /// Shared forward-pass body. `batch` is the leading batch dimension of
   /// `input` (1 for single requests); it only matters for Reshape ops with
   /// fully specified target shapes, which are scaled to the batch.
   Tensor execute(const Tensor& input, std::int64_t batch);
+  /// int8_compute forward-pass body: hybrid-domain execution over int8
+  /// codes (docs/QUANTIZATION.md).
+  Tensor execute_int8(const Tensor& input, std::int64_t batch);
 
   const FlatModel& model_;
   tee::MemoryEnv* env_;
   kernels::KernelContext kernel_ctx_;
   bool weight_streaming_ = false;
+  bool int8_compute_ = false;
   std::uint64_t weights_region_ = 0;
   std::uint64_t activation_region_ = 0;
   std::uint64_t activation_bytes_ = 0;
@@ -149,6 +200,9 @@ class LiteInterpreter {
   std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
       op_dead_spans_;
   double last_flops_ = 0;
+  double last_int8_ops_ = 0;
+  /// Non-null only inside invoke_observed(): the calibration hook.
+  const std::function<void(std::int32_t, const Tensor&)>* observer_ = nullptr;
 };
 
 }  // namespace stf::ml::lite

@@ -84,6 +84,17 @@ inline constexpr const char* kKernelConvCalls = "ml.kernels.conv_calls";
 inline constexpr const char* kPlannerPlans = "ml.planner.plans";
 inline constexpr const char* kPlannerPeakBytes = "ml.planner.peak_bytes";
 inline constexpr const char* kPlannerSavedBytes = "ml.planner.saved_bytes";
+// int8 execution path (docs/QUANTIZATION.md): registered lazily by the
+// quantized kernels/interpreter only, so float-only runs keep their
+// registry exports byte-identical.
+inline constexpr const char* kQuantGemmCalls = "ml.quant.int8_gemm_calls";
+inline constexpr const char* kQuantConvCalls = "ml.quant.int8_conv_calls";
+inline constexpr const char* kQuantInt8Macs = "ml.quant.int8_macs";
+inline constexpr const char* kQuantRequantizedElements =
+    "ml.quant.requantized_elements";
+inline constexpr const char* kQuantInt8Invokes = "ml.quant.int8_invokes";
+inline constexpr const char* kQuantCalibrationRuns =
+    "ml.quant.calibration_runs";
 
 // --- core: inference + serving fleet (Figures 5-7) -----------------------
 inline constexpr const char* kInferenceRequests = "core.inference.requests";

@@ -48,6 +48,11 @@ struct CostModel {
   /// activations/weights during kernels). Workload-specific intensity is
   /// set per model (see core/workloads.h); this is the default.
   double compute_bytes_per_flop = 0.25;
+  /// Throughput multiple of int8 integer ops over float32 (VNNI-class 8-bit
+  /// dot products execute ~4 MACs per float FMA slot); the int8 kernels
+  /// also move 1/4 the bytes per op, so the MEE term scales down with it
+  /// (docs/QUANTIZATION.md).
+  double int8_ops_multiple = 4.0;
   /// SCONE-runtime overhead multiplier on in-enclave compute. Inference
   /// containers see ~5% (the paper's SIM-vs-native gap, §5.3 #1); the
   /// distributed-training path sees ~2.3x, which the paper attributes to a
@@ -122,6 +127,10 @@ struct CostModel {
   // ---- derived helpers ----------------------------------------------------
   [[nodiscard]] std::uint64_t compute_ns(double flops) const {
     return static_cast<std::uint64_t>(flops / flops_per_second * 1e9);
+  }
+  [[nodiscard]] std::uint64_t int8_compute_ns(double ops) const {
+    return static_cast<std::uint64_t>(
+        ops / (flops_per_second * int8_ops_multiple) * 1e9);
   }
   [[nodiscard]] std::uint64_t dram_ns(std::uint64_t bytes) const {
     return static_cast<std::uint64_t>(static_cast<double>(bytes) /

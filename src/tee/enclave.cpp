@@ -116,6 +116,21 @@ void Enclave::compute(double flops) {
   }
 }
 
+void Enclave::compute_int8(double ops) {
+  const CostModel& m = platform_.model();
+  obs::ScopedCategory attribution(obs::Category::kCompute);
+  platform_.clock().advance(static_cast<std::uint64_t>(
+      static_cast<double>(m.int8_compute_ns(ops)) * runtime_overhead_));
+  // Same MEE model as compute(), with 1-byte operands: a quarter of the
+  // per-op traffic crosses the encryption engine.
+  if (platform_.mode() == TeeMode::Hardware) {
+    const double bpf = bytes_per_flop_ >= 0 ? bytes_per_flop_
+                                            : m.compute_bytes_per_flop;
+    platform_.clock().advance(static_cast<std::uint64_t>(
+        ops * (bpf / m.int8_ops_multiple) * m.mee_overhead_per_byte_ns));
+  }
+}
+
 void Enclave::prefetch_region(RegionId id, std::uint64_t offset,
                               std::uint64_t len) {
   platform_.epc().prefetch(id, offset, len, platform_.clock());

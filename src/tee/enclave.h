@@ -60,6 +60,10 @@ class Enclave {
   void release_region(RegionId id);
   void access(RegionId id, std::uint64_t offset, std::uint64_t len, bool write);
   void compute(double flops);
+  /// int8 integer ops (quantized kernels): same runtime-overhead multiplier
+  /// as compute(), but at the cost model's int8 throughput multiple and a
+  /// quarter of the per-op MEE traffic (1-byte operands).
+  void compute_int8(double ops);
   /// EPC streaming hints (forwarded to the platform's EpcManager; no-ops
   /// outside Hardware mode). See docs/MEMORY_PLANNER.md.
   void prefetch_region(RegionId id, std::uint64_t offset, std::uint64_t len);
@@ -123,6 +127,7 @@ class EnclaveEnv final : public MemoryEnv {
     enclave_.access(region, offset, len, write);
   }
   void compute(double flops) override { enclave_.compute(flops); }
+  void compute_int8(double ops) override { enclave_.compute_int8(ops); }
   void prefetch(std::uint64_t region, std::uint64_t offset,
                 std::uint64_t len) override {
     enclave_.prefetch_region(region, offset, len);

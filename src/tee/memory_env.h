@@ -29,6 +29,11 @@ class MemoryEnv {
   /// Reports `flops` floating-point operations of compute.
   virtual void compute(double flops) = 0;
 
+  /// Reports `ops` int8 integer operations (MACs + requantization, see
+  /// docs/QUANTIZATION.md). The default treats them as float ops so
+  /// environments without an int8 cost model stay correct.
+  virtual void compute_int8(double ops) { compute(ops); }
+
   // --- EPC-aware streaming hints (docs/MEMORY_PLANNER.md) ----------------
   // Default no-ops: environments without an EPC boundary (native DRAM, SIM
   // mode) ignore residency hints, so planner/streaming code never needs to

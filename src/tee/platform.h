@@ -86,6 +86,10 @@ class NativeEnv final : public MemoryEnv {
     obs::ScopedCategory attribution(obs::Category::kCompute);
     clock_->advance(model_.compute_ns(flops));
   }
+  void compute_int8(double ops) override {
+    obs::ScopedCategory attribution(obs::Category::kCompute);
+    clock_->advance(model_.int8_compute_ns(ops));
+  }
   [[nodiscard]] std::uint64_t now_ns() const override {
     return clock_->now_ns();
   }

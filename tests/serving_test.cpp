@@ -264,6 +264,53 @@ TEST(LiteBatchTest, BatchedConvnetIsBitIdenticalToSingleInvokes) {
   }
 }
 
+ml::lite::LiteInterpreter int8_interpreter(const ml::lite::FlatModel& q) {
+  return ml::lite::LiteInterpreter(q, nullptr,
+                                   ml::kernels::KernelContext::shared(),
+                                   /*weight_streaming=*/false,
+                                   /*int8_compute=*/true);
+}
+
+TEST(LiteBatchTest, BatchedInt8MlpIsBitIdenticalToSingleInvokes) {
+  BatchFixture f;
+  const ml::lite::FlatModel q = f.mlp.quantized(make_inputs(6, 64, 31));
+  auto single = int8_interpreter(q);
+  auto batched = int8_interpreter(q);
+  const std::vector<ml::Tensor> inputs = make_inputs(5, 64, 11);
+  std::vector<const ml::Tensor*> ptrs;
+  for (const auto& t : inputs) ptrs.push_back(&t);
+  const std::vector<ml::Tensor> batch_out = batched.invoke_batch(ptrs);
+  ASSERT_EQ(batch_out.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const ml::Tensor one = single.invoke(inputs[i]);
+    ASSERT_TRUE(one.same_shape(batch_out[i]));
+    for (std::int64_t j = 0; j < one.size(); ++j) {
+      EXPECT_EQ(one.data()[j], batch_out[i].data()[j])
+          << "request " << i << " element " << j;
+    }
+  }
+}
+
+TEST(LiteBatchTest, BatchedInt8ConvnetIsBitIdenticalToSingleInvokes) {
+  BatchFixture f;
+  const ml::lite::FlatModel q = f.convnet.quantized(make_inputs(4, 28 * 28, 41));
+  auto single = int8_interpreter(q);
+  auto batched = int8_interpreter(q);
+  const std::vector<ml::Tensor> inputs = make_inputs(4, 28 * 28, 23);
+  std::vector<const ml::Tensor*> ptrs;
+  for (const auto& t : inputs) ptrs.push_back(&t);
+  const std::vector<ml::Tensor> batch_out = batched.invoke_batch(ptrs);
+  ASSERT_EQ(batch_out.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const ml::Tensor one = single.invoke(inputs[i]);
+    ASSERT_TRUE(one.same_shape(batch_out[i]));
+    for (std::int64_t j = 0; j < one.size(); ++j) {
+      EXPECT_EQ(one.data()[j], batch_out[i].data()[j])
+          << "request " << i << " element " << j;
+    }
+  }
+}
+
 TEST(LiteBatchTest, RejectsMismatchedShapes) {
   BatchFixture f;
   ml::lite::LiteInterpreter interp(f.mlp);
