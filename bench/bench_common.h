@@ -54,21 +54,36 @@ inline std::string profile_json() {
 
 namespace detail {
 
-/// Renders `"name": <json>` re-indented two spaces so a top-level export
-/// nests as an object member; the export's trailing newline is dropped so
-/// callers control the separator.
-inline std::string indent_member(const char* name, const std::string& json) {
-  std::string indented = std::string("  \"") + name + "\": ";
+/// Re-indents a multi-line export by appending `pad` after every newline,
+/// dropping the trailing newline so callers control the separator. Lets a
+/// top-level export nest at any depth (object member, array element).
+inline std::string indent_json(const std::string& json, const char* pad) {
+  std::string indented;
   for (std::size_t i = 0; i < json.size(); ++i) {
     const char c = json[i];
     if (c == '\n' && i + 1 == json.size()) break;  // exports end in '\n'
     indented.push_back(c);
-    if (c == '\n') indented += "  ";
+    if (c == '\n') indented += pad;
   }
   return indented;
 }
 
+/// Renders `"name": <json>` re-indented two spaces so a top-level export
+/// nests as an object member.
+inline std::string indent_member(const char* name, const std::string& json) {
+  return std::string("  \"") + name + "\": " + indent_json(json, "  ");
+}
+
 }  // namespace detail
+
+/// Appends `"name": <json>,\n` — a top-level export nested as a member of
+/// the BENCH object (same shape fprint_registry_section uses). The serving
+/// benches embed the timeline and SLO exports this way (docs/TRACING.md).
+inline void fprint_json_member(std::FILE* out, const char* name,
+                               const std::string& json) {
+  const std::string block = detail::indent_member(name, json) + ",\n";
+  std::fputs(block.c_str(), out);
+}
 
 /// One workload-config entry for the BENCH JSON "config" section. `value`
 /// is pre-rendered JSON: a bare integer ("42") or a quoted string

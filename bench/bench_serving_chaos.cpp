@@ -325,21 +325,14 @@ int main() {
   std::fprintf(out, "  \"chaos_sweep\": [\n");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    const core::TrafficSummary& s = c.summary;
     std::fprintf(out,
                  "    {\"schedule\": \"%s\", \"policy\": \"%s\", "
-                 "\"offered\": %" PRId64 ", \"completed\": %" PRId64
-                 ", \"retried\": %" PRId64 ", \"retries_total\": %" PRId64
-                 ", \"failed_node_down\": %" PRId64
-                 ", \"shed_queue_full\": %" PRId64 ", \"shed_expired\": %"
-                 PRId64 ", \"goodput\": %" PRId64 ", \"duration_ns\": %"
-                 PRIu64 ", \"p50_ns\": %" PRIu64 ", \"p95_ns\": %" PRIu64
-                 ", \"p99_ns\": %" PRIu64 "}%s\n",
-                 c.schedule, policy_name(c.policy), s.offered, s.completed,
-                 s.retried, s.retries_total, s.failed_node_down,
-                 s.shed_queue_full, s.shed_expired, s.goodput(),
-                 s.last_completion_ns - s.first_arrival_ns, s.p50_ns,
-                 s.p95_ns, s.p99_ns, i + 1 < cells.size() ? "," : "");
+                 "\"summary\": %s}%s\n",
+                 c.schedule, policy_name(c.policy),
+                 bench::detail::indent_json(
+                     core::export_traffic_summary_json(c.summary), "    ")
+                     .c_str(),
+                 i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   bench::fprint_registry_section(out);

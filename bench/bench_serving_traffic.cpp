@@ -25,9 +25,11 @@
 #include "bench_common.h"
 #include "core/loadgen.h"
 #include "core/serving.h"
+#include "core/slo.h"
 #include "ml/models.h"
 #include "ml/serialize.h"
 #include "ml/session.h"
+#include "obs/timeline.h"
 #include "tee/platform.h"
 
 namespace {
@@ -64,11 +66,24 @@ struct SweepRow {
   std::int64_t offered_rps = 0;
   bool batched = false;
   core::TrafficSummary summary;
+  std::string timeline_json;  ///< this point's windowed telemetry export
+  std::string slo_json;       ///< this point's SLO alert export
 
   [[nodiscard]] double throughput_rps() const {
     return summary.throughput_rps();
   }
 };
+
+/// The SLO policy every sweep point is audited against: the per-request
+/// deadline doubles as the per-window p99 bound, and the miss budget is 1%
+/// of completions at a 2x burn factor (core/slo.h).
+core::SloPolicy slo_policy(double slo_s) {
+  core::SloPolicy policy;
+  policy.p99_threshold_ns =
+      static_cast<std::uint64_t>(std::llround(slo_s * 1e9));
+  policy.miss_budget_ppm = 10'000;
+  return policy;
+}
 
 SweepRow run_point(const ml::lite::FlatModel& model, std::int64_t offered_rps,
                    bool batched, double window_s, double slo_s) {
@@ -88,12 +103,25 @@ SweepRow run_point(const ml::lite::FlatModel& model, std::int64_t offered_rps,
   window.queue_capacity = kQueueCapacity;
 
   // A fresh fleet per point: every run starts from cold virtual clocks, so
-  // each (load, window) cell is independently byte-reproducible.
+  // each (load, window) cell is independently byte-reproducible. The span
+  // ring and timeline reset with it — each point owns a complete causal
+  // trace and an undiluted window series (the registry and attribution
+  // store stay cumulative, as before).
+  obs::SpanTracer::global().reset();
+  obs::Timeline::global().reset();
   core::ServingFleet fleet(model, fleet_config(), kNodes);
   SweepRow row;
   row.offered_rps = offered_rps;
   row.batched = batched;
   row.summary = core::summarize(fleet.serve_trace(trace.requests, window));
+
+  const core::SloPolicy policy = slo_policy(slo_s);
+  const core::SloReport report =
+      core::evaluate_slo(obs::Timeline::global().windows(), policy);
+  row.summary.slo_alerts = static_cast<std::int64_t>(report.alerts.size());
+  row.summary.slo_breached_windows = report.breached_windows;
+  row.timeline_json = obs::Timeline::global().export_json();
+  row.slo_json = core::export_slo_json(report, policy);
   return row;
 }
 
@@ -116,6 +144,12 @@ void check_conservation() {
 
 int main() {
   obs::set_profiling_enabled(true);
+  // Causal tracing + windowed telemetry on: this bench is the reference
+  // producer for the trace/timeline/SLO exports (docs/TRACING.md). Both are
+  // pure observers of virtual time, so every figure below is identical to a
+  // run with them disabled.
+  obs::set_tracing_enabled(true);
+  obs::Timeline::global().set_enabled(true);
   bench::print_header(
       "Continuous batching under open-loop traffic (2-node fleet, HW mode)",
       "batched throughput pulls ahead of unbatched at saturation because "
@@ -157,19 +191,19 @@ int main() {
               load_high, window_s * 1e3, slo_s * 1e3);
 
   std::vector<SweepRow> rows;
-  std::printf("\n  %-12s %-9s %10s %10s %10s %10s %12s %12s\n", "offered",
+  std::printf("\n  %-12s %-9s %10s %10s %10s %10s %12s %12s %8s\n", "offered",
               "config", "completed", "shed_q", "shed_exp", "slo_miss",
-              "tput (rps)", "p99 (ms)");
+              "tput (rps)", "p99 (ms)", "alerts");
   for (const std::int64_t load : {load_low, load_mid, load_high}) {
     for (const bool batched : {false, true}) {
       SweepRow row = run_point(model, load, batched, window_s, slo_s);
       const core::TrafficSummary& s = row.summary;
       std::printf("  %-12" PRId64 " %-9s %10" PRId64 " %10" PRId64
-                  " %10" PRId64 " %10" PRId64 " %12.1f %12.3f\n",
+                  " %10" PRId64 " %10" PRId64 " %12.1f %12.3f %8" PRId64 "\n",
                   row.offered_rps, batched ? "batched" : "unbatched",
                   s.completed, s.shed_queue_full, s.shed_expired, s.slo_misses,
                   row.throughput_rps(),
-                  static_cast<double>(s.p99_ns) / 1e6);
+                  static_cast<double>(s.p99_ns) / 1e6, s.slo_alerts);
       rows.push_back(std::move(row));
     }
   }
@@ -235,27 +269,36 @@ int main() {
        bench::config_int("slo_us", std::llround(slo_s * 1e6)),
        bench::config_int("offered_rps_low", load_low),
        bench::config_int("offered_rps_mid", load_mid),
-       bench::config_int("offered_rps_high", load_high)});
+       bench::config_int("offered_rps_high", load_high),
+       bench::config_int("slo_p99_threshold_us", std::llround(slo_s * 1e6)),
+       bench::config_int("slo_miss_budget_ppm", 10'000),
+       bench::config_int("slo_burn_factor", 2),
+       bench::config_int("slo_burn_windows", 5)});
   std::fprintf(out, "  \"traffic_sweep\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
-    const core::TrafficSummary& s = r.summary;
     std::fprintf(out,
                  "    {\"offered_rps\": %" PRId64 ", \"batched\": %d, "
-                 "\"offered\": %" PRId64 ", \"completed\": %" PRId64
-                 ", \"shed_queue_full\": %" PRId64 ", \"shed_expired\": %"
-                 PRId64 ", \"slo_misses\": %" PRId64 ", \"duration_ns\": %"
-                 PRIu64 ", \"p50_ns\": %" PRIu64 ", \"p95_ns\": %" PRIu64
-                 ", \"p99_ns\": %" PRIu64 "}%s\n",
-                 r.offered_rps, r.batched ? 1 : 0, s.offered, s.completed,
-                 s.shed_queue_full, s.shed_expired, s.slo_misses,
-                 s.last_completion_ns - s.first_arrival_ns, s.p50_ns, s.p95_ns,
-                 s.p99_ns, i + 1 < rows.size() ? "," : "");
+                 "\"summary\": %s}%s\n",
+                 r.offered_rps, r.batched ? 1 : 0,
+                 bench::detail::indent_json(
+                     core::export_traffic_summary_json(r.summary), "    ")
+                     .c_str(),
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  // The saturated batched point's windowed telemetry and SLO audit, the
+  // richest cell of the sweep (and the one whose causal trace is written
+  // below). Byte-reproducible like every other section.
+  bench::fprint_json_member(out, "timeline", rows.back().timeline_json);
+  bench::fprint_json_member(out, "slo", rows.back().slo_json);
   bench::fprint_registry_section(out);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote BENCH_serving_traffic.json\n");
+
+  // Causal trace of the last point (load_high, batched): request roots,
+  // phase children, flow arrows. tools/trace_report reads this file.
+  bench::write_trace_json("BENCH_serving_traffic.trace.json");
   return 0;
 }

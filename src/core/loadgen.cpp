@@ -190,6 +190,7 @@ LoadTrace generate_load(const LoadGenConfig& config) {
     prev_ns = r.arrival_ns;
     r.deadline_ns = slo_ns == 0 ? 0 : r.arrival_ns + slo_ns;
     r.retry_budget = config.retry_budget;
+    r.trace_id = static_cast<std::uint64_t>(i) + 1;
     r.input = &trace.images[i % pool];
     trace.requests.push_back(r);
   }

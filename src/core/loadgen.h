@@ -73,6 +73,14 @@ struct Request {
   /// Client retry budget for crash-lost dispatches; -1 defers to the
   /// serving fleet's policy (LoadGenConfig::retry_budget).
   std::int64_t retry_budget = -1;
+  /// Causal trace id (docs/TRACING.md), stamped as id + 1 so 0 keeps
+  /// meaning "untraced". The serving plane only uses it while
+  /// obs::tracing_enabled(); it does not enter fingerprint().
+  std::uint64_t trace_id = 0;
+  /// Simulated client→fleet wire delay the fleet charged this request
+  /// before it reached a node queue (filled by ServingFleet so traces can
+  /// separate wire time from queue time). Not part of the generated trace.
+  std::uint64_t wire_ns = 0;
   const ml::Tensor* input = nullptr;
 };
 

@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/span.h"
+#include "obs/timeline.h"
 #include "runtime/errors.h"
 
 namespace stf::core {
@@ -98,6 +99,66 @@ FailoverObs& failover_obs() {
   return *o;
 }
 
+// Causal-trace sites (docs/TRACING.md), interned once. Queue-level events
+// (request phase spans, flow arrows) are recorded on a dedicated per-node
+// "queue row" lane (tid 0xffff) so Perfetto keeps the compute lanes clean.
+constexpr std::uint16_t kQueueLaneTid = 0xffff;
+
+struct TraceSites {
+  obs::SpanTracer& tracer = obs::SpanTracer::global();
+  std::uint32_t request = tracer.intern(obs::names::kSpanServingRequest);
+  std::uint32_t wire = tracer.intern(obs::names::kSpanServingWire);
+  std::uint32_t queue_wait = tracer.intern(obs::names::kSpanServingQueueWait);
+  std::uint32_t batch_wait = tracer.intern(obs::names::kSpanServingBatchWait);
+  std::uint32_t service = tracer.intern(obs::names::kSpanServingService);
+  std::uint32_t flow = tracer.intern(obs::names::kFlowServingRequest);
+};
+
+TraceSites& trace_sites() {
+  static TraceSites* t = new TraceSites();
+  return *t;
+}
+
+/// Pre-computed decomposition of one completed request. The four child
+/// intervals tile [client_arrival, completion] with no overlap; any
+/// uncovered gap (a retry's backoff wait) is deliberate, reported by
+/// trace_report as explicit slack.
+struct MemberTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t client_arrival_ns = 0;
+  std::uint64_t wire_end_ns = 0;     ///< client_arrival + wire cost
+  std::uint64_t node_arrival_ns = 0; ///< when this copy hit the node queue
+  std::uint64_t queue_end_ns = 0;    ///< lane/circuit free, clamped to dispatch
+  std::uint64_t service_span_id = 0; ///< pre-allocated: batch spans nest here
+};
+
+/// Records the causal tree of one completed member: a root span over the
+/// whole request plus wire -> queue_wait -> batch_wait -> service children.
+/// Zero-length phases are skipped (they add nothing to coverage).
+void record_member_trace(const MemberTrace& m, std::uint16_t node,
+                         std::uint64_t dispatch_ns,
+                         std::uint64_t completion_ns) {
+  TraceSites& ts = trace_sites();
+  obs::ScopedLane lane(node, kQueueLaneTid);
+  const std::uint64_t root = ts.tracer.alloc_span_id();
+  ts.tracer.record_traced(ts.request, m.client_arrival_ns, completion_ns,
+                          m.trace_id, root, 0);
+  if (m.wire_end_ns > m.client_arrival_ns) {
+    ts.tracer.record_traced(ts.wire, m.client_arrival_ns, m.wire_end_ns,
+                            m.trace_id, ts.tracer.alloc_span_id(), root);
+  }
+  if (m.queue_end_ns > m.node_arrival_ns) {
+    ts.tracer.record_traced(ts.queue_wait, m.node_arrival_ns, m.queue_end_ns,
+                            m.trace_id, ts.tracer.alloc_span_id(), root);
+  }
+  if (dispatch_ns > m.queue_end_ns) {
+    ts.tracer.record_traced(ts.batch_wait, m.queue_end_ns, dispatch_ns,
+                            m.trace_id, ts.tracer.alloc_span_id(), root);
+  }
+  ts.tracer.record_traced(ts.service, dispatch_ns, completion_ns, m.trace_id,
+                          m.service_span_id, root);
+}
+
 /// Nearest-rank quantile (same rule as obs::QuantileSeries): the
 /// ceil(q*n)-th smallest, rank clamped to [1, n]; 0 on an empty set.
 std::uint64_t nearest_rank(std::vector<std::uint64_t>& values, double q) {
@@ -146,6 +207,37 @@ TrafficSummary summarize(const std::vector<RequestOutcome>& outcomes) {
   s.p95_ns = nearest_rank(e2e, 0.95);
   s.p99_ns = nearest_rank(e2e, 0.99);
   return s;
+}
+
+std::string export_traffic_summary_json(const TrafficSummary& s) {
+  // Throughput is the one derived float; exported as integer milli-rps so
+  // two identical seeded runs stay byte-identical.
+  const auto throughput_mrps =
+      static_cast<std::int64_t>(std::llround(s.throughput_rps() * 1000.0));
+  std::string out = "{\n";
+  out += "  \"offered\": " + std::to_string(s.offered) + ",\n";
+  out += "  \"completed\": " + std::to_string(s.completed) + ",\n";
+  out += "  \"shed_queue_full\": " + std::to_string(s.shed_queue_full) + ",\n";
+  out += "  \"shed_expired\": " + std::to_string(s.shed_expired) + ",\n";
+  out += "  \"slo_misses\": " + std::to_string(s.slo_misses) + ",\n";
+  out += "  \"failed_node_down\": " + std::to_string(s.failed_node_down) +
+         ",\n";
+  out += "  \"retried\": " + std::to_string(s.retried) + ",\n";
+  out += "  \"retries_total\": " + std::to_string(s.retries_total) + ",\n";
+  out += "  \"goodput\": " + std::to_string(s.goodput()) + ",\n";
+  out += "  \"first_arrival_ns\": " + std::to_string(s.first_arrival_ns) +
+         ",\n";
+  out += "  \"last_completion_ns\": " + std::to_string(s.last_completion_ns) +
+         ",\n";
+  out += "  \"p50_ns\": " + std::to_string(s.p50_ns) + ",\n";
+  out += "  \"p95_ns\": " + std::to_string(s.p95_ns) + ",\n";
+  out += "  \"p99_ns\": " + std::to_string(s.p99_ns) + ",\n";
+  out += "  \"throughput_mrps\": " + std::to_string(throughput_mrps) + ",\n";
+  out += "  \"slo_alerts\": " + std::to_string(s.slo_alerts) + ",\n";
+  out += "  \"slo_breached_windows\": " +
+         std::to_string(s.slo_breached_windows) + "\n";
+  out += "}\n";
+  return out;
 }
 
 ServingNode::ServingNode(const ml::lite::FlatModel& model,
@@ -216,12 +308,25 @@ std::uint64_t ServingNode::next_free_ns() const {
 }
 
 std::uint64_t ServingNode::serve_batch(
-    const std::vector<const ml::Tensor*>& inputs, std::uint64_t dispatch_ns) {
+    const std::vector<const ml::Tensor*>& inputs, std::uint64_t dispatch_ns,
+    const BatchTraceInfo* trace) {
   const unsigned lane = least_loaded_lane();
   obs::ScopedLane lane_scope(static_cast<std::uint16_t>(ordinal_),
                              static_cast<std::uint16_t>(lane));
   platform_->set_active_lane(&lanes_[lane]);
   lanes_[lane].advance_to(dispatch_ns);  // lane idles until the batch launch
+  // Traced dispatch: every member's flow arrow lands on the compute lane
+  // here (batch fan-in), and interior spans recorded during the batch nest
+  // under the head member's service span.
+  const bool traced = trace != nullptr && trace->trace_id != 0;
+  if (traced) {
+    TraceSites& ts = trace_sites();
+    for (const std::uint64_t id : trace->member_trace_ids) {
+      ts.tracer.record_flow(ts.flow, id, dispatch_ns, obs::FlowPhase::Finish);
+    }
+  }
+  std::optional<obs::ScopedTraceContext> ctx;
+  if (traced) ctx.emplace(trace->trace_id, trace->parent_span_id);
   if (auto* enclave = const_cast<tee::Enclave*>(service_->enclave())) {
     enclave->access(scratch_[lane], 0, config_.per_thread_scratch, true);
   }
@@ -260,6 +365,16 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
   outcomes.reserve(requests.size());
   traffic_obs().offered.add(requests.size());
 
+  const bool tracing = obs::tracing_enabled();
+  obs::Timeline& tl = obs::Timeline::global();
+  if (tl.enabled()) {
+    // Offered load is bucketed at *client* arrival (before the wire), the
+    // clock the SLO monitor reasons in.
+    for (const Request& r : requests) {
+      tl.record_offered(r.arrival_ns - r.wire_ns);
+    }
+  }
+
   std::deque<const Request*> pending;
   std::size_t next = 0;
 
@@ -277,8 +392,16 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
         o.node = static_cast<std::int64_t>(ordinal_);
         outcomes.push_back(o);
         traffic_obs().shed_queue_full.add();
+        tl.record_shed(r.arrival_ns - r.wire_ns);
       } else {
         pending.push_back(&r);
+        if (tracing && r.trace_id != 0) {
+          TraceSites& ts = trace_sites();
+          obs::ScopedLane ql(static_cast<std::uint16_t>(ordinal_),
+                             kQueueLaneTid);
+          ts.tracer.record_flow(ts.flow, r.trace_id, r.arrival_ns - r.wire_ns,
+                                obs::FlowPhase::Start);
+        }
       }
     }
   };
@@ -289,7 +412,8 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
       continue;
     }
     const std::uint64_t head_arrival = pending.front()->arrival_ns;
-    std::uint64_t dispatch_at = std::max(next_free_ns(), head_arrival);
+    const std::uint64_t lane_free = next_free_ns();
+    std::uint64_t dispatch_at = std::max(lane_free, head_arrival);
     admit_until(dispatch_at);
 
     // Batch window: the queue head waits up to `wait_ns` for the batch to
@@ -326,6 +450,7 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
         o.node = static_cast<std::int64_t>(ordinal_);
         outcomes.push_back(o);
         traffic_obs().shed_expired.add();
+        tl.record_shed(dispatch_at);
         continue;
       }
       batch.push_back(r);
@@ -333,9 +458,43 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
     }
     if (batch.empty()) continue;  // the whole window expired
 
+    // Causal linkage: pre-allocate each member's service span (the head's
+    // becomes the batch's parent context inside serve_batch) and compute
+    // the phase decomposition; recorded once the completion is known.
+    BatchTraceInfo tinfo;
+    std::vector<MemberTrace> members;
+    if (tracing) {
+      for (const Request* r : batch) {
+        if (r->trace_id == 0) continue;
+        MemberTrace m;
+        m.trace_id = r->trace_id;
+        m.client_arrival_ns = r->arrival_ns - r->wire_ns;
+        m.wire_end_ns = r->arrival_ns;
+        m.node_arrival_ns = r->arrival_ns;
+        m.queue_end_ns =
+            std::min(dispatch_at, std::max(r->arrival_ns, lane_free));
+        m.service_span_id = obs::SpanTracer::global().alloc_span_id();
+        members.push_back(m);
+        tinfo.member_trace_ids.push_back(r->trace_id);
+      }
+      if (!members.empty()) {
+        tinfo.trace_id = members.front().trace_id;
+        tinfo.parent_span_id = members.front().service_span_id;
+      }
+    }
+
     // No lane advanced since dispatch_at was computed, so serve_batch picks
     // the same least-loaded lane that priced it.
-    const std::uint64_t completion = serve_batch(batch_inputs, dispatch_at);
+    const std::uint64_t completion = serve_batch(
+        batch_inputs, dispatch_at, members.empty() ? nullptr : &tinfo);
+
+    for (const MemberTrace& m : members) {
+      record_member_trace(m, static_cast<std::uint16_t>(ordinal_), dispatch_at,
+                          completion);
+    }
+    tl.record_batch(dispatch_at, static_cast<std::int64_t>(batch.size()));
+    tl.record_queue_depth(
+        dispatch_at, static_cast<std::int64_t>(pending.size() + batch.size()));
 
     for (const Request* r : batch) {
       RequestOutcome o;
@@ -353,6 +512,8 @@ std::vector<RequestOutcome> ServingNode::serve_trace(
       traffic_obs().queue_wait_ns.observe(dispatch_at - r->arrival_ns);
       traffic_obs().e2e_ns.observe(completion - r->arrival_ns);
       serving_obs().request_quantile_ns.observe(completion - dispatch_at);
+      tl.record_completed(completion, completion - (r->arrival_ns - r->wire_ns),
+                          o.slo_miss);
     }
   }
 
@@ -466,8 +627,10 @@ std::vector<RequestOutcome> ServingFleet::serve_trace(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     Request r = requests[i];
     const std::uint64_t bytes = r.input->byte_size();
-    r.arrival_ns += config_.model.netshield_ns(bytes) +
-                    config_.model.lan_transfer_ns(bytes);
+    r.wire_ns = config_.model.netshield_ns(bytes) +
+                config_.model.lan_transfer_ns(bytes);
+    r.arrival_ns += r.wire_ns;  // nodes see post-wire arrivals; wire_ns lets
+                                // them recover the client clock for traces
     shifted[i % live.size()].push_back(r);
   }
 
@@ -550,6 +713,7 @@ std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
   struct Pending {
     const Request* req = nullptr;
     std::uint64_t arrival_ns = 0;    ///< node-side arrival (after the wire)
+    std::uint64_t wire_ns = 0;       ///< wire cost of one shipment
     std::int64_t attempts = 0;       ///< client retries consumed so far
     std::int64_t steered_from = -1;  ///< node this copy last left
     int strikes = 0;   ///< crash encounters; a budget stops ping-pong
@@ -584,14 +748,20 @@ std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
     Pending p;
     p.req = &requests[i];
     const std::uint64_t bytes = requests[i].input->byte_size();
-    p.arrival_ns = requests[i].arrival_ns +
-                   config_.model.netshield_ns(bytes) +
-                   config_.model.lan_transfer_ns(bytes);
+    p.wire_ns = config_.model.netshield_ns(bytes) +
+                config_.model.lan_transfer_ns(bytes);
+    p.arrival_ns = requests[i].arrival_ns + p.wire_ns;
     loops[live[i % live.size()]].stream.push_back(p);
   }
 
   traffic_obs().offered.add(requests.size());
   failover_obs();  // register the failover series for this run's exports
+
+  const bool tracing = obs::tracing_enabled();
+  obs::Timeline& tl = obs::Timeline::global();
+  if (tl.enabled()) {
+    for (const Request& r : requests) tl.record_offered(r.arrival_ns);
+  }
 
   auto down_at = [&](std::size_t i, std::uint64_t t) {
     if (!status_[i].alive) return true;
@@ -808,6 +978,19 @@ std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
           static_cast<std::int64_t>(nl.queue.size()) >= window.queue_capacity) {
         record_shed(p, RequestStatus::ShedQueueFull, i);
       } else {
+        if (tracing && p.req->trace_id != 0) {
+          // One flow chain per request: the original copy starts it at the
+          // client arrival; retried/re-steered/hedged copies add a step at
+          // their re-admission, drawing the hop across nodes.
+          TraceSites& ts = trace_sites();
+          obs::ScopedLane ql(static_cast<std::uint16_t>(i), kQueueLaneTid);
+          const bool original =
+              p.attempts == 0 && p.steered_from < 0 && !p.is_hedge;
+          ts.tracer.record_flow(
+              ts.flow, p.req->trace_id,
+              original ? p.req->arrival_ns : p.arrival_ns,
+              original ? obs::FlowPhase::Start : obs::FlowPhase::Step);
+        }
         nl.queue.push_back(p);
       }
     }
@@ -845,9 +1028,9 @@ std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
       if (nl.queue.empty()) continue;  // everything admitted was shed
     }
     const std::uint64_t head_arrival = nl.queue.front().arrival_ns;
-    std::uint64_t dispatch_at =
-        std::max({nodes_[i]->next_free_ns(), head_arrival,
-                  st.ejected_until_ns, nl.not_before_ns});
+    const std::uint64_t lane_free = std::max(
+        {nodes_[i]->next_free_ns(), st.ejected_until_ns, nl.not_before_ns});
+    std::uint64_t dispatch_at = std::max(lane_free, head_arrival);
     admit_until(i, dispatch_at);
 
     // Batch window, same policy as the single-node path with the inbox
@@ -901,8 +1084,38 @@ std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
     }
     if (batch.empty()) continue;  // the whole window expired or cancelled
 
-    const std::uint64_t completion = nodes_[i]->serve_batch(inputs, dispatch_at);
+    // Causal linkage, same shape as the single-node path. A retried copy's
+    // wire span still covers only the wire; the backoff+detection gap
+    // between it and this copy's node arrival is left uncovered on purpose
+    // (trace_report shows it as explicit slack).
+    BatchTraceInfo tinfo;
+    std::vector<MemberTrace> members;
+    if (tracing) {
+      for (const Pending& p : batch) {
+        if (p.req->trace_id == 0) continue;
+        MemberTrace m;
+        m.trace_id = p.req->trace_id;
+        m.client_arrival_ns = p.req->arrival_ns;
+        m.wire_end_ns = p.req->arrival_ns + p.wire_ns;
+        m.node_arrival_ns = p.arrival_ns;
+        m.queue_end_ns =
+            std::min(dispatch_at, std::max(p.arrival_ns, lane_free));
+        m.service_span_id = obs::SpanTracer::global().alloc_span_id();
+        members.push_back(m);
+        tinfo.member_trace_ids.push_back(p.req->trace_id);
+      }
+      if (!members.empty()) {
+        tinfo.trace_id = members.front().trace_id;
+        tinfo.parent_span_id = members.front().service_span_id;
+      }
+    }
+
+    const std::uint64_t completion = nodes_[i]->serve_batch(
+        inputs, dispatch_at, members.empty() ? nullptr : &tinfo);
     serving_obs().dispatches.add();
+    tl.record_batch(dispatch_at, static_cast<std::int64_t>(batch.size()));
+    tl.record_queue_depth(
+        dispatch_at, static_cast<std::int64_t>(nl.queue.size() + batch.size()));
 
     // Mid-service interruption: a crash window opening before the batch
     // completes loses the whole batch at the crash instant; the dispatcher
@@ -921,6 +1134,12 @@ std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
       continue;
     }
 
+    // The batch really completed: record every member's causal tree (hedge
+    // twins each get their own root; trace_report keeps the earliest).
+    for (const MemberTrace& m : members) {
+      record_member_trace(m, static_cast<std::uint16_t>(i), dispatch_at,
+                          completion);
+    }
     for (const Pending& p : batch) {
       record_complete(p, i, dispatch_at, completion,
                       static_cast<std::int64_t>(batch.size()));
@@ -975,12 +1194,16 @@ std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
                                                   o.dispatch_ns);
         if (o.node >= 0) ++status_[static_cast<std::size_t>(o.node)].served;
         if (it->second.by_hedge) failover_obs().hedge_wins.add();
+        tl.record_completed(o.completion_ns, o.completion_ns - o.arrival_ns,
+                            o.slo_miss);
         break;
       case RequestStatus::ShedQueueFull:
         traffic_obs().shed_queue_full.add();
+        tl.record_shed(o.arrival_ns);
         break;
       case RequestStatus::ShedExpired:
         traffic_obs().shed_expired.add();
+        tl.record_shed(o.arrival_ns);
         break;
       case RequestStatus::FailedNodeDown:
         failover_obs().failed_requests.add();

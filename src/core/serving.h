@@ -70,6 +70,17 @@ struct RequestOutcome {
   std::int64_t node = -1;            ///< node that produced the outcome
 };
 
+/// Causal linkage for one batch dispatch (docs/TRACING.md). Only built when
+/// obs::tracing_enabled(): `trace_id`/`parent_span_id` name the head
+/// member's trace and service span (interior spans recorded during the
+/// batch nest under them), and `member_trace_ids` carries every member so
+/// serve_batch can terminate each request's flow arrow at the dispatch.
+struct BatchTraceInfo {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::vector<std::uint64_t> member_trace_ids;
+};
+
 /// Aggregate view of a serve_trace run.
 struct TrafficSummary {
   std::int64_t offered = 0;
@@ -87,6 +98,10 @@ struct TrafficSummary {
   std::uint64_t p50_ns = 0;
   std::uint64_t p95_ns = 0;
   std::uint64_t p99_ns = 0;
+  /// Filled by the caller from evaluate_slo (core/slo.h) when an SLO policy
+  /// was evaluated over the run's timeline; 0 otherwise.
+  std::int64_t slo_alerts = 0;
+  std::int64_t slo_breached_windows = 0;
 
   /// Requests that reached a completion, with or without retries.
   [[nodiscard]] std::int64_t goodput() const { return completed + retried; }
@@ -104,6 +119,11 @@ struct TrafficSummary {
 
 [[nodiscard]] TrafficSummary summarize(
     const std::vector<RequestOutcome>& outcomes);
+
+/// Deterministic integer-only JSON for one TrafficSummary (throughput is
+/// reported as integer milli-rps so the export stays byte-reproducible).
+/// Embedded by the serving benches next to their sweep rows.
+[[nodiscard]] std::string export_traffic_summary_json(const TrafficSummary& s);
 
 struct ServingConfig {
   tee::TeeMode mode = tee::TeeMode::Hardware;
@@ -156,9 +176,13 @@ class ServingNode {
   /// Runs one batch on the least-loaded lane as a single batched container
   /// invocation launching at `dispatch_ns` (the lane clock is advanced to
   /// it first); returns the batch completion time. Building block of the
-  /// fleet failover loop, which owns queueing and shedding itself.
+  /// fleet failover loop, which owns queueing and shedding itself. `trace`,
+  /// when non-null with a nonzero trace_id, installs the head member's
+  /// trace context for the batch and finishes every member's flow arrow at
+  /// the dispatch (docs/TRACING.md).
   std::uint64_t serve_batch(const std::vector<const ml::Tensor*>& inputs,
-                            std::uint64_t dispatch_ns);
+                            std::uint64_t dispatch_ns,
+                            const BatchTraceInfo* trace = nullptr);
 
   /// Clock of the least-loaded lane: the earliest time a new batch could
   /// start computing on this node.

@@ -8,6 +8,7 @@
 #include "ml/ops.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/span.h"
 
 namespace stf::ml::lite {
 namespace {
@@ -517,6 +518,12 @@ Tensor LiteInterpreter::execute(const Tensor& input, std::int64_t batch) {
 
   for (std::size_t j = 0; j < model_.ops().size(); ++j) {
     const LiteOp& op = model_.ops()[j];
+    // Per-op causal leaf (docs/TRACING.md): the virtual time this op spent
+    // in the env (paging + compute), recorded as an ml.lite.op span that
+    // attaches to whatever trace context the caller installed. Gated on the
+    // tracing switch so untraced runs record nothing.
+    const bool trace_ops = env_ != nullptr && obs::tracing_enabled();
+    const std::uint64_t op_start_ns = trace_ops ? env_->now_ns() : 0;
     std::vector<const Tensor*> inputs;
     inputs.reserve(op.inputs.size());
     for (const auto idx : op.inputs) inputs.push_back(&materialize(idx));
@@ -623,6 +630,14 @@ Tensor LiteInterpreter::execute(const Tensor& input, std::int64_t batch) {
       env_->access(activation_region_, activation_bytes_ - out_bytes,
                    out_bytes, true);
       env_->compute(r.flops);
+    }
+    if (trace_ops) {
+      static const std::uint32_t op_span =
+          obs::SpanTracer::global().intern(obs::names::kSpanLiteOp);
+      const std::uint64_t op_end_ns = env_->now_ns();
+      if (op_end_ns > op_start_ns) {
+        obs::SpanTracer::global().record(op_span, op_start_ns, op_end_ns);
+      }
     }
     values[static_cast<std::size_t>(op.output)] = std::move(r.output);
     ready[static_cast<std::size_t>(op.output)] = true;
@@ -732,6 +747,9 @@ Tensor LiteInterpreter::execute_int8(const Tensor& input, std::int64_t batch) {
   for (std::size_t j = 0; j < model_.ops().size(); ++j) {
     const LiteOp& op = model_.ops()[j];
     conv_ops = 0;
+    // Per-op causal leaf, mirroring the float path (docs/TRACING.md).
+    const bool trace_ops = env_ != nullptr && obs::tracing_enabled();
+    const std::uint64_t op_start_ns = trace_ops ? env_->now_ns() : 0;
 
     if (env_ != nullptr && weight_streaming_) {
       if (j >= 1) {
@@ -992,6 +1010,14 @@ Tensor LiteInterpreter::execute_int8(const Tensor& input, std::int64_t batch) {
                    out_bytes, true);
       if (op_int8 > 0) env_->compute_int8(op_int8);
       if (!int8_out) env_->compute(r.flops);
+    }
+    if (trace_ops) {
+      static const std::uint32_t op_span =
+          obs::SpanTracer::global().intern(obs::names::kSpanLiteOp);
+      const std::uint64_t op_end_ns = env_->now_ns();
+      if (op_end_ns > op_start_ns) {
+        obs::SpanTracer::global().record(op_span, op_start_ns, op_end_ns);
+      }
     }
     last_int8_ops_ += op_int8;
 

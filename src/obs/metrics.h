@@ -144,6 +144,11 @@ class Histogram {
 /// not per-byte work.
 class QuantileSeries {
  public:
+  /// Standalone series are constructible (the timeline collector owns one
+  /// per window); registry-owned series still come from
+  /// Registry::quantiles() and only the registry can reset them.
+  QuantileSeries() = default;
+
   void observe(std::uint64_t v) {
     std::lock_guard<std::mutex> lock(mutex_);
     samples_.push_back(v);
@@ -158,7 +163,6 @@ class QuantileSeries {
 
  private:
   friend class Registry;
-  QuantileSeries() = default;
   void reset() {
     std::lock_guard<std::mutex> lock(mutex_);
     samples_.clear();

@@ -142,6 +142,12 @@ inline constexpr const char* kServingFailoverHedgeWins =
     "core.serving.failover.hedge_wins";
 inline constexpr const char* kServingFailoverReadmissions =
     "core.serving.failover.readmissions";
+// SLO monitor over timeline windows (docs/TRACING.md): registered lazily by
+// evaluate_slo only, so runs without the monitor keep their registry
+// exports byte-identical.
+inline constexpr const char* kSloAlerts = "core.serving.slo.alerts";
+inline constexpr const char* kSloBreachedWindows =
+    "core.serving.slo.breached_windows";
 
 // --- distributed: parameter-server training (Figure 8) -------------------
 inline constexpr const char* kTrainRounds = "distributed.rounds";
@@ -156,6 +162,13 @@ inline constexpr const char* kTrainSamplesProcessed =
 inline constexpr const char* kTrainRoundNs = "distributed.round_ns";
 inline constexpr const char* kTrainRoundQuantileNs =
     "distributed.round_quantile_ns";
+
+// --- obs: the observability plane watching itself ------------------------
+// Registered lazily on the first ring overwrite / first timeline event, so
+// overwrite-free and timeline-off runs keep registry exports byte-identical.
+inline constexpr const char* kTraceDropped = "obs.trace.dropped";
+inline constexpr const char* kTimelineEvents = "obs.timeline.events";
+inline constexpr const char* kTimelineWindows = "obs.timeline.windows";
 
 // --- spans (virtual-time intervals in the tracer ring) -------------------
 inline constexpr const char* kSpanEnclaveTransition = "tee.enclave.transition";
@@ -173,6 +186,24 @@ inline constexpr const char* kSpanServingFailoverDetect =
     "core.serving.failover.detect";
 inline constexpr const char* kSpanTrainRound = "distributed.round";
 inline constexpr const char* kSpanSchedIdle = "runtime.sched.idle";
+// Causal request decomposition (docs/TRACING.md): synthetic per-request
+// phase spans recorded by the serving plane when tracing is enabled, plus
+// the per-op interpreter span. Root/wire/queue_wait/batch_wait/service
+// partition each completed request's latency exactly.
+inline constexpr const char* kSpanServingRequest = "core.serving.request";
+inline constexpr const char* kSpanServingWire = "core.serving.wire";
+inline constexpr const char* kSpanServingQueueWait =
+    "core.serving.queue_wait";
+inline constexpr const char* kSpanServingBatchWait =
+    "core.serving.batch_wait";
+inline constexpr const char* kSpanServingService = "core.serving.service";
+inline constexpr const char* kSpanLiteOp = "ml.lite.op";
+
+// --- flows (cross-lane causal arrows in the Chrome trace) ----------------
+// One flow per traced request (flow id = trace id): start at client
+// arrival, a step per retry/hedge/re-steer hop, finish at batch dispatch.
+inline constexpr const char* kFlowServingRequest =
+    "core.serving.request_flow";
 
 // --- profile: attribution categories (docs/PROFILING.md) -----------------
 // Every virtual nanosecond a SimClock advances while a ScopedAttribution is

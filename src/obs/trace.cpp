@@ -35,11 +35,14 @@ std::string export_chrome_trace(const SpanTracer& tracer,
   const auto rows =
       store != nullptr ? store->rows() : std::vector<AttributionRow>{};
 
+  const auto flows = tracer.flows();
+
   // Metadata first: one process_name per pid, one thread_name per lane,
   // sorted ascending so the byte layout is independent of event order.
   std::set<std::uint32_t> lanes;
   for (const auto& s : spans) lanes.insert(s.lane);
   for (const auto& r : rows) lanes.insert(r.lane);
+  for (const auto& f : flows) lanes.insert(f.lane);
   if (lanes.empty()) lanes.insert(0);
 
   std::string out = "{\"traceEvents\": [\n";
@@ -64,6 +67,8 @@ std::string export_chrome_trace(const SpanTracer& tracer,
   }
 
   // Ring spans, oldest first (snapshot order is already deterministic).
+  // Untraced records keep the legacy single-member args object so existing
+  // golden traces stay byte-identical; traced records add their linkage.
   for (const auto& s : spans) {
     const std::string name = tracer.name(s.name_id);
     sep();
@@ -72,7 +77,32 @@ std::string export_chrome_trace(const SpanTracer& tracer,
            ", \"dur\": " + std::to_string(s.end_ns - s.start_ns) +
            ", \"name\": \"" + json_escape(name) + "\", \"cat\": \"" +
            json_escape(cat_of(name)) +
-           "\", \"args\": {\"depth\": " + std::to_string(s.depth) + "}}";
+           "\", \"args\": {\"depth\": " + std::to_string(s.depth);
+    if (s.trace_id != 0) {
+      out += ", \"trace\": " + std::to_string(s.trace_id) +
+             ", \"span\": " + std::to_string(s.span_id) +
+             ", \"parent\": " + std::to_string(s.parent_id);
+    }
+    out += "}}";
+  }
+
+  // Flow arrows (s/t/f chains keyed by flow id), oldest first. `id` is a
+  // JSON string per the trace-event spec; name, cat and id all pass through
+  // json_escape so a hostile interned name cannot break the document.
+  for (const auto& f : flows) {
+    const std::string name = tracer.name(f.name_id);
+    const char* ph = f.phase == FlowPhase::Start  ? "s"
+                     : f.phase == FlowPhase::Step ? "t"
+                                                  : "f";
+    sep();
+    append_event_head(out, ph, f.lane);
+    out += ", \"ts\": " + std::to_string(f.ts_ns) + ", \"name\": \"" +
+           json_escape(name) + "\", \"cat\": \"" + json_escape(cat_of(name)) +
+           "\", \"id\": \"" + json_escape(std::to_string(f.flow_id)) + "\"";
+    // Bind the finish arrow to its enclosing slice's *end*: dispatch flows
+    // terminate where the batch span begins.
+    if (f.phase == FlowPhase::Finish) out += ", \"bp\": \"e\"";
+    out += "}";
   }
 
   // Attribution profiles: one complete event per finished profile, the

@@ -13,10 +13,15 @@
 // virtual nanoseconds unscaled so every value stays an exact integer —
 // read the viewer's "µs" as virtual ns (docs/PROFILING.md). Events are
 // emitted in a fixed order (process/thread metadata sorted by lane, then
-// the ring oldest-first, then attribution rows oldest-first), values are
-// integers, and nothing wall-clock-dependent appears, so two identical
-// seeded runs produce byte-identical trace.json files — held as a test
-// invariant next to the export_json one.
+// the ring oldest-first, then flow arrows oldest-first, then attribution
+// rows oldest-first), values are integers, and nothing wall-clock-dependent
+// appears, so two identical seeded runs produce byte-identical trace.json
+// files — held as a test invariant next to the export_json one.
+//
+// When causal tracing is enabled (docs/TRACING.md) span args additionally
+// carry {"trace", "span", "parent"} linkage, and each traced request draws
+// one flow chain (`ph` "s"/"t"/"f", id = trace id as an escaped JSON
+// string) from client arrival through retry/re-steer hops to dispatch.
 #pragma once
 
 #include <string>

@@ -4,6 +4,7 @@
 
 #include "obs/names.h"
 #include "obs/profile.h"
+#include "obs/timeline.h"
 
 namespace stf::tee {
 
@@ -148,6 +149,7 @@ void EpcManager::evict_one(SimClock& clock) {
   const std::uint64_t start = clock.now_ns();
   clock.advance(model_.page_evict_ns);
   obs::SpanTracer::global().record(span_evict_id_, start, clock.now_ns());
+  obs::Timeline::global().record_epc_eviction(start, 1);
 }
 
 void EpcManager::fault_in(Region& region, RegionId id, std::uint32_t page_index,
@@ -214,6 +216,8 @@ void EpcManager::access(RegionId id, std::uint64_t offset, std::uint64_t len,
     // One coalesced paging span for the whole access (covers every fault,
     // demand eviction, and load this call performed).
     obs::SpanTracer::global().record(span_load_id_, span_start, clock.now_ns());
+    obs::Timeline::global().record_epc_load(
+        span_start, static_cast<std::int64_t>(stats_.loads - loads_before));
   }
   stats_.resident_pages = resident_count_;
 }

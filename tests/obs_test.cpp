@@ -325,6 +325,72 @@ TEST(ObsExport, JsonEscapeHandlesQuotesBackslashesAndControlChars) {
             "\\u0001\\u001f");
 }
 
+// Minimal JSON string unescaper — the inverse of json_escape for the
+// escapes it emits (\" \\ \b \f \n \r \t and \u00XX). Test-only.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        const unsigned code =
+            static_cast<unsigned>(std::stoul(s.substr(i + 1, 4), nullptr, 16));
+        out.push_back(static_cast<char>(code));
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unknown escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST(ObsExport, JsonEscapeRoundTripsLosslessly) {
+  const std::string cases[] = {
+      "",
+      "plain.name",
+      "a\"b\\c",
+      "\b\f\n\r\t",
+      "tab\there \"and\" \\slash\\",
+      std::string("\x01\x02\x1f\x00zero", 8),
+      "core.serving.request_flow",
+  };
+  for (const std::string& original : cases) {
+    EXPECT_EQ(json_unescape(obs::json_escape(original)), original)
+        << "escape must be invertible for: " << ::testing::PrintToString(
+               original);
+  }
+}
+
+TEST(ObsExport, FlowEventIdAndCatFieldsAreEscaped) {
+  // A hostile interned name whose category segment (up to the first dot)
+  // itself needs escaping: the flow exporter must escape name, cat and id.
+  obs::SpanTracer tracer;
+  const auto id = tracer.intern("f\"low\\cat.step\n");
+  tracer.record_flow(id, 7, 100, obs::FlowPhase::Start);
+  tracer.record_flow(id, 7, 200, obs::FlowPhase::Finish);
+  const std::string json = obs::export_chrome_trace(tracer, nullptr);
+  EXPECT_NE(json.find("\"name\": \"f\\\"low\\\\cat.step\\n\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"f\\\"low\\\\cat\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": \"7\""), std::string::npos)
+      << "flow ids are JSON strings per the trace-event spec";
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  EXPECT_EQ(json.find("step\n"), std::string::npos)
+      << "raw control characters must never reach the document";
+}
+
 TEST(ObsExport, SpecialCharactersInNamesCannotCorruptTheDocument) {
   obs::Registry reg;
   reg.counter("t.we\"ird\\name").add(1);

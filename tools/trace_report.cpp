@@ -1,0 +1,272 @@
+// trace_report: causal critical-path breakdown of a serving trace export.
+//
+// Reads the Chrome trace-event JSON written by obs::export_chrome_trace
+// (one event per line — the exporter's own layout, which this tool relies
+// on instead of a general JSON parser) and reassembles the causal request
+// trees the serving plane records when tracing is enabled
+// (docs/TRACING.md): one core.serving.request root per completed request,
+// with wire / queue_wait / batch_wait / service phase children linked by
+// span ids. For every request the tool decomposes end-to-end latency into
+// those named phases plus explicit slack (virtual time no phase claims —
+// e.g. the client-side backoff gap of a retried request), then prints the
+// top-K slowest requests with their dominant phase.
+//
+//   trace_report <trace.json> [--top K] [--check PCT]
+//
+// --check PCT exits 1 unless every reconstructed request decomposes at
+// least PCT percent of its latency into named phases (the ISSUE 9
+// acceptance gate uses --check 95), or when the file contains no traced
+// requests at all. Everything is integer arithmetic over the export's
+// integer timestamps, so output is deterministic for a given input.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/names.h"
+
+namespace {
+
+using stf::obs::names::kSpanServingBatchWait;
+using stf::obs::names::kSpanServingQueueWait;
+using stf::obs::names::kSpanServingRequest;
+using stf::obs::names::kSpanServingService;
+using stf::obs::names::kSpanServingWire;
+
+struct Span {
+  std::string name;
+  std::uint64_t ts = 0;
+  std::uint64_t dur = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+};
+
+/// Parses the integer after `key` (e.g. key = "\"ts\": ").
+bool find_u64(const std::string& line, const char* key, std::uint64_t* out) {
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + std::strlen(key);
+  char* end = nullptr;
+  *out = std::strtoull(p, &end, 10);
+  return end != p;
+}
+
+/// Parses the quoted value after `key` (e.g. key = "\"name\": \""). Span
+/// names come from obs/names.h and contain no escapes, so reading to the
+/// next quote is exact for this exporter's output.
+bool find_quoted(const std::string& line, const char* key, std::string* out) {
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + std::strlen(key);
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+struct Request {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;   ///< root span id phase children point at
+  std::uint64_t ts = 0;     ///< client arrival (virtual ns)
+  std::uint64_t dur = 0;    ///< end-to-end latency (virtual ns)
+  /// Phase name -> summed duration of the root's direct children.
+  std::map<std::string, std::uint64_t> phases;
+
+  [[nodiscard]] std::uint64_t covered() const {
+    std::uint64_t total = 0;
+    for (const auto& [name, d] : phases) total += d;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t slack() const {
+    const std::uint64_t c = covered();
+    return c >= dur ? 0 : dur - c;
+  }
+  /// Longest phase, preferring the canonical serving order on ties so the
+  /// report is deterministic.
+  [[nodiscard]] std::string dominant() const {
+    static const char* kOrder[] = {kSpanServingWire, kSpanServingQueueWait,
+                                   kSpanServingBatchWait, kSpanServingService};
+    std::string best = "-";
+    std::uint64_t best_dur = 0;
+    auto consider = [&](const std::string& name, std::uint64_t d) {
+      if (d > best_dur) {
+        best = name;
+        best_dur = d;
+      }
+    };
+    for (const char* name : kOrder) {
+      const auto it = phases.find(name);
+      if (it != phases.end()) consider(it->first, it->second);
+    }
+    for (const auto& [name, d] : phases) consider(name, d);
+    return best;
+  }
+};
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::size_t top_k = 10;
+  long check_pct = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_k = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_pct = std::strtol(argv[++i], nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: trace_report <trace.json> [--top K] [--check PCT]\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: trace_report <trace.json> [--top K] [--check PCT]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot read %s\n", path);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Pass 1: every traced complete event ("X" with a nonzero trace id).
+  std::vector<Span> spans;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"ph\": \"X\"") == std::string::npos) continue;
+    Span s;
+    if (!find_u64(line, "\"trace\": ", &s.trace) || s.trace == 0) continue;
+    if (!find_quoted(line, "\"name\": \"", &s.name)) continue;
+    if (!find_u64(line, "\"ts\": ", &s.ts)) continue;
+    find_u64(line, "\"dur\": ", &s.dur);
+    find_u64(line, "\"span\": ", &s.span);
+    find_u64(line, "\"parent\": ", &s.parent);
+    spans.push_back(std::move(s));
+  }
+
+  // Pass 2: request roots, then their direct phase children. The tracer
+  // records each root before its children and the ring drops oldest-first,
+  // so any surviving root has its full phase decomposition in the file.
+  std::vector<Request> requests;
+  std::unordered_map<std::uint64_t, std::size_t> root_by_span;
+  for (const Span& s : spans) {
+    if (s.parent != 0 || s.span == 0 || s.name != kSpanServingRequest)
+      continue;
+    Request r;
+    r.trace = s.trace;
+    r.span = s.span;
+    r.ts = s.ts;
+    r.dur = s.dur;
+    root_by_span.emplace(s.span, requests.size());
+    requests.push_back(std::move(r));
+  }
+  for (const Span& s : spans) {
+    if (s.parent == 0) continue;
+    const auto it = root_by_span.find(s.parent);
+    if (it == root_by_span.end()) continue;
+    requests[it->second].phases[s.name] += s.dur;
+  }
+
+  if (requests.empty()) {
+    std::fprintf(stderr, "trace_report: no traced requests in %s\n", path);
+    return check_pct >= 0 ? 1 : 0;
+  }
+
+  std::uint64_t total_latency = 0, total_covered = 0;
+  std::uint64_t worst_covered = 100;
+  std::uint64_t worst_trace = 0;
+  for (const Request& r : requests) {
+    total_latency += r.dur;
+    const std::uint64_t covered = std::min(r.covered(), r.dur);
+    total_covered += covered;
+    if (r.dur == 0) continue;  // zero-latency request: trivially decomposed
+    const std::uint64_t covered_pct = covered * 100 / r.dur;
+    if (covered_pct < worst_covered) {
+      worst_covered = covered_pct;
+      worst_trace = r.trace;
+    }
+  }
+  std::printf("trace_report: %zu traced requests in %s\n", requests.size(),
+              path);
+  std::printf("  coverage: %.1f%% of total latency in named phases "
+              "(worst request %.0f%%, trace %" PRIu64 ")\n",
+              pct(total_covered, total_latency),
+              static_cast<double>(worst_covered), worst_trace);
+
+  // Top-K slowest, longest first; ties break on trace id so the report is
+  // byte-stable across runs.
+  std::vector<const Request*> slowest;
+  slowest.reserve(requests.size());
+  for (const Request& r : requests) slowest.push_back(&r);
+  std::sort(slowest.begin(), slowest.end(),
+            [](const Request* a, const Request* b) {
+              if (a->dur != b->dur) return a->dur > b->dur;
+              return a->trace < b->trace;
+            });
+  if (slowest.size() > top_k) slowest.resize(top_k);
+
+  std::printf("\n  top %zu slowest requests (critical-path breakdown):\n",
+              slowest.size());
+  std::printf("  %-8s %12s  %-26s %6s %6s %6s %6s %6s\n", "trace",
+              "latency_ms", "dominant phase", "wire%", "queue%", "batch%",
+              "serv%", "slack%");
+  auto phase = [](const Request& r, const char* name) {
+    const auto it = r.phases.find(name);
+    return it == r.phases.end() ? std::uint64_t{0} : it->second;
+  };
+  for (const Request* r : slowest) {
+    std::printf("  %-8" PRIu64 " %12.3f  %-26s %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+                r->trace, static_cast<double>(r->dur) / 1e6,
+                r->dominant().c_str(), pct(phase(*r, kSpanServingWire), r->dur),
+                pct(phase(*r, kSpanServingQueueWait), r->dur),
+                pct(phase(*r, kSpanServingBatchWait), r->dur),
+                pct(phase(*r, kSpanServingService), r->dur),
+                pct(r->slack(), r->dur));
+  }
+
+  if (check_pct >= 0) {
+    bool ok = true;
+    for (const Request& r : requests) {
+      if (r.dur == 0) continue;
+      const std::uint64_t covered = std::min(r.covered(), r.dur);
+      // covered/dur >= check_pct/100, in integers.
+      if (covered * 100 < static_cast<std::uint64_t>(check_pct) * r.dur) {
+        std::fprintf(stderr,
+                     "trace_report: trace %" PRIu64 " decomposes only %" PRIu64
+                     "%% of %.3f ms (< %ld%%)\n",
+                     r.trace, covered * 100 / r.dur,
+                     static_cast<double>(r.dur) / 1e6, check_pct);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("\n  check: every request decomposes >= %ld%% of its latency "
+                "into named phases\n",
+                check_pct);
+  }
+  return 0;
+}
