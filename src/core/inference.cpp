@@ -73,7 +73,7 @@ InferenceService::InferenceService(tee::Platform& platform,
   }
   interpreter_ = std::make_unique<ml::lite::LiteInterpreter>(
       *model_, env, options_.kernels, options_.weight_streaming,
-      options_.int8_compute);
+      options_.int8_compute, options_.gpu_offload, options_.slalom);
 }
 
 InferenceService::InferenceService(tee::Platform& platform,
@@ -105,10 +105,46 @@ InferenceService::InferenceService(tee::Platform& platform,
   session_ = std::make_unique<ml::Session>(
       *graph_, env, options_.kernels,
       ml::SessionOptions{.use_memory_planner = options_.memory_planner,
-                         .weight_streaming = options_.weight_streaming});
+                         .weight_streaming = options_.weight_streaming,
+                         .gpu_offload = options_.gpu_offload,
+                         .slalom = options_.slalom});
 }
 
 InferenceService::~InferenceService() = default;
+
+void InferenceService::set_gpu_corruption(
+    ml::GpuOffloadEngine::CorruptionHook hook) {
+  if (interpreter_) {
+    interpreter_->set_gpu_corruption(std::move(hook));
+  } else if (session_) {
+    session_->set_gpu_corruption(std::move(hook));
+  }
+}
+
+const ml::SlalomStats* InferenceService::slalom_stats() const {
+  if (interpreter_) return interpreter_->slalom_stats();
+  if (session_) return session_->slalom_stats();
+  return nullptr;
+}
+
+void InferenceService::set_offload_active(bool on) {
+  if (interpreter_) interpreter_->set_gpu_offload_enabled(on);
+  if (session_) session_->set_gpu_offload_enabled(on);
+}
+
+void InferenceService::note_gpu_failure() {
+  ++gpu_fallbacks_;
+  ml::GpuOffloadEngine* engine =
+      interpreter_ ? interpreter_->gpu_engine()
+                   : (session_ ? session_->gpu_engine() : nullptr);
+  if (engine != nullptr) engine->note_fallback();
+  if (!gpu_distrusted_ && gpu_fallbacks_ >= options_.slalom.distrust_after) {
+    // Strike threshold reached: the GPU (or whatever sits on the PCIe path
+    // to it) is lying too often to be worth re-verifying. Serve in-enclave
+    // for the rest of this service's life.
+    gpu_distrusted_ = true;
+  }
+}
 
 void InferenceService::charge_per_inference_overheads() {
   // Framework compute equivalent of the real architecture's convolutions.
@@ -148,10 +184,20 @@ ml::Tensor InferenceService::classify(const ml::Tensor& input) {
     obs::ScopedSpan span(obs::SpanTracer::global(), platform_.clock(),
                          inference_obs().request_span);
     charge_per_inference_overheads();
-    if (interpreter_) {
-      probs = interpreter_->invoke(input);
-    } else {
-      probs = session_->run1("probs", {{"input", input}});
+    auto execute = [&]() {
+      return interpreter_ ? interpreter_->invoke(input)
+                          : session_->run1("probs", {{"input", input}});
+    };
+    try {
+      probs = execute();
+    } catch (const ml::VerificationError&) {
+      // The GPU returned a wrong result: discard it, count the strike, and
+      // recompute this request entirely in-enclave — the request still
+      // terminates, it just loses the offload speedup.
+      note_gpu_failure();
+      set_offload_active(false);
+      probs = execute();
+      set_offload_active(!gpu_distrusted_);
     }
   }
   last_latency_ms_ = watch.elapsed_ms();
@@ -185,7 +231,16 @@ std::vector<ml::Tensor> InferenceService::classify_batch(
     // interpreter pays per-layer weight paging once — the amortization that
     // makes batching beat per-request dispatch at saturation.
     charge_per_inference_overheads();
-    probs = interpreter_->invoke_batch(inputs);
+    try {
+      probs = interpreter_->invoke_batch(inputs);
+    } catch (const ml::VerificationError&) {
+      // One strike for the whole batch: the stacked result failed its
+      // batched verification, so the entire batch re-executes in-enclave.
+      note_gpu_failure();
+      set_offload_active(false);
+      probs = interpreter_->invoke_batch(inputs);
+      set_offload_active(!gpu_distrusted_);
+    }
   }
   last_latency_ms_ = watch.elapsed_ms();
   batch_obs().batches.add();

@@ -66,6 +66,16 @@ struct InferenceOptions {
   /// (FlatModel::quantized(calibration)); Lite path only — the full-TF
   /// constructor throws std::invalid_argument when set.
   bool int8_compute = false;
+  /// Slalom GPU offload (docs/GPU_OFFLOAD.md): linear layers run on the
+  /// simulated untrusted GPU (charged under profile.gpu / profile.pcie)
+  /// with batched in-enclave verification per `slalom`. Works on both
+  /// paths; mutually exclusive with int8_compute (float-only). A failed
+  /// verification falls the request back to in-enclave execution, and
+  /// after `slalom.distrust_after` failures the service distrusts the GPU
+  /// and stops offloading (gpu_distrusted()). Outputs are bit-identical
+  /// with offload on, off, or fallen back.
+  bool gpu_offload = false;
+  ml::SlalomConfig slalom;
 };
 
 class InferenceService {
@@ -104,8 +114,25 @@ class InferenceService {
   [[nodiscard]] const tee::Enclave* enclave() const { return enclave_.get(); }
   [[nodiscard]] tee::Platform& platform() { return platform_; }
 
+  // --- GPU offload state (docs/GPU_OFFLOAD.md) --------------------------
+  /// Verification failures seen so far; each one re-executed its request
+  /// batch in-enclave.
+  [[nodiscard]] std::uint64_t gpu_fallbacks() const { return gpu_fallbacks_; }
+  /// True once failures reached slalom.distrust_after: offload is off for
+  /// the service's remaining lifetime and everything runs in-enclave.
+  [[nodiscard]] bool gpu_distrusted() const { return gpu_distrusted_; }
+  /// Fault-injection hook forwarded to the offload engine (chaos plumbing);
+  /// null clears. No-op when gpu_offload is off.
+  void set_gpu_corruption(ml::GpuOffloadEngine::CorruptionHook hook);
+  /// Offload counters, or nullptr when gpu_offload is off.
+  [[nodiscard]] const ml::SlalomStats* slalom_stats() const;
+
  private:
   void charge_per_inference_overheads();
+  /// Sets the offload switch on whichever execution path is active.
+  void set_offload_active(bool on);
+  /// Counts a failed verification; trips gpu_distrusted_ at the threshold.
+  void note_gpu_failure();
 
   tee::Platform& platform_;
   InferenceOptions options_;
@@ -119,6 +146,8 @@ class InferenceService {
   std::unique_ptr<ml::Session> session_;
   tee::RegionId heap_region_ = 0;
   double last_latency_ms_ = 0;
+  std::uint64_t gpu_fallbacks_ = 0;
+  bool gpu_distrusted_ = false;
 };
 
 }  // namespace stf::core

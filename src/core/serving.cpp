@@ -564,6 +564,32 @@ void ServingFleet::attach_fault_plane(faults::FaultPlane& plane,
   fault_plane_ = &plane;
   fault_base_id_ = base_node_id;
   if (!resilience_.has_value()) resilience_ = FleetResilienceConfig{};
+  // Wire the plane's GPU-corruption schedule into each node's offload
+  // engine. The plane only owns windows + counters (no ml:: dependency);
+  // the actual tensor damage is applied here, where both layers meet.
+  if (config_.inference.gpu_offload) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const net::NodeId plane_id =
+          base_node_id + static_cast<net::NodeId>(i);
+      faults::FaultPlane* p = &plane;
+      nodes_[i]->set_gpu_corruption(
+          [p, plane_id](std::uint64_t now_ns, ml::Tensor& t) {
+            if (p->gpu_corrupt(plane_id, now_ns) && t.size() > 0) {
+              // A lying GPU: one wrong element in the returned product is
+              // exactly what Freivalds / the conv spot checks must catch.
+              t.at(t.size() / 2) += 1.0f;
+            }
+          });
+    }
+  }
+}
+
+void ServingFleet::sync_gpu_status() {
+  if (!config_.inference.gpu_offload) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    status_[i].gpu_fallbacks = nodes_[i]->gpu_fallbacks();
+    status_[i].gpu_distrusted = nodes_[i]->gpu_distrusted();
+  }
 }
 
 void ServingFleet::configure_retry(RequestRetryPolicy policy) {
@@ -657,6 +683,7 @@ std::vector<RequestOutcome> ServingFleet::serve_trace(
             [](const RequestOutcome& a, const RequestOutcome& b) {
               return a.id < b.id;
             });
+  sync_gpu_status();
   return merged;
 }
 
@@ -1214,6 +1241,7 @@ std::vector<RequestOutcome> ServingFleet::serve_trace_failover(
             [](const RequestOutcome& a, const RequestOutcome& b) {
               return a.id < b.id;
             });
+  sync_gpu_status();
   return out;
 }
 

@@ -193,6 +193,22 @@ class ServingNode {
     return platform_->epc().stats().faults;
   }
 
+  // --- GPU offload (docs/GPU_OFFLOAD.md) --------------------------------
+  /// True once the node's service crossed its verification-failure
+  /// threshold and fell back to in-enclave execution for good.
+  [[nodiscard]] bool gpu_distrusted() const {
+    return service_->gpu_distrusted();
+  }
+  /// Verification failures (each one re-ran its batch in-enclave).
+  [[nodiscard]] std::uint64_t gpu_fallbacks() const {
+    return service_->gpu_fallbacks();
+  }
+  /// Corruption hook forwarded to the service's offload engine; no-op when
+  /// the node serves without gpu_offload.
+  void set_gpu_corruption(ml::GpuOffloadEngine::CorruptionHook hook) {
+    service_->set_gpu_corruption(std::move(hook));
+  }
+
  private:
   void classify_on_lane(unsigned lane, const ml::Tensor& image);
   /// Lane whose clock is furthest behind (ties to the lowest index), so
@@ -261,6 +277,10 @@ struct FleetNodeStatus {
   std::uint64_t ejections = 0;
   std::uint64_t failures_total = 0;
   std::int64_t served = 0;
+  /// GPU offload health (docs/GPU_OFFLOAD.md): verification failures this
+  /// node's service absorbed, and whether it stopped trusting its GPU.
+  std::uint64_t gpu_fallbacks = 0;
+  bool gpu_distrusted = false;
 };
 
 /// Scale-out: a fleet of identical serving nodes splitting one stream.
@@ -296,7 +316,11 @@ class ServingFleet {
   /// crash and revive at the plane's seeded virtual times mid-trace, and
   /// the failover loop (detect -> eject -> re-steer -> half-open re-admit)
   /// takes over. Fleet node `i` maps to plane node id `base_node_id + i`.
-  /// The plane must outlive the fleet.
+  /// When the fleet serves with gpu_offload, the plane's GPU-corruption
+  /// windows (schedule_gpu_corruption) are wired into each node's offload
+  /// engine too: inside a window the node's GPU returns wrong results,
+  /// verification rejects them, and the batch falls back in-enclave
+  /// (docs/GPU_OFFLOAD.md). The plane must outlive the fleet.
   void attach_fault_plane(faults::FaultPlane& plane,
                           std::uint32_t base_node_id = 0);
 
@@ -332,6 +356,8 @@ class ServingFleet {
   }
   std::vector<RequestOutcome> serve_trace_failover(
       const std::vector<Request>& requests, const BatchWindowConfig& window);
+  /// Copies each node's GPU-offload health into status_ (end of a serve).
+  void sync_gpu_status();
 
   ServingConfig config_;
   std::vector<std::unique_ptr<ServingNode>> nodes_;

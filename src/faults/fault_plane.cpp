@@ -58,6 +58,27 @@ void FaultPlane::schedule_crash(net::NodeId node, std::uint64_t down_ns,
   crash_windows_[node].push_back({down_ns, up_ns});
 }
 
+void FaultPlane::schedule_gpu_corruption(net::NodeId node,
+                                         std::uint64_t from_ns,
+                                         std::uint64_t to_ns) {
+  if (to_ns <= from_ns) {
+    throw std::invalid_argument("FaultPlane: empty gpu corruption window");
+  }
+  gpu_corruption_windows_[node].push_back({from_ns, to_ns});
+}
+
+bool FaultPlane::gpu_corrupt(net::NodeId node, std::uint64_t now_ns) {
+  const auto it = gpu_corruption_windows_.find(node);
+  if (it == gpu_corruption_windows_.end()) return false;
+  for (const auto& w : it->second) {
+    if (now_ns >= w.down_ns && now_ns < w.up_ns) {
+      ++stats_.gpu_corruptions;
+      return true;
+    }
+  }
+  return false;
+}
+
 void FaultPlane::set_node_throttle(net::NodeId node, std::uint64_t extra_ns) {
   throttles_[node] = extra_ns;
 }

@@ -47,6 +47,7 @@ struct FaultStats {
   std::uint64_t delayed = 0;
   std::uint64_t crash_dropped = 0;  ///< lost inside a crash window
   std::uint64_t io_failures = 0;
+  std::uint64_t gpu_corruptions = 0;  ///< GPU results flipped in a window
 };
 
 class FaultPlane {
@@ -76,6 +77,15 @@ class FaultPlane {
   /// Probability that one host filesystem operation fails transiently
   /// (attach_fs installs the injector; failures throw TransientError).
   void set_io_fault_prob(double prob) { io_fail_prob_ = prob; }
+
+  /// Corrupting-GPU schedule (docs/GPU_OFFLOAD.md): while `node`'s clock is
+  /// inside [from_ns, to_ns), the untrusted GPU attached to that node
+  /// returns wrong results for offloaded layers. The serving layer polls
+  /// gpu_corrupt() from its offload corruption hook and applies the actual
+  /// tensor damage — the plane only owns the schedule, so faults:: stays
+  /// free of ml:: types.
+  void schedule_gpu_corruption(net::NodeId node, std::uint64_t from_ns,
+                               std::uint64_t to_ns);
 
   // --- attachment ---------------------------------------------------------
 
@@ -112,6 +122,10 @@ class FaultPlane {
   [[nodiscard]] std::optional<std::uint64_t> next_crash_after(
       net::NodeId node, std::uint64_t after_ns) const;
 
+  /// True while `node`'s GPU sits inside a scheduled corruption window at
+  /// `now_ns`; each true counts one injected corruption in stats().
+  [[nodiscard]] bool gpu_corrupt(net::NodeId node, std::uint64_t now_ns);
+
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
  private:
@@ -133,6 +147,7 @@ class FaultPlane {
     std::uint64_t down_ns = 0, up_ns = 0;
   };
   std::map<net::NodeId, std::vector<CrashWindow>> crash_windows_;
+  std::map<net::NodeId, std::vector<CrashWindow>> gpu_corruption_windows_;
   std::map<net::NodeId, std::uint64_t> throttles_;
   double io_fail_prob_ = 0;
   net::SimNetwork* net_ = nullptr;

@@ -340,7 +340,8 @@ FlatModel FlatModel::quantized(const std::vector<Tensor>& calibration) const {
 
 LiteInterpreter::LiteInterpreter(const FlatModel& model, tee::MemoryEnv* env,
                                  kernels::KernelContext kernel_ctx,
-                                 bool weight_streaming, bool int8_compute)
+                                 bool weight_streaming, bool int8_compute,
+                                 bool gpu_offload, SlalomConfig slalom)
     : model_(model),
       env_(env),
       kernel_ctx_(kernel_ctx),
@@ -350,6 +351,18 @@ LiteInterpreter::LiteInterpreter(const FlatModel& model, tee::MemoryEnv* env,
     throw std::invalid_argument(
         "LiteInterpreter: int8_compute needs a calibrated int8 model "
         "(FlatModel::quantized(calibration))");
+  }
+  if (gpu_offload) {
+    if (int8_compute_) {
+      throw std::invalid_argument(
+          "LiteInterpreter: gpu_offload is float-only (mutually exclusive "
+          "with int8_compute)");
+    }
+    gpu_engine_ = std::make_unique<GpuOffloadEngine>(slalom, env_, nullptr,
+                                                     kernel_ctx_);
+    gpu_offload_active_ = true;
+    // Weights ship to the GPU once, at load time.
+    gpu_engine_->upload_weights(model_.weight_bytes());
   }
   if (env_ != nullptr) {
     weights_region_ = env_->alloc("lite/weights", model_.weight_bytes());
@@ -569,15 +582,42 @@ Tensor LiteInterpreter::execute(const Tensor& input, std::int64_t batch) {
 
     ops::OpResult r;
     auto in = [&](std::size_t i) -> const Tensor& { return *inputs.at(i); };
+    // Linear layers go to the untrusted GPU when offload is active; r.flops
+    // then carries the in-enclave verification arithmetic (charged below
+    // exactly like any op's compute), while GPU flops and PCIe bytes were
+    // already billed inside the engine under profile.gpu / profile.pcie.
+    // The plan signature is batch-independent, so batched and single runs
+    // share one set of precomputed verification randomness.
+    const bool offload = gpu_offload_enabled();
     switch (op.type) {
-      case OpType::MatMul: r = ops::matmul(in(0), in(1), kernel_ctx_); break;
+      case OpType::MatMul:
+        if (offload) {
+          r = gpu_engine_->matmul(
+              in(0), in(1),
+              "lite:op" + std::to_string(j) + ":mm:" +
+                  std::to_string(in(0).dim(1)) + "x" +
+                  std::to_string(in(1).dim(1)));
+        } else {
+          r = ops::matmul(in(0), in(1), kernel_ctx_);
+        }
+        break;
       case OpType::Add: r = ops::add(in(0), in(1), kernel_ctx_); break;
       case OpType::Relu: r = ops::relu(in(0), kernel_ctx_); break;
       case OpType::Softmax: r = ops::softmax(in(0)); break;
       case OpType::Sigmoid: r = ops::sigmoid(in(0), kernel_ctx_); break;
       case OpType::Tanh: r = ops::tanh_op(in(0), kernel_ctx_); break;
       case OpType::Conv2D:
-        r = ops::conv2d(in(0), in(1), op.attrs.stride, kernel_ctx_);
+        if (offload) {
+          r = gpu_engine_->conv2d(
+              in(0), in(1), op.attrs.stride,
+              "lite:op" + std::to_string(j) + ":conv:" +
+                  std::to_string(in(0).dim(3)) + "to" +
+                  std::to_string(in(1).dim(3)) + ":f" +
+                  std::to_string(in(1).dim(0)) + "s" +
+                  std::to_string(op.attrs.stride));
+        } else {
+          r = ops::conv2d(in(0), in(1), op.attrs.stride, kernel_ctx_);
+        }
         break;
       case OpType::MaxPool2D:
         r = ops::max_pool2d(in(0), op.attrs.window, op.attrs.stride,

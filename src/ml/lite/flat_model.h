@@ -11,12 +11,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "crypto/bytes.h"
 #include "ml/graph.h"
 #include "ml/kernels.h"
+#include "ml/slalom.h"
 #include "ml/tensor.h"
 #include "tee/memory_env.h"
 
@@ -133,13 +135,19 @@ class LiteInterpreter {
   /// GEMM/conv kernels on int8 codes with fused requantization
   /// (docs/QUANTIZATION.md); requires a calibrated int8 model
   /// (FlatModel::quantized(calibration)) and throws std::invalid_argument
-  /// otherwise.
+  /// otherwise. With `gpu_offload` the linear layers (MatMul/Conv2D) run on
+  /// the simulated untrusted GPU and are verified in-enclave per `slalom`
+  /// (docs/GPU_OFFLOAD.md); outputs stay bit-identical to the offload-off
+  /// path, and a lying GPU raises VerificationError from invoke. Mutually
+  /// exclusive with int8_compute (the GPU path is float-only).
   explicit LiteInterpreter(const FlatModel& model,
                            tee::MemoryEnv* env = nullptr,
                            kernels::KernelContext kernel_ctx =
                                kernels::KernelContext::shared(),
                            bool weight_streaming = false,
-                           bool int8_compute = false);
+                           bool int8_compute = false,
+                           bool gpu_offload = false,
+                           SlalomConfig slalom = {});
   LiteInterpreter(FlatModel&&, tee::MemoryEnv* = nullptr) = delete;
   ~LiteInterpreter();
 
@@ -176,6 +184,24 @@ class LiteInterpreter {
   /// int8_compute invoke; 0 on the float path.
   [[nodiscard]] double last_invoke_int8_ops() const { return last_int8_ops_; }
 
+  /// Runtime switch for the offload path (the serving fallback flips it off
+  /// once the GPU is distrusted). No-op unless constructed with gpu_offload.
+  void set_gpu_offload_enabled(bool on) { gpu_offload_active_ = on; }
+  [[nodiscard]] bool gpu_offload_enabled() const {
+    return gpu_offload_active_ && gpu_engine_ != nullptr;
+  }
+  /// Fault-injection hook forwarded to the offload engine; null clears.
+  void set_gpu_corruption(GpuOffloadEngine::CorruptionHook hook) {
+    if (gpu_engine_ != nullptr) gpu_engine_->set_corruption(std::move(hook));
+  }
+  /// Offload counters, or nullptr when constructed without gpu_offload.
+  [[nodiscard]] const SlalomStats* slalom_stats() const {
+    return gpu_engine_ != nullptr ? &gpu_engine_->stats() : nullptr;
+  }
+  /// The offload backend itself (fallback bookkeeping); nullptr when
+  /// constructed without gpu_offload.
+  [[nodiscard]] GpuOffloadEngine* gpu_engine() { return gpu_engine_.get(); }
+
  private:
   /// Shared forward-pass body. `batch` is the leading batch dimension of
   /// `input` (1 for single requests); it only matters for Reshape ops with
@@ -201,6 +227,9 @@ class LiteInterpreter {
       op_dead_spans_;
   double last_flops_ = 0;
   double last_int8_ops_ = 0;
+  /// Offload backend; non-null iff constructed with gpu_offload.
+  std::unique_ptr<GpuOffloadEngine> gpu_engine_;
+  bool gpu_offload_active_ = false;
   /// Non-null only inside invoke_observed(): the calibration hook.
   const std::function<void(std::int32_t, const Tensor&)>* observer_ = nullptr;
 };

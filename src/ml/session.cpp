@@ -102,6 +102,12 @@ Session::Session(const Graph& graph, tee::MemoryEnv* env,
     arena_bytes_ = kArenaInitialBytes;
     arena_region_ = env_->alloc("activation-arena", arena_bytes_);
   }
+  if (options_.gpu_offload) {
+    gpu_engine_ = std::make_unique<GpuOffloadEngine>(options_.slalom, env_,
+                                                     nullptr, kernel_ctx_);
+    // Parameters ship to the GPU once, at session build time.
+    gpu_engine_->upload_weights(graph_.parameter_bytes());
+  }
 }
 
 Session::~Session() {
@@ -163,7 +169,20 @@ Tensor Session::eval_node(const Node& node,
     case OpType::Variable:
     case OpType::Placeholder:
       throw std::logic_error("eval_node called on a source node");
-    case OpType::MatMul: r = ops::matmul(in(0), in(1), kernel_ctx_); break;
+    // Forward runs with gpu_offload route the linear layers through the
+    // offload engine: GPU flops and PCIe bytes are charged inside it, and
+    // r.flops carries the in-enclave verification arithmetic instead of the
+    // full product — charged by the caller exactly like any op's compute.
+    case OpType::MatMul:
+      if (offload_this_run_ && gpu_engine_ != nullptr) {
+        r = gpu_engine_->matmul(in(0), in(1),
+                                "sess:" + std::to_string(node.id) + ":mm:" +
+                                    std::to_string(in(0).dim(1)) + "x" +
+                                    std::to_string(in(1).dim(1)));
+      } else {
+        r = ops::matmul(in(0), in(1), kernel_ctx_);
+      }
+      break;
     case OpType::Add: r = ops::add(in(0), in(1), kernel_ctx_); break;
     case OpType::Relu: r = ops::relu(in(0), kernel_ctx_); break;
     case OpType::Softmax: r = ops::softmax(in(0)); break;
@@ -173,7 +192,16 @@ Tensor Session::eval_node(const Node& node,
       r = ops::softmax_cross_entropy(in(0), in(1));
       break;
     case OpType::Conv2D:
-      r = ops::conv2d(in(0), in(1), node.attrs.stride, kernel_ctx_);
+      if (offload_this_run_ && gpu_engine_ != nullptr) {
+        r = gpu_engine_->conv2d(in(0), in(1), node.attrs.stride,
+                                "sess:" + std::to_string(node.id) + ":conv:" +
+                                    std::to_string(in(0).dim(3)) + "to" +
+                                    std::to_string(in(1).dim(3)) + ":f" +
+                                    std::to_string(in(1).dim(0)) + "s" +
+                                    std::to_string(node.attrs.stride));
+      } else {
+        r = ops::conv2d(in(0), in(1), node.attrs.stride, kernel_ctx_);
+      }
       break;
     case OpType::MaxPool2D:
       r = ops::max_pool2d(in(0), node.attrs.window, node.attrs.stride,
@@ -212,6 +240,10 @@ std::vector<Tensor> Session::run_internal(
     const std::vector<NodeId>& fetch_ids,
     const std::map<std::string, Tensor>& feeds, Tape* tape) {
   const auto order = graph_.topological_order(fetch_ids);
+  // GPU offload covers forward passes only; training keeps every op
+  // in-enclave (SessionOptions::gpu_offload doc).
+  offload_this_run_ =
+      gpu_engine_ != nullptr && gpu_offload_enabled_ && tape == nullptr;
   // Planned execution applies to accounted forward passes. Training keeps
   // the legacy arena: the tape pins every activation to the end of the pass,
   // so there is no lifetime sharing for the planner to exploit.

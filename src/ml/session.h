@@ -15,6 +15,7 @@
 #include "ml/graph.h"
 #include "ml/memory_planner.h"
 #include "ml/ops.h"
+#include "ml/slalom.h"
 #include "tee/memory_env.h"
 
 namespace stf::ml {
@@ -30,6 +31,13 @@ struct SessionOptions {
   /// weights and advise-evict dead weights of op k-1. Only effective
   /// together with `use_memory_planner` (it rides the planned replay).
   bool weight_streaming = false;
+  /// Offload linear layers (MatMul/Conv2D) to the simulated untrusted GPU
+  /// with in-enclave verification per `slalom` (docs/GPU_OFFLOAD.md).
+  /// Forward runs only — training passes always execute in-enclave (the
+  /// backward pass needs unverified intermediate state nowhere near the
+  /// Slalom protocol). Outputs stay bit-identical to the offload-off path.
+  bool gpu_offload = false;
+  SlalomConfig slalom;
 };
 
 class Session {
@@ -90,6 +98,25 @@ class Session {
     return last_plan_report_;
   }
 
+  /// Offload counters, or nullptr when built without SessionOptions::
+  /// gpu_offload.
+  [[nodiscard]] const SlalomStats* slalom_stats() const {
+    return gpu_engine_ != nullptr ? &gpu_engine_->stats() : nullptr;
+  }
+  /// Fault-injection hook forwarded to the offload engine; null clears.
+  void set_gpu_corruption(GpuOffloadEngine::CorruptionHook hook) {
+    if (gpu_engine_ != nullptr) gpu_engine_->set_corruption(std::move(hook));
+  }
+  /// Runtime switch for the offload path (the serving fallback flips it off
+  /// once the GPU is distrusted). No-op unless built with gpu_offload.
+  void set_gpu_offload_enabled(bool on) { gpu_offload_enabled_ = on; }
+  [[nodiscard]] bool gpu_offload_enabled() const {
+    return gpu_offload_enabled_ && gpu_engine_ != nullptr;
+  }
+  /// The offload backend itself (fallback bookkeeping); nullptr when built
+  /// without gpu_offload.
+  [[nodiscard]] GpuOffloadEngine* gpu_engine() { return gpu_engine_.get(); }
+
  private:
   struct Tape;  // records per-node inputs/outputs of one forward pass
 
@@ -125,6 +152,11 @@ class Session {
   /// loop plans once and replays forever.
   std::map<std::string, MemoryPlan> plan_cache_;
   std::optional<PlanReport> last_plan_report_;
+  /// Offload backend; non-null iff options_.gpu_offload. Active only during
+  /// forward (tape-less) runs — run_internal() sets the flag per run.
+  std::unique_ptr<GpuOffloadEngine> gpu_engine_;
+  bool gpu_offload_enabled_ = true;
+  bool offload_this_run_ = false;
   double last_run_flops_ = 0;
   float last_loss_ = 0;
 };

@@ -1,90 +1,178 @@
 #include "ml/slalom.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 
+#include "crypto/bytes.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/profile.h"
 
 namespace stf::ml {
+namespace {
 
-SlalomExecutor::SlalomExecutor(const Graph& frozen_graph, SlalomConfig config,
-                               tee::MemoryEnv* env, tee::SimClock& clock,
-                               crypto::HmacDrbg& rng)
-    : graph_(frozen_graph), config_(config), env_(env), clock_(clock),
-      rng_(rng) {
-  if (!graph_.variables().empty()) {
-    throw std::invalid_argument("SlalomExecutor: freeze the graph first");
-  }
-  // Weights are uploaded to the GPU once at initialization.
-  obs::ScopedCategory attribution(obs::Category::kCompute);
-  clock_.advance(static_cast<std::uint64_t>(
-      static_cast<double>(graph_.parameter_bytes()) / config_.pcie_bandwidth *
-      1e9));
+// Registered lazily on first offload so runs with gpu_offload off keep the
+// registry export byte-identical (same pattern as the quantization counters).
+struct SlalomObs {
+  obs::Counter& offloaded = obs::Registry::global().counter(
+      obs::names::kSlalomOffloadedOps,
+      "linear layers executed on the untrusted GPU");
+  obs::Counter& verifications = obs::Registry::global().counter(
+      obs::names::kSlalomVerifications,
+      "in-enclave verifications of offloaded results");
+  obs::Counter& fallbacks = obs::Registry::global().counter(
+      obs::names::kSlalomFallbacks,
+      "batches re-executed in-enclave after failed verification");
+  obs::Counter& gpu_flops = obs::Registry::global().counter(
+      obs::names::kSlalomGpuFlops, "flops executed on the untrusted GPU");
+  obs::Counter& pcie_bytes = obs::Registry::global().counter(
+      obs::names::kSlalomPcieBytes,
+      "bytes shipped across PCIe by the offload path", obs::Unit::Bytes);
+};
+
+SlalomObs& slalom_obs() {
+  static SlalomObs* o = new SlalomObs();
+  return *o;
 }
 
-void SlalomExecutor::charge_gpu(double flops, std::uint64_t transfer_bytes) {
-  obs::ScopedCategory attribution(obs::Category::kCompute);
-  clock_.advance(static_cast<std::uint64_t>(
-      flops / config_.gpu_flops_per_second * 1e9 +
-      static_cast<double>(transfer_bytes) / config_.pcie_bandwidth * 1e9));
+}  // namespace
+
+void slalom_note_fallback() { slalom_obs().fallbacks.add(); }
+
+void GpuOffloadEngine::note_fallback() {
+  ++stats_.fallbacks;
+  slalom_obs().fallbacks.add();
+}
+
+GpuOffloadEngine::GpuOffloadEngine(SlalomConfig config, tee::MemoryEnv* env,
+                                   tee::SimClock* clock,
+                                   kernels::KernelContext ctx)
+    : config_(config), env_(env), clock_(clock), ctx_(ctx) {}
+
+std::uint64_t GpuOffloadEngine::now_ns() const {
+  if (env_ != nullptr) return env_->now_ns();
+  if (clock_ != nullptr) return clock_->now_ns();
+  return 0;
+}
+
+void GpuOffloadEngine::charge_gpu(double flops) {
   stats_.gpu_flops += flops;
+  slalom_obs().gpu_flops.add(static_cast<std::uint64_t>(flops));
+  if (env_ != nullptr) {
+    env_->gpu_compute(flops);
+  } else if (clock_ != nullptr) {
+    obs::ScopedCategory attribution(obs::Category::kGpu);
+    clock_->advance(static_cast<std::uint64_t>(
+        flops / config_.gpu_flops_per_second * 1e9));
+  }
 }
 
-void SlalomExecutor::charge_enclave(double flops) {
-  if (env_ != nullptr) env_->compute(flops);
-  stats_.verification_flops += flops;
+void GpuOffloadEngine::charge_pcie(std::uint64_t bytes) {
+  stats_.pcie_bytes += bytes;
+  slalom_obs().pcie_bytes.add(bytes);
+  if (env_ != nullptr) {
+    env_->pcie_transfer(bytes);
+  } else if (clock_ != nullptr) {
+    obs::ScopedCategory attribution(obs::Category::kPcie);
+    clock_->advance(static_cast<std::uint64_t>(
+        static_cast<double>(bytes) / config_.pcie_bandwidth * 1e9));
+  }
 }
 
-Tensor SlalomExecutor::offload_matmul(const Tensor& a, const Tensor& b) {
-  // "GPU" computes C = A x B (values a correct device would return).
-  auto result = ops::matmul(a, b);
+void GpuOffloadEngine::upload_weights(std::uint64_t bytes) {
+  charge_pcie(bytes);
+}
+
+const GpuOffloadEngine::PlanRandomness& GpuOffloadEngine::plan(
+    const std::string& sig,
+    const std::function<void(crypto::HmacDrbg&, PlanRandomness&)>& gen) {
+  auto it = plans_.find(sig);
+  if (it != plans_.end()) return it->second;
+  // Derived from (seed, signature) alone: independent of execution order,
+  // shared between batched and single runs, bit-stable across reruns. The
+  // derivation draws no simulated time — it happens off the critical path,
+  // amortized over every request that reuses the plan.
+  crypto::HmacDrbg drbg(crypto::to_bytes(
+      "slalom/" + std::to_string(config_.verify_seed) + "/" + sig));
+  PlanRandomness& p = plans_[sig];
+  gen(drbg, p);
+  return p;
+}
+
+ops::OpResult GpuOffloadEngine::matmul(const Tensor& a, const Tensor& b,
+                                       const std::string& plan_sig) {
+  // The "GPU" computes C = A x B with the same blocked kernels the enclave
+  // path uses: the values a correct device would return, bit-identical to
+  // the offload-off execution.
+  auto result = ops::matmul(a, b, ctx_);
   Tensor c = std::move(result.output);
-  if (gpu_corruption_) gpu_corruption_(c);
-  charge_gpu(result.flops, a.byte_size() + c.byte_size());
+  if (corruption_) corruption_(now_ns(), c);
   ++stats_.offloaded_ops;
+  slalom_obs().offloaded.add();
+  charge_gpu(result.flops);
+  charge_pcie(a.byte_size() + c.byte_size());
 
-  // Freivalds: pick random r, check A(Br) == Cr. One round with real-valued
-  // r in {1..16} gives overwhelming detection probability for non-adversarial
-  // float errors and any wrong entry.
+  // Freivalds' check over the whole (possibly batch-stacked) product:
+  // A(BR) == CR for a random R[n, rounds]. Each round is O(mk + kn + mn)
+  // instead of the O(mkn) recompute and halves the false-accept
+  // probability; one batched check amortizes the batch-independent k*n
+  // term that B per-request checks would each pay (docs/GPU_OFFLOAD.md).
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor r({n});
-  for (std::int64_t i = 0; i < n; ++i) {
-    r.at(i) = static_cast<float>(1 + rng_.uniform(16));
-  }
-  // br = B x r  (k), abr = A x br (m), cr = C x r (m)
-  std::vector<float> br(static_cast<std::size_t>(k), 0.0f);
-  for (std::int64_t i = 0; i < k; ++i) {
-    float acc = 0;
-    for (std::int64_t j = 0; j < n; ++j) acc += b.at2(i, j) * r.at(j);
-    br[static_cast<std::size_t>(i)] = acc;
-  }
-  float max_magnitude = 1.0f;
-  for (std::int64_t i = 0; i < m; ++i) {
-    float abr = 0;
-    for (std::int64_t j = 0; j < k; ++j) abr += a.at2(i, j) * br[static_cast<std::size_t>(j)];
-    float cr = 0;
-    for (std::int64_t j = 0; j < n; ++j) cr += c.at2(i, j) * r.at(j);
-    max_magnitude = std::max({max_magnitude, std::abs(abr), std::abs(cr)});
-    if (std::abs(abr - cr) > config_.tolerance * max_magnitude) {
-      throw VerificationError("matmul row " + std::to_string(i) +
-                              " failed Freivalds' check");
+  const std::int64_t rounds = config_.freivalds_rounds;
+  const PlanRandomness& rand =
+      plan(plan_sig, [n, rounds](crypto::HmacDrbg& drbg, PlanRandomness& p) {
+        p.r.resize(static_cast<std::size_t>(n * rounds));
+        for (float& v : p.r) {
+          v = static_cast<float>(1 + drbg.uniform(16));
+        }
+      });
+
+  // Three thin GEMMs on the blocked kernels (thread-pool parallel, counted
+  // in ml.kernels.*): br = B·R [k,rounds], abr = A·br [m,rounds],
+  // cr = C·R [m,rounds].
+  std::vector<float> br(static_cast<std::size_t>(k * rounds));
+  std::vector<float> abr(static_cast<std::size_t>(m * rounds));
+  std::vector<float> cr(static_cast<std::size_t>(m * rounds));
+  kernels::gemm(ctx_, k, n, rounds, b.data(), rand.r.data(), br.data());
+  kernels::gemm(ctx_, m, k, rounds, a.data(), br.data(), abr.data());
+  kernels::gemm(ctx_, m, n, rounds, c.data(), rand.r.data(), cr.data());
+
+  for (std::int64_t i = 0; i < m * rounds; ++i) {
+    const float lhs = abr[static_cast<std::size_t>(i)];
+    const float rhs = cr[static_cast<std::size_t>(i)];
+    const float scale = std::max({1.0f, std::abs(lhs), std::abs(rhs)});
+    if (std::abs(lhs - rhs) > config_.tolerance * scale) {
+      throw VerificationError("matmul row " + std::to_string(i / rounds) +
+                              " failed Freivalds' check [" + plan_sig + "]");
     }
   }
-  charge_enclave(2.0 * static_cast<double>(k * n + m * k + m * n));
+
+  const double verify_flops = 2.0 * static_cast<double>(rounds) *
+                              static_cast<double>(k * n + m * k + m * n);
+  stats_.verification_flops += verify_flops;
   ++stats_.verifications;
-  return c;
+  slalom_obs().verifications.add();
+  return {std::move(c), verify_flops};
 }
 
-Tensor SlalomExecutor::offload_conv2d(const Tensor& input,
-                                      const Tensor& filter,
-                                      std::int64_t stride) {
-  auto result = ops::conv2d(input, filter, stride);
+ops::OpResult GpuOffloadEngine::conv2d(const Tensor& input,
+                                       const Tensor& filter,
+                                       std::int64_t stride,
+                                       const std::string& plan_sig) {
+  auto result = ops::conv2d(input, filter, stride, ctx_);
   Tensor out = std::move(result.output);
-  if (gpu_corruption_) gpu_corruption_(out);
-  charge_gpu(result.flops, input.byte_size() + out.byte_size());
+  if (corruption_) corruption_(now_ns(), out);
   ++stats_.offloaded_ops;
+  slalom_obs().offloaded.add();
+  charge_gpu(result.flops);
+  charge_pcie(input.byte_size() + out.byte_size());
 
-  // Spot-check: recompute random output elements in the enclave.
+  // Spot-check: recompute random output elements in-enclave. The sample
+  // coordinates are per-plan (batch-independent); sample i lands on batch
+  // row i % n, so one sample set covers the whole batch and a batched conv
+  // pays the same verification cost as a single request.
   const std::int64_t n = input.dim(0), h = input.dim(1), w = input.dim(2),
                      c = input.dim(3);
   const std::int64_t fh = filter.dim(0), fw = filter.dim(1),
@@ -94,39 +182,98 @@ Tensor SlalomExecutor::offload_conv2d(const Tensor& input,
       std::max<std::int64_t>(0, ((oh - 1) * stride + fh - h) / 2);
   const std::int64_t pad_w =
       std::max<std::int64_t>(0, ((ow - 1) * stride + fw - w) / 2);
-  for (int sample = 0; sample < config_.conv_samples; ++sample) {
-    const std::int64_t b = static_cast<std::int64_t>(
-        rng_.uniform(static_cast<std::uint64_t>(n)));
-    const std::int64_t oy = static_cast<std::int64_t>(
-        rng_.uniform(static_cast<std::uint64_t>(oh)));
-    const std::int64_t ox = static_cast<std::int64_t>(
-        rng_.uniform(static_cast<std::uint64_t>(ow)));
-    const std::int64_t ko = static_cast<std::int64_t>(
-        rng_.uniform(static_cast<std::uint64_t>(k)));
-    float expected = 0;
-    for (std::int64_t fy = 0; fy < fh; ++fy) {
-      const std::int64_t iy = oy * stride + fy - pad_h;
-      if (iy < 0 || iy >= h) continue;
-      for (std::int64_t fx = 0; fx < fw; ++fx) {
-        const std::int64_t ix = ox * stride + fx - pad_w;
-        if (ix < 0 || ix >= w) continue;
-        for (std::int64_t ci = 0; ci < c; ++ci) {
-          expected += input.at(((b * h + iy) * w + ix) * c + ci) *
-                      filter.at(((fy * fw + fx) * c + ci) * k + ko);
+
+  const int samples = config_.conv_samples;
+  const PlanRandomness& rand = plan(
+      plan_sig,
+      [samples, oh, ow, k](crypto::HmacDrbg& drbg, PlanRandomness& p) {
+        p.samples.reserve(static_cast<std::size_t>(samples) * 3);
+        for (int i = 0; i < samples; ++i) {
+          p.samples.push_back(static_cast<std::int64_t>(
+              drbg.uniform(static_cast<std::uint64_t>(oh))));
+          p.samples.push_back(static_cast<std::int64_t>(
+              drbg.uniform(static_cast<std::uint64_t>(ow))));
+          p.samples.push_back(static_cast<std::int64_t>(
+              drbg.uniform(static_cast<std::uint64_t>(k))));
         }
-      }
-    }
-    const float got = out.at(((b * oh + oy) * ow + ox) * k + ko);
-    const float scale = std::max({1.0f, std::abs(expected), std::abs(got)});
-    if (std::abs(expected - got) > config_.tolerance * scale) {
-      throw VerificationError("conv2d sample (" + std::to_string(oy) + "," +
-                              std::to_string(ox) + ") mismatch");
+      });
+
+  // Recompute on the kernel thread pool: chunks write disjoint slots of
+  // `bad`, so the outcome is identical at any thread count.
+  std::vector<unsigned char> bad(static_cast<std::size_t>(samples), 0);
+  const float* in_data = input.data();
+  const float* f_data = filter.data();
+  const float* out_data = out.data();
+  kernels::parallel_for(
+      ctx_, 0, samples, 4, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t s = begin; s < end; ++s) {
+          const std::int64_t b = s % n;
+          const std::int64_t oy = rand.samples[static_cast<std::size_t>(3 * s)];
+          const std::int64_t ox =
+              rand.samples[static_cast<std::size_t>(3 * s + 1)];
+          const std::int64_t ko =
+              rand.samples[static_cast<std::size_t>(3 * s + 2)];
+          float expected = 0;
+          for (std::int64_t fy = 0; fy < fh; ++fy) {
+            const std::int64_t iy = oy * stride + fy - pad_h;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t fx = 0; fx < fw; ++fx) {
+              const std::int64_t ix = ox * stride + fx - pad_w;
+              if (ix < 0 || ix >= w) continue;
+              for (std::int64_t ci = 0; ci < c; ++ci) {
+                expected += in_data[((b * h + iy) * w + ix) * c + ci] *
+                            f_data[((fy * fw + fx) * c + ci) * k + ko];
+              }
+            }
+          }
+          const float got = out_data[((b * oh + oy) * ow + ox) * k + ko];
+          const float scale =
+              std::max({1.0f, std::abs(expected), std::abs(got)});
+          if (std::abs(expected - got) > config_.tolerance * scale) {
+            bad[static_cast<std::size_t>(s)] = 1;
+          }
+        }
+      });
+  for (int s = 0; s < samples; ++s) {
+    if (bad[static_cast<std::size_t>(s)] != 0) {
+      throw VerificationError(
+          "conv2d sample (" +
+          std::to_string(rand.samples[static_cast<std::size_t>(3 * s)]) + "," +
+          std::to_string(rand.samples[static_cast<std::size_t>(3 * s + 1)]) +
+          ") mismatch [" + plan_sig + "]");
     }
   }
-  charge_enclave(2.0 * static_cast<double>(config_.conv_samples) *
-                 static_cast<double>(fh * fw * c));
+
+  const double verify_flops = 2.0 * static_cast<double>(samples) *
+                              static_cast<double>(fh * fw * c);
+  stats_.verification_flops += verify_flops;
   ++stats_.verifications;
-  return out;
+  slalom_obs().verifications.add();
+  return {std::move(out), verify_flops};
+}
+
+SlalomExecutor::SlalomExecutor(const Graph& frozen_graph, SlalomConfig config,
+                               tee::MemoryEnv* env, tee::SimClock& clock,
+                               kernels::KernelContext ctx)
+    : graph_(frozen_graph), env_(env), engine_(config, env, &clock, ctx) {
+  if (!graph_.variables().empty()) {
+    throw std::invalid_argument("SlalomExecutor: freeze the graph first");
+  }
+  // Weights are uploaded to the GPU once at initialization.
+  engine_.upload_weights(graph_.parameter_bytes());
+}
+
+void SlalomExecutor::set_gpu_corruption(std::function<void(Tensor&)> hook) {
+  if (!hook) {
+    engine_.set_corruption({});
+    return;
+  }
+  engine_.set_corruption(
+      [h = std::move(hook)](std::uint64_t, Tensor& t) { h(t); });
+}
+
+void SlalomExecutor::charge_enclave(double flops) {
+  if (env_ != nullptr) env_->compute(flops);
 }
 
 Tensor SlalomExecutor::run(const Tensor& input, const std::string& input_name,
@@ -146,8 +293,8 @@ Tensor SlalomExecutor::run(const Tensor& input, const std::string& input_name,
         continue;
       case OpType::Placeholder:
         if (node.name != input_name) {
-          throw std::invalid_argument("SlalomExecutor: unexpected placeholder '" +
-                                      node.name + "'");
+          throw std::invalid_argument(
+              "SlalomExecutor: unexpected placeholder '" + node.name + "'");
         }
         values[id] = input;
         continue;
@@ -155,12 +302,26 @@ Tensor SlalomExecutor::run(const Tensor& input, const std::string& input_name,
       case OpType::SoftmaxCrossEntropy:
         throw std::invalid_argument(
             "SlalomExecutor: inference graphs only (freeze + prune first)");
-      case OpType::MatMul:
-        values[id] = offload_matmul(in(0), in(1));
+      case OpType::MatMul: {
+        auto r = engine_.matmul(in(0), in(1),
+                                "sess:" + std::to_string(id) + ":mm:" +
+                                    std::to_string(in(0).dim(1)) + "x" +
+                                    std::to_string(in(1).dim(1)));
+        charge_enclave(r.flops);
+        values[id] = std::move(r.output);
         continue;
-      case OpType::Conv2D:
-        values[id] = offload_conv2d(in(0), in(1), node.attrs.stride);
+      }
+      case OpType::Conv2D: {
+        auto r = engine_.conv2d(in(0), in(1), node.attrs.stride,
+                                "sess:" + std::to_string(id) + ":conv:" +
+                                    std::to_string(in(0).dim(3)) + "to" +
+                                    std::to_string(in(1).dim(3)) + ":f" +
+                                    std::to_string(in(1).dim(0)) + "s" +
+                                    std::to_string(node.attrs.stride));
+        charge_enclave(r.flops);
+        values[id] = std::move(r.output);
         continue;
+      }
       default:
         break;
     }
@@ -202,7 +363,7 @@ Tensor SlalomExecutor::run(const Tensor& input, const std::string& input_name,
         throw std::logic_error("SlalomExecutor: unhandled op");
     }
     charge_enclave(r.flops);
-    ++stats_.enclave_ops;
+    engine_.note_enclave_op();
     values[id] = std::move(r.output);
   }
   return values.at(output_id);

@@ -3,28 +3,42 @@
 // The paper's GPU discussion: trusted GPUs don't exist commercially, so
 // offloading requires either weakening the threat model or verifying what
 // the untrusted GPU returns. Slalom (Tramèr & Boneh, cited as [89]) does the
-// latter for linear layers; this module reproduces the scheme:
+// latter for linear layers; this module reproduces the scheme as a
+// production serving backend (docs/GPU_OFFLOAD.md):
 //
 //   * linear operations (MatMul, Conv2D) run on an *untrusted* GPU — fast,
 //     but the adversary may return anything;
 //   * the enclave verifies each result probabilistically: Freivalds' check
-//     for matrix products (A(Br) == Cr for a random r — O(n^2) instead of
-//     the O(n^3) recompute) and random output-sample recomputation for
-//     convolutions;
+//     for matrix products (A(BR) == CR for a random R — O(n^2) per round
+//     instead of the O(n^3) recompute, false-accept probability (1/2)^k for
+//     k rounds) and random output-sample recomputation for convolutions;
+//   * verification is *batched*: one Freivalds check covers the stacked
+//     [B, ...] result of a whole batch, and one set of conv samples is
+//     shared across the batch's rows, so the O(n^2) check amortizes the way
+//     invoke_batch already amortizes weight paging;
+//   * verification randomness (the R vectors, the conv sample coordinates)
+//     is derived per plan signature off the critical path — no DRBG draw
+//     and no clock charge on the request path;
 //   * non-linear operations (relu, softmax, pooling, bias) stay inside the
 //     enclave.
 //
-// The GPU itself is simulated: its arithmetic is performed on the host (the
-// values a correct GPU would return), its time is charged from the cost
-// model's GPU rate, and tests corrupt its outputs to show verification
-// catches tampering.
+// The GPU itself is simulated: its arithmetic is performed on the host with
+// the same blocked kernels the enclave path uses (the values a correct GPU
+// would return, bit-identical), its time is charged at the cost model's GPU
+// rate under profile.gpu and its transfers under profile.pcie, and fault
+// injection (faults::FaultPlane::schedule_gpu_corruption) corrupts its
+// outputs to show verification catches tampering.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "crypto/drbg.h"
 #include "ml/graph.h"
+#include "ml/kernels.h"
 #include "ml/ops.h"
 #include "tee/memory_env.h"
 #include "tee/sim_clock.h"
@@ -40,33 +54,133 @@ class VerificationError : public std::runtime_error {
 };
 
 struct SlalomConfig {
-  /// Untrusted accelerator throughput (consumer GPU class).
+  /// Untrusted accelerator throughput (consumer GPU class). Used by the
+  /// standalone-clock charging path only; platform environments bill the
+  /// CostModel's gpu_flops_per_second instead.
   double gpu_flops_per_second = 500e9;
-  /// CPU <-> GPU transfer bandwidth (PCIe 3.0 x16 class), bytes/s.
+  /// CPU <-> GPU transfer bandwidth (PCIe 3.0 x16 class), bytes/s. Same
+  /// standalone-vs-CostModel split as the GPU rate.
   double pcie_bandwidth = 12e9;
-  /// Random output samples recomputed in-enclave per convolution.
+  /// Random output samples recomputed in-enclave per convolution. Shared
+  /// across a batch: a batched conv still recomputes this many samples.
   int conv_samples = 32;
+  /// Freivalds repetitions per matmul check. Each round multiplies the
+  /// false-accept probability by 1/2 (SECURITY.md §GPU offload); cost is
+  /// linear in rounds.
+  int freivalds_rounds = 1;
   /// Relative tolerance of the float comparisons (accumulation order on a
   /// real GPU differs from the host).
   float tolerance = 1e-3f;
+  /// Verification failures a service tolerates before it distrusts the GPU
+  /// outright and stops offloading (docs/GPU_OFFLOAD.md).
+  unsigned distrust_after = 3;
+  /// Seed of the per-plan-signature verification randomness. Deriving each
+  /// signature's DRBG from (seed, signature) makes the randomness
+  /// independent of execution order, so reruns are bit-identical.
+  std::uint64_t verify_seed = 0x51a10;
 };
 
 struct SlalomStats {
   std::uint64_t offloaded_ops = 0;
   std::uint64_t enclave_ops = 0;
   std::uint64_t verifications = 0;
+  /// Batches re-executed in-enclave after a failed verification (counted by
+  /// the owning service, which performs the fallback).
+  std::uint64_t fallbacks = 0;
   double gpu_flops = 0;
   double verification_flops = 0;
+  std::uint64_t pcie_bytes = 0;
 };
 
-/// Executes a frozen inference graph with linear layers offloaded.
-/// `env` (nullable) receives the *enclave-side* work — nonlinear ops and
-/// verification; GPU time and PCIe transfers are charged to `clock`.
+/// Offloads single linear ops and verifies the results in-enclave: the
+/// backend the Lite interpreter, the Session and the standalone
+/// SlalomExecutor all route their MatMul/Conv2D through when GPU offload is
+/// on.
+///
+/// Charging: GPU flops and PCIe bytes are billed inside, to
+/// `env->gpu_compute()` / `env->pcie_transfer()` when an environment is
+/// attached, else to `clock` at the config's standalone rates (both under
+/// profile.gpu / profile.pcie). The *enclave-side* verification arithmetic
+/// is returned as the OpResult's flops — callers charge it exactly like any
+/// op's compute, so it lands in the same env, category and metrics as the
+/// rest of the enclave work. The verification math itself runs on the
+/// blocked kernels (`kernels::gemm`, `parallel_for`), so it is thread-pool
+/// parallel and shows up in ml.kernels.* counters.
+class GpuOffloadEngine {
+ public:
+  /// Corruption hook: invoked with the current virtual time and the raw GPU
+  /// result before verification; mutate the tensor to model a lying GPU.
+  using CorruptionHook = std::function<void(std::uint64_t, Tensor&)>;
+
+  /// Either `env` or `clock` may be null; with both null no time is charged
+  /// (pure math + stats, as in unit tests).
+  GpuOffloadEngine(SlalomConfig config, tee::MemoryEnv* env,
+                   tee::SimClock* clock,
+                   kernels::KernelContext ctx = kernels::KernelContext::shared());
+
+  /// C = A[m,k] · B[k,n] on the GPU, Freivalds-verified. `plan_sig` keys the
+  /// precomputed randomness; it must be stable per layer and independent of
+  /// the batch dimension so batched and single runs share one R.
+  ops::OpResult matmul(const Tensor& a, const Tensor& b,
+                       const std::string& plan_sig);
+
+  /// NHWC conv on the GPU, verified by recomputing `conv_samples` random
+  /// output elements in-enclave (one sample set shared across the batch).
+  ops::OpResult conv2d(const Tensor& input, const Tensor& filter,
+                       std::int64_t stride, const std::string& plan_sig);
+
+  /// One-time PCIe charge for shipping the model weights to the GPU.
+  void upload_weights(std::uint64_t bytes);
+
+  /// Bookkeeping for ops the caller kept in-enclave (stats only).
+  void note_enclave_op() { ++stats_.enclave_ops; }
+
+  /// Called by the owning service when a failed verification triggered an
+  /// in-enclave re-execution (bumps stats and ml.slalom.fallbacks).
+  void note_fallback();
+
+  void set_corruption(CorruptionHook hook) { corruption_ = std::move(hook); }
+
+  [[nodiscard]] const SlalomStats& stats() const { return stats_; }
+  [[nodiscard]] const SlalomConfig& config() const { return config_; }
+
+ private:
+  struct PlanRandomness {
+    std::vector<float> r;               ///< [n, rounds] Freivalds matrix
+    std::vector<std::int64_t> samples;  ///< conv (oy, ox, ko) triples
+  };
+
+  const PlanRandomness& plan(const std::string& sig,
+                             const std::function<void(crypto::HmacDrbg&,
+                                                      PlanRandomness&)>& gen);
+  void charge_gpu(double flops);
+  void charge_pcie(std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  SlalomConfig config_;
+  tee::MemoryEnv* env_;
+  tee::SimClock* clock_;
+  kernels::KernelContext ctx_;
+  CorruptionHook corruption_;
+  std::map<std::string, PlanRandomness> plans_;
+  SlalomStats stats_;
+};
+
+/// Registry hook for the owning service's enclave fallback: bumps the
+/// lazily-registered ml.slalom.fallbacks counter.
+void slalom_note_fallback();
+
+/// Executes a frozen inference graph with linear layers offloaded — the
+/// standalone demo of the scheme (the serving stack routes through
+/// InferenceOptions::gpu_offload instead). `env` (nullable) receives the
+/// enclave-side work — nonlinear ops and verification; GPU time and PCIe
+/// transfers are charged through `env` too when it is set, else to `clock`
+/// at the config's rates.
 class SlalomExecutor {
  public:
   SlalomExecutor(const Graph& frozen_graph, SlalomConfig config,
                  tee::MemoryEnv* env, tee::SimClock& clock,
-                 crypto::HmacDrbg& rng);
+                 kernels::KernelContext ctx = kernels::KernelContext::shared());
 
   /// One forward pass computing `output_name` from placeholder `input_name`.
   /// Throws VerificationError if any offloaded result fails its check.
@@ -74,26 +188,16 @@ class SlalomExecutor {
              const std::string& output_name = "probs");
 
   /// Test hook: corrupts every GPU result before verification.
-  void set_gpu_corruption(std::function<void(Tensor&)> hook) {
-    gpu_corruption_ = std::move(hook);
-  }
+  void set_gpu_corruption(std::function<void(Tensor&)> hook);
 
-  [[nodiscard]] const SlalomStats& stats() const { return stats_; }
+  [[nodiscard]] const SlalomStats& stats() const { return engine_.stats(); }
 
  private:
-  Tensor offload_matmul(const Tensor& a, const Tensor& b);
-  Tensor offload_conv2d(const Tensor& input, const Tensor& filter,
-                        std::int64_t stride);
-  void charge_gpu(double flops, std::uint64_t transfer_bytes);
   void charge_enclave(double flops);
 
   const Graph& graph_;
-  SlalomConfig config_;
   tee::MemoryEnv* env_;
-  tee::SimClock& clock_;
-  crypto::HmacDrbg& rng_;
-  std::function<void(Tensor&)> gpu_corruption_;
-  SlalomStats stats_;
+  GpuOffloadEngine engine_;
 };
 
 }  // namespace stf::ml

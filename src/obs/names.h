@@ -95,6 +95,14 @@ inline constexpr const char* kQuantRequantizedElements =
 inline constexpr const char* kQuantInt8Invokes = "ml.quant.int8_invokes";
 inline constexpr const char* kQuantCalibrationRuns =
     "ml.quant.calibration_runs";
+// Slalom GPU offload (docs/GPU_OFFLOAD.md): registered lazily by the offload
+// engine only, so offload-off runs keep their registry exports
+// byte-identical.
+inline constexpr const char* kSlalomOffloadedOps = "ml.slalom.offloaded_ops";
+inline constexpr const char* kSlalomVerifications = "ml.slalom.verifications";
+inline constexpr const char* kSlalomFallbacks = "ml.slalom.fallbacks";
+inline constexpr const char* kSlalomGpuFlops = "ml.slalom.gpu_flops";
+inline constexpr const char* kSlalomPcieBytes = "ml.slalom.pcie_bytes";
 
 // --- core: inference + serving fleet (Figures 5-7) -----------------------
 inline constexpr const char* kInferenceRequests = "core.inference.requests";
@@ -220,6 +228,8 @@ inline constexpr const char* kCatNet = "profile.net";
 inline constexpr const char* kCatFsShield = "profile.fs_shield";
 inline constexpr const char* kCatFaultDelay = "profile.fault_delay";
 inline constexpr const char* kCatEpcPrefetch = "profile.epc_prefetch";
+inline constexpr const char* kCatGpu = "profile.gpu";
+inline constexpr const char* kCatPcie = "profile.pcie";
 inline constexpr const char* kCatOther = "profile.other";
 
 }  // namespace stf::obs::names

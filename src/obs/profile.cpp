@@ -35,6 +35,8 @@ const char* to_string(Category c) {
     case Category::kFsShield: return names::kCatFsShield;
     case Category::kFaultDelay: return names::kCatFaultDelay;
     case Category::kEpcPrefetch: return names::kCatEpcPrefetch;
+    case Category::kGpu: return names::kCatGpu;
+    case Category::kPcie: return names::kCatPcie;
     case Category::kOther: return names::kCatOther;
   }
   return "profile.other";

@@ -57,10 +57,12 @@ enum class Category : std::uint8_t {
   kFsShield,      ///< file-system shield seal/unseal AEAD work
   kFaultDelay,    ///< retransmit backoff, round timeouts (injected weather)
   kEpcPrefetch,   ///< overlapped weight prefetch + advise-evict (streaming)
+  kGpu,           ///< untrusted-accelerator execution of offloaded layers
+  kPcie,          ///< host<->GPU transfers of the Slalom offload path
   kOther,         ///< anything charged with no category open (barrier waits)
 };
 
-inline constexpr std::size_t kCategoryCount = 10;
+inline constexpr std::size_t kCategoryCount = 12;
 
 /// Canonical `profile.*` name of a category (from names.h).
 [[nodiscard]] const char* to_string(Category c);

@@ -84,6 +84,14 @@ struct CostModel {
   /// syscall queue; the EWB itself runs off the critical path.
   std::uint64_t page_advise_evict_ns = 700;
 
+  // --- untrusted accelerator (Slalom offload, §7.4) ---------------------
+  /// Sustained throughput of the simulated untrusted GPU the Slalom backend
+  /// offloads linear layers to (consumer-GPU class, single precision).
+  double gpu_flops_per_second = 500e9;
+  /// Host <-> GPU transfer bandwidth (PCIe 3.0 x16 class), bytes/s. Every
+  /// offloaded layer ships its activations down and its result back.
+  double pcie_bandwidth = 12e9;
+
   // --- transitions & syscalls -------------------------------------------
   /// Synchronous enclave transition (EENTER/EEXIT pair), ~8k cycles.
   std::uint64_t transition_ns = 2100;
@@ -131,6 +139,13 @@ struct CostModel {
   [[nodiscard]] std::uint64_t int8_compute_ns(double ops) const {
     return static_cast<std::uint64_t>(
         ops / (flops_per_second * int8_ops_multiple) * 1e9);
+  }
+  [[nodiscard]] std::uint64_t gpu_compute_ns(double flops) const {
+    return static_cast<std::uint64_t>(flops / gpu_flops_per_second * 1e9);
+  }
+  [[nodiscard]] std::uint64_t pcie_ns(std::uint64_t bytes) const {
+    return static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                      pcie_bandwidth * 1e9);
   }
   [[nodiscard]] std::uint64_t dram_ns(std::uint64_t bytes) const {
     return static_cast<std::uint64_t>(static_cast<double>(bytes) /

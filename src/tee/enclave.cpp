@@ -131,6 +131,18 @@ void Enclave::compute_int8(double ops) {
   }
 }
 
+void Enclave::gpu_compute(double flops) {
+  // Offloaded work executes outside the TEE: no SCONE runtime multiplier,
+  // no MEE traffic — the untrusted accelerator runs at its native rate.
+  obs::ScopedCategory attribution(obs::Category::kGpu);
+  platform_.clock().advance(platform_.model().gpu_compute_ns(flops));
+}
+
+void Enclave::pcie_transfer(std::uint64_t bytes) {
+  obs::ScopedCategory attribution(obs::Category::kPcie);
+  platform_.clock().advance(platform_.model().pcie_ns(bytes));
+}
+
 void Enclave::prefetch_region(RegionId id, std::uint64_t offset,
                               std::uint64_t len) {
   platform_.epc().prefetch(id, offset, len, platform_.clock());

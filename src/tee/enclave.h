@@ -64,6 +64,12 @@ class Enclave {
   /// as compute(), but at the cost model's int8 throughput multiple and a
   /// quarter of the per-op MEE traffic (1-byte operands).
   void compute_int8(double ops);
+  /// Work offloaded to the untrusted accelerator (docs/GPU_OFFLOAD.md):
+  /// billed at the cost model's GPU rate under profile.gpu, with no runtime
+  /// overhead and no MEE traffic — it runs outside the TEE.
+  void gpu_compute(double flops);
+  /// Host<->GPU activation/weight shipping, billed under profile.pcie.
+  void pcie_transfer(std::uint64_t bytes);
   /// EPC streaming hints (forwarded to the platform's EpcManager; no-ops
   /// outside Hardware mode). See docs/MEMORY_PLANNER.md.
   void prefetch_region(RegionId id, std::uint64_t offset, std::uint64_t len);
@@ -128,6 +134,10 @@ class EnclaveEnv final : public MemoryEnv {
   }
   void compute(double flops) override { enclave_.compute(flops); }
   void compute_int8(double ops) override { enclave_.compute_int8(ops); }
+  void gpu_compute(double flops) override { enclave_.gpu_compute(flops); }
+  void pcie_transfer(std::uint64_t bytes) override {
+    enclave_.pcie_transfer(bytes);
+  }
   void prefetch(std::uint64_t region, std::uint64_t offset,
                 std::uint64_t len) override {
     enclave_.prefetch_region(region, offset, len);

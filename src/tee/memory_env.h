@@ -34,6 +34,19 @@ class MemoryEnv {
   /// environments without an int8 cost model stay correct.
   virtual void compute_int8(double ops) { compute(ops); }
 
+  // --- Slalom GPU offload (docs/GPU_OFFLOAD.md) --------------------------
+  // Defaults are no-ops: environments without an accelerator cost model
+  // (plain test fakes) never bill offloaded work. Platform environments
+  // charge the cost model's GPU/PCIe rates under profile.gpu/profile.pcie —
+  // no enclave runtime overhead, no MEE traffic: the work happens outside
+  // the TEE, which is the whole point of offloading.
+
+  /// Reports `flops` executed on the untrusted accelerator.
+  virtual void gpu_compute(double flops) { (void)flops; }
+
+  /// Reports `bytes` moved across the host<->GPU interconnect.
+  virtual void pcie_transfer(std::uint64_t bytes) { (void)bytes; }
+
   // --- EPC-aware streaming hints (docs/MEMORY_PLANNER.md) ----------------
   // Default no-ops: environments without an EPC boundary (native DRAM, SIM
   // mode) ignore residency hints, so planner/streaming code never needs to

@@ -90,6 +90,14 @@ class NativeEnv final : public MemoryEnv {
     obs::ScopedCategory attribution(obs::Category::kCompute);
     clock_->advance(model_.int8_compute_ns(ops));
   }
+  void gpu_compute(double flops) override {
+    obs::ScopedCategory attribution(obs::Category::kGpu);
+    clock_->advance(model_.gpu_compute_ns(flops));
+  }
+  void pcie_transfer(std::uint64_t bytes) override {
+    obs::ScopedCategory attribution(obs::Category::kPcie);
+    clock_->advance(model_.pcie_ns(bytes));
+  }
   [[nodiscard]] std::uint64_t now_ns() const override {
     return clock_->now_ns();
   }

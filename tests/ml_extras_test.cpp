@@ -239,14 +239,13 @@ struct SlalomFixture {
     return freeze(g, s);
   }();
   tee::SimClock clock;
-  crypto::HmacDrbg rng{crypto::to_bytes("slalom")};
   Dataset data = synthetic_mnist(4, 9);
 };
 
 TEST(SlalomTest, MatchesEnclaveOnlyExecution) {
   SlalomFixture f;
   Session reference(f.graph);
-  SlalomExecutor slalom(f.graph, {}, nullptr, f.clock, f.rng);
+  SlalomExecutor slalom(f.graph, {}, nullptr, f.clock);
   for (std::int64_t i = 0; i < 4; ++i) {
     const Tensor expected =
         reference.run1("probs", {{"input", f.data.sample(i)}});
@@ -262,7 +261,7 @@ TEST(SlalomTest, MatchesEnclaveOnlyExecution) {
 
 TEST(SlalomTest, DetectsCorruptedMatmul) {
   SlalomFixture f;
-  SlalomExecutor slalom(f.graph, {}, nullptr, f.clock, f.rng);
+  SlalomExecutor slalom(f.graph, {}, nullptr, f.clock);
   int corrupted = 0;
   slalom.set_gpu_corruption([&corrupted](Tensor& t) {
     if (corrupted++ == 1) t.at(t.size() / 2) += 0.75f;  // hit the 2nd matmul
@@ -275,17 +274,16 @@ TEST(SlalomTest, DetectsCorruptedConv) {
   Session s(g);
   const Graph frozen = freeze(g, s);
   tee::SimClock clock;
-  crypto::HmacDrbg rng(crypto::to_bytes("slalom-conv"));
   SlalomConfig cfg;
   cfg.conv_samples = 64;  // dense spot-checking for the test
   const Dataset data = synthetic_mnist(1, 3);
 
   // Honest run first.
-  SlalomExecutor honest(frozen, cfg, nullptr, clock, rng);
+  SlalomExecutor honest(frozen, cfg, nullptr, clock);
   EXPECT_NO_THROW((void)honest.run(data.sample(0)));
 
   // Corrupt a large patch of the first conv output: spot checks must hit it.
-  SlalomExecutor attacked(frozen, cfg, nullptr, clock, rng);
+  SlalomExecutor attacked(frozen, cfg, nullptr, clock);
   attacked.set_gpu_corruption([](Tensor& t) {
     for (std::int64_t i = 0; i < t.size(); i += 2) t.at(i) += 1.0f;
   });
@@ -296,7 +294,7 @@ TEST(SlalomTest, VerificationIsCheaperThanRecompute) {
   // Freivalds' O(n^2) advantage shows on batched products (for batch 1 the
   // product is already O(kn) and verification costs the same order).
   SlalomFixture f;
-  SlalomExecutor slalom(f.graph, {}, nullptr, f.clock, f.rng);
+  SlalomExecutor slalom(f.graph, {}, nullptr, f.clock);
   const Dataset batch_data = synthetic_mnist(64, 9);
   const auto feeds = batch_data.batch_feeds(0, 64);
   (void)slalom.run(feeds.at("input"));
@@ -308,9 +306,7 @@ TEST(SlalomTest, VerificationIsCheaperThanRecompute) {
 TEST(SlalomTest, RejectsUnfrozenGraph) {
   Graph g = mnist_mlp(8, 2);  // still has variables
   tee::SimClock clock;
-  crypto::HmacDrbg rng(crypto::to_bytes("x"));
-  EXPECT_THROW(SlalomExecutor(g, {}, nullptr, clock, rng),
-               std::invalid_argument);
+  EXPECT_THROW(SlalomExecutor(g, {}, nullptr, clock), std::invalid_argument);
 }
 
 }  // namespace
